@@ -1,0 +1,69 @@
+// Command fluxbench regenerates the paper's Figure 4: the five adapted
+// XMark queries across a sweep of document sizes, with execution time and
+// peak memory per engine.
+//
+// Usage:
+//
+//	fluxbench                        # default: 1,2,5 MB, all queries, 3 engines
+//	fluxbench -sizes 5,10,50,100     # the paper's sizes (slow: naive joins are O(n²))
+//	fluxbench -q q8 -sizes 5 -max-baseline 10
+//	fluxbench -ablation              # FluX vs FluX-without-scheduling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flux/internal/bench"
+)
+
+func main() {
+	var (
+		sizes       = flag.String("sizes", "1,2,5", "comma-separated document sizes in MB")
+		queries     = flag.String("q", "", "comma-separated query subset (q1,q8,q11,q13,q20); empty = all")
+		seed        = flag.Int64("seed", 1, "data generator seed")
+		maxBaseline = flag.Int("max-baseline", 0, "skip in-memory baselines above this many MB (0 = never)")
+		workDir     = flag.String("dir", "", "directory for generated documents (default: temp, removed after)")
+		ablation    = flag.Bool("ablation", false, "compare FluX against FluX with scheduling disabled")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Seed:          *seed,
+		MaxBaselineMB: *maxBaseline,
+		WorkDir:       *workDir,
+		Progress:      os.Stderr,
+	}
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad size %q", s))
+		}
+		cfg.SizesMB = append(cfg.SizesMB, n)
+	}
+	if *queries != "" {
+		for _, q := range strings.Split(*queries, ",") {
+			cfg.Queries = append(cfg.Queries, strings.TrimSpace(q))
+		}
+	}
+	modes := bench.AllModes
+	if *ablation {
+		modes = []bench.Mode{bench.ModeFluX, bench.ModeFluXNoSchema}
+	}
+	cfg.Modes = modes
+
+	rows, err := bench.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(bench.FormatTable(rows, modes))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluxbench:", err)
+	os.Exit(1)
+}

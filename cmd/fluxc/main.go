@@ -1,0 +1,59 @@
+// Command fluxc shows how the FluX compiler schedules a query: the
+// Figure 1 normal form, the Figure 2 FluX rewriting, and the Section 5
+// execution plan with buffer trees.
+//
+// Usage:
+//
+//	fluxc -q '<r>{ for $b in /bib/book return {$b/title} }</r>' -dtd schema.dtd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flux"
+)
+
+func main() {
+	var (
+		queryFile = flag.String("query", "", "path to the XQuery⁻ query")
+		queryText = flag.String("q", "", "inline query text")
+		dtdFile   = flag.String("dtd", "", "path to the DTD")
+		dtdText   = flag.String("d", "", "inline DTD text")
+	)
+	flag.Parse()
+
+	q, err := load(*queryFile, *queryText, "query (-query or -q)")
+	if err != nil {
+		fatal(err)
+	}
+	d, err := load(*dtdFile, *dtdText, "DTD (-dtd or -d)")
+	if err != nil {
+		fatal(err)
+	}
+	prepared, err := flux.Prepare(q, d)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(prepared.Explain())
+}
+
+func load(path, inline, what string) (string, error) {
+	switch {
+	case path != "" && inline != "":
+		return "", fmt.Errorf("give the %s as a file or inline, not both", what)
+	case path != "":
+		b, err := os.ReadFile(path)
+		return string(b), err
+	case inline != "":
+		return inline, nil
+	default:
+		return "", fmt.Errorf("missing %s", what)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluxc:", err)
+	os.Exit(1)
+}

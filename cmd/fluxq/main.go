@@ -1,0 +1,102 @@
+// Command fluxq evaluates an XQuery⁻ query over an XML document using the
+// FluX streaming engine or one of the baseline engines.
+//
+// Usage:
+//
+//	fluxq -query q.xq -dtd schema.dtd [-in doc.xml] [-engine flux|naive|projection] [-attrs] [-stats] [-flux]
+//
+// The query and DTD may also be given inline with -q and -d. With no -in,
+// the document is read from stdin; the result is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flux"
+)
+
+func main() {
+	var (
+		queryFile = flag.String("query", "", "path to the XQuery⁻ query")
+		queryText = flag.String("q", "", "inline query text")
+		dtdFile   = flag.String("dtd", "", "path to the DTD")
+		dtdText   = flag.String("d", "", "inline DTD text")
+		inFile    = flag.String("in", "", "input XML document (default stdin)")
+		engine    = flag.String("engine", "flux", "engine: flux, naive, or projection")
+		fluxSyn   = flag.Bool("flux", false, "the query is written in FluX surface syntax, not XQuery⁻")
+		attrs     = flag.Bool("attrs", false, "convert attributes to subelements (XSAX)")
+		stats     = flag.Bool("stats", false, "print resource statistics to stderr")
+	)
+	flag.Parse()
+
+	q, err := load(*queryFile, *queryText, "query (-query or -q)")
+	if err != nil {
+		fatal(err)
+	}
+	d, err := load(*dtdFile, *dtdText, "DTD (-dtd or -d)")
+	if err != nil {
+		fatal(err)
+	}
+
+	var prepared *flux.Query
+	if *fluxSyn {
+		prepared, err = flux.PrepareFlux(q, d)
+	} else {
+		prepared, err = flux.Prepare(q, d)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := flux.Options{AttrsToSubelements: *attrs}
+	switch *engine {
+	case "flux":
+	case "naive":
+		opt.Engine = flux.Naive
+	case "projection":
+		opt.Engine = flux.Projection
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	var in io.Reader = os.Stdin
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	st, err := prepared.Run(in, os.Stdout, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\nengine=%s peak_buffer_bytes=%d output_bytes=%d tokens=%d\n",
+			*engine, st.PeakBufferBytes, st.OutputBytes, st.Tokens)
+	}
+}
+
+func load(path, inline, what string) (string, error) {
+	switch {
+	case path != "" && inline != "":
+		return "", fmt.Errorf("give the %s as a file or inline, not both", what)
+	case path != "":
+		b, err := os.ReadFile(path)
+		return string(b), err
+	case inline != "":
+		return inline, nil
+	default:
+		return "", fmt.Errorf("missing %s", what)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluxq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command xmlgen generates XMark-like auction-site documents (the
+// adapted, attribute-free schema of the paper's benchmark setup).
+//
+// Usage:
+//
+//	xmlgen -size 5MB -seed 1 -out doc.xml
+//	xmlgen -dtd           # print the adapted XMark DTD and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flux/internal/xmark"
+)
+
+func main() {
+	var (
+		size     = flag.String("size", "1MB", "approximate document size, e.g. 512KB, 5MB")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		printDTD = flag.Bool("dtd", false, "print the adapted XMark DTD and exit")
+	)
+	flag.Parse()
+
+	if *printDTD {
+		fmt.Print(strings.TrimLeft(xmark.DTD, "\n"))
+		return
+	}
+
+	bytes, err := parseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := xmark.Generate(w, xmark.GenOptions{
+		Scale: xmark.ScaleForBytes(bytes),
+		Seed:  *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "xmlgen: wrote %d bytes (requested ~%d)\n", n, bytes)
+}
+
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(u), 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Quickstart: the paper's introductory example (XML Query Use Cases XMP
+// Q3). One query, two DTDs: with the weak schema the engine must buffer
+// the authors of one book at a time; with the use-case schema (title
+// strictly before author) the query runs fully on the fly with zero
+// buffering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flux"
+)
+
+const query = `<results>
+{ for $b in $ROOT/bib/book return
+<result> { $b/title } { $b/author } </result> }
+</results>`
+
+// The weak DTD from Section 1: no order among titles and authors.
+const weakDTD = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+`
+
+// The XML Query Use Cases DTD: title strictly before authors.
+const strongDTD = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+const weakDoc = `<bib>
+<book><author>Buneman</author><title>Data on the Web</title><author>Abiteboul</author><author>Suciu</author></book>
+<book><title>TCP/IP Illustrated</title><author>Stevens</author></book>
+</bib>`
+
+const strongDoc = `<bib>
+<book><title>Data on the Web</title><author>Abiteboul</author><author>Buneman</author><author>Suciu</author><publisher>MK</publisher><price>39</price></book>
+<book><title>TCP/IP Illustrated</title><author>Stevens</author><publisher>AW</publisher><price>65</price></book>
+</bib>`
+
+func main() {
+	show("weak DTD (book := (title|author)*)", weakDTD, weakDoc)
+	show("use-case DTD (title before author)", strongDTD, strongDoc)
+}
+
+func show(label, dtdText, doc string) {
+	q, err := flux.Prepare(query, dtdText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n\n", label)
+	fmt.Println("scheduled FluX query:")
+	fmt.Println(q.FluxIndented())
+	out, st, err := q.RunString(doc, flux.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:")
+	fmt.Println(out)
+	fmt.Printf("\npeak buffered bytes: %d\n\n", st.PeakBufferBytes)
+	_ = os.Stdout
+}

@@ -1,0 +1,46 @@
+// Xmarkdemo: a miniature of the paper's Figure 4 experiment. Generates a
+// small XMark-like document in memory and runs the five adapted benchmark
+// queries through the FluX engine and both baselines, printing time,
+// peak memory, and output size per cell.
+//
+// For the full sweep over file-backed documents use cmd/fluxbench.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"time"
+
+	"flux"
+	"flux/internal/xmark"
+)
+
+func main() {
+	var doc strings.Builder
+	n, err := xmark.Generate(&doc, xmark.GenOptions{Scale: xmark.ScaleForBytes(512 << 10), Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated XMark document: %d bytes\n\n", n)
+	fmt.Printf("%-5s %-11s %10s %14s %12s\n", "query", "engine", "time", "peak buffer", "output")
+
+	engines := []flux.Engine{flux.FluX, flux.Naive, flux.Projection}
+	for _, name := range xmark.QueryNames {
+		q, err := flux.Prepare(xmark.Queries[name], xmark.DTD)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		for _, eng := range engines {
+			start := time.Now()
+			st, err := q.Run(strings.NewReader(doc.String()), io.Discard, flux.Options{Engine: eng})
+			if err != nil {
+				log.Fatalf("%s/%v: %v", name, eng, err)
+			}
+			fmt.Printf("%-5s %-11s %9.3fs %13dB %11dB\n",
+				name, eng, time.Since(start).Seconds(), st.PeakBufferBytes, st.OutputBytes)
+		}
+		fmt.Println()
+	}
+}

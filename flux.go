@@ -1,0 +1,312 @@
+// Package flux is a schema-based streaming XQuery engine, a faithful
+// reproduction of the FluX system from Koch, Scherzinger, Schweikardt and
+// Stegmaier, "Schema-based Scheduling of Event Processors and Buffer
+// Minimization for Queries on Structured Data Streams" (VLDB 2004).
+//
+// Given a query in the paper's XQuery⁻ fragment and a DTD, Prepare
+// normalizes the query (Figure 1), applies cardinality-based loop merging
+// (Section 7), schedules it into a safe event-based FluX query (Figure 2,
+// Definition 3.6), and compiles it for the streaming engine (Section 5),
+// which evaluates it over XML streams with provably minimal buffering
+// driven by the DTD's order constraints.
+//
+// Two in-memory baseline engines — naive full materialization (the
+// paper's Galax reference point) and static projection (Marian–Siméon) —
+// evaluate the same queries for comparison; all three produce identical
+// output.
+//
+//	q, err := flux.Prepare(queryText, dtdText)
+//	stats, err := q.Run(xmlStream, os.Stdout, flux.Options{})
+package flux
+
+import (
+	"errors"
+	"io"
+	"strings"
+
+	"flux/internal/core"
+	"flux/internal/dom"
+	"flux/internal/dtd"
+	"flux/internal/engine"
+	"flux/internal/sax"
+	"flux/internal/xq"
+)
+
+// Engine selects an evaluation strategy.
+type Engine int
+
+const (
+	// FluX is the paper's streaming engine: event handlers scheduled by
+	// schema order constraints, buffering only what the DTD cannot prove
+	// streamable.
+	FluX Engine = iota
+	// Naive materializes the entire document before evaluating (the
+	// Galax-style baseline).
+	Naive
+	// Projection materializes only statically projected paths before
+	// evaluating (the Marian–Siméon / AnonX-style baseline).
+	Projection
+)
+
+// String names the engine as used in benchmark tables.
+func (e Engine) String() string {
+	switch e {
+	case FluX:
+		return "flux"
+	case Naive:
+		return "naive"
+	default:
+		return "projection"
+	}
+}
+
+// Options configures query execution.
+type Options struct {
+	// Engine picks the evaluation strategy; the zero value is FluX.
+	Engine Engine
+	// AttrsToSubelements converts attributes on the input stream into
+	// subelements named parent_attr (the paper's XSAX conversion).
+	AttrsToSubelements bool
+}
+
+// Stats reports the resources one execution used.
+type Stats struct {
+	// PeakBufferBytes is the maximum number of bytes of query data held
+	// in main memory at once (the memory column of the paper's Figure 4).
+	PeakBufferBytes int64
+	// OutputBytes is the size of the query result.
+	OutputBytes int64
+	// Tokens is the number of SAX events processed (FluX engine only).
+	Tokens int64
+}
+
+// Query is a prepared query: parsed, normalized, scheduled into safe FluX,
+// and compiled for the streaming engine.
+type Query struct {
+	schema *dtd.Schema
+	source xq.Expr
+	norm   xq.Expr
+	flux   core.Flux
+	plan   *engine.Plan
+	// fallback records why the Figure 2 schedule was replaced by the
+	// Example 3.4 fallback ("" = not replaced).
+	fallback string
+}
+
+// Prepare compiles queryText (XQuery⁻) against dtdText. It returns an
+// error if the query is outside the fragment, the DTD is malformed or
+// ambiguous, or scheduling produces an unsafe query (which Theorem 4.3
+// rules out; such an error indicates a bug and is checked defensively).
+func Prepare(queryText, dtdText string) (*Query, error) {
+	schema, err := dtd.Parse(dtdText)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareWithSchema(queryText, schema)
+}
+
+// PrepareWithSchema is Prepare for an already parsed schema.
+//
+// If the engine proves the Figure 2 schedule unexecutable in one pass (a
+// guard reading data of the very element being streamed, or a cross-scope
+// path whose completeness the DTD cannot establish — see DESIGN.md §5a),
+// Prepare falls back to the universal Example 3.4 schedule
+// { ps $ROOT: on-first past(*) return α }, which buffers the projected
+// paths until end of stream but is always correct. The fallback reason is
+// available via FallbackReason.
+func PrepareWithSchema(queryText string, schema *dtd.Schema) (*Query, error) {
+	src, err := xq.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	norm := xq.MergeLoops(xq.Normalize(src), schema)
+	f, err := core.Rewrite(schema, norm)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.CheckSafety(schema, f); err != nil {
+		return nil, err
+	}
+	q := &Query{schema: schema, source: src, norm: norm, flux: f}
+	plan, cerr := engine.Compile(schema, f)
+	if cerr != nil {
+		fallback := core.Flux(&core.PS{Var: xq.RootVar, Handlers: []core.Handler{
+			&core.OnFirst{Star: true, Body: norm},
+		}})
+		if serr := core.CheckSafety(schema, fallback); serr != nil {
+			return nil, cerr
+		}
+		plan, err = engine.Compile(schema, fallback)
+		if err != nil {
+			return nil, cerr
+		}
+		q.flux = fallback
+		q.fallback = "scheduled query not single-pass executable: " + cerr.Error()
+	}
+	q.plan = plan
+	return q, nil
+}
+
+// FallbackReason reports why the Figure 2 schedule was replaced by the
+// Example 3.4 fallback, or "" when the scheduled query runs as planned.
+func (q *Query) FallbackReason() string { return q.fallback }
+
+// PrepareFlux compiles a hand-written FluX query given in the paper's
+// surface syntax, e.g.
+//
+//	{ ps $ROOT: on bib as $b return { $b }; on-first past(bib) return done }
+//
+// The query is checked safe w.r.t. the DTD (Definition 3.6) before
+// compilation; hand-written queries, unlike scheduler output, may fail
+// this check.
+func PrepareFlux(fluxText, dtdText string) (*Query, error) {
+	schema, err := dtd.Parse(dtdText)
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.ParseFlux(fluxText)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.CheckSafety(schema, f); err != nil {
+		return nil, err
+	}
+	plan, err := engine.Compile(schema, f)
+	if err != nil {
+		return nil, err
+	}
+	// The DOM baselines need an XQuery⁻ view; hand-written FluX has none,
+	// so baseline runs are refused for such queries.
+	return &Query{schema: schema, flux: f, plan: plan}, nil
+}
+
+// PrepareUnscheduled compiles queryText without schema-based scheduling:
+// the normalized query is wrapped in the Example 3.4 fallback
+// { ps $ROOT: on-first past(*) return α }, so the engine buffers every
+// projected path until the end of the stream. This is the ablation
+// baseline that isolates the benefit of the Figure 2 scheduler.
+func PrepareUnscheduled(queryText, dtdText string) (*Query, error) {
+	schema, err := dtd.Parse(dtdText)
+	if err != nil {
+		return nil, err
+	}
+	src, err := xq.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	norm := xq.MergeLoops(xq.Normalize(src), schema)
+	f := core.Flux(&core.PS{Var: xq.RootVar, Handlers: []core.Handler{
+		&core.OnFirst{Star: true, Body: norm},
+	}})
+	if err := core.CheckSafety(schema, f); err != nil {
+		return nil, err
+	}
+	plan, err := engine.Compile(schema, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{schema: schema, source: src, norm: norm, flux: f, plan: plan}, nil
+}
+
+// prepareFromFlux compiles a pre-scheduled FluX query; used by the
+// ablation benchmarks to execute alternative schedules.
+func prepareFromFlux(schema *dtd.Schema, src, norm xq.Expr, f core.Flux) (*Query, error) {
+	if err := core.CheckSafety(schema, f); err != nil {
+		return nil, err
+	}
+	plan, err := engine.Compile(schema, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{schema: schema, source: src, norm: norm, flux: f, plan: plan}, nil
+}
+
+// Run evaluates the query over the XML document read from r, writing the
+// result to w.
+func (q *Query) Run(r io.Reader, w io.Writer, opt Options) (Stats, error) {
+	saxOpt := sax.Options{
+		SkipWhitespaceText: true,
+		AttrsToSubelements: opt.AttrsToSubelements,
+	}
+	switch opt.Engine {
+	case Naive:
+		if q.source == nil {
+			return Stats{}, errors.New("flux: baseline engines need an XQuery⁻ source; this query was prepared from FluX syntax")
+		}
+		st, err := dom.RunNaive(q.source, r, w, saxOpt)
+		return Stats{PeakBufferBytes: st.BufferBytes, OutputBytes: st.OutputBytes}, err
+	case Projection:
+		if q.source == nil {
+			return Stats{}, errors.New("flux: baseline engines need an XQuery⁻ source; this query was prepared from FluX syntax")
+		}
+		st, err := dom.RunProjection(q.source, r, w, saxOpt)
+		return Stats{PeakBufferBytes: st.BufferBytes, OutputBytes: st.OutputBytes}, err
+	default:
+		st, err := engine.Run(q.plan, r, w, saxOpt)
+		return Stats{PeakBufferBytes: st.PeakBufferBytes, OutputBytes: st.OutputBytes, Tokens: st.Tokens}, err
+	}
+}
+
+// RunString evaluates the query over an in-memory document and returns
+// the result text.
+func (q *Query) RunString(doc string, opt Options) (string, Stats, error) {
+	var sb strings.Builder
+	st, err := q.Run(strings.NewReader(doc), &sb, opt)
+	return sb.String(), st, err
+}
+
+// SourceText returns the parsed query in canonical XQuery⁻ syntax, or ""
+// for queries prepared directly from FluX syntax.
+func (q *Query) SourceText() string {
+	if q.source == nil {
+		return ""
+	}
+	return xq.Print(q.source)
+}
+
+// NormalizedText returns the query's normal form (Figure 1) after loop
+// merging, or "" for queries prepared directly from FluX syntax.
+func (q *Query) NormalizedText() string {
+	if q.norm == nil {
+		return ""
+	}
+	return xq.Print(q.norm)
+}
+
+// FluxText returns the scheduled FluX query in the paper's syntax.
+func (q *Query) FluxText() string { return core.Print(q.flux) }
+
+// FluxIndented returns the scheduled FluX query formatted with one
+// handler per line.
+func (q *Query) FluxIndented() string { return core.Indent(q.flux) }
+
+// PlanText describes the compiled plan: scopes, buffer trees (with the
+// paper's • marks), and condition watchers.
+func (q *Query) PlanText() string { return q.plan.Describe() }
+
+// BufferReport returns the static buffering analysis: whether the query
+// is fully streaming, and otherwise which paths buffer in which scope and
+// for how long. It predicts the Figure 4 memory column without reading
+// any data.
+func (q *Query) BufferReport() engine.BufferReport { return q.plan.Report() }
+
+// Explain combines the compilation stages into one report.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	b.WriteString("-- normalized XQuery- (Figure 1 + Section 7 merging):\n")
+	b.WriteString(q.NormalizedText())
+	b.WriteString("\n\n-- scheduled FluX query (Figure 2):\n")
+	b.WriteString(q.FluxIndented())
+	b.WriteString("\n-- execution plan (Section 5 buffer trees, • = full subtree):\n")
+	b.WriteString(q.PlanText())
+	return b.String()
+}
+
+// ValidateDocument checks a document against the query's DTD without
+// evaluating anything.
+func (q *Query) ValidateDocument(r io.Reader, opt Options) error {
+	return dtd.Validate(q.schema, r, sax.Options{
+		SkipWhitespaceText: true,
+		AttrsToSubelements: opt.AttrsToSubelements,
+	})
+}

@@ -1,0 +1,310 @@
+package flux
+
+import (
+	"strings"
+	"testing"
+
+	"flux/internal/xmark"
+)
+
+const bibDTD = `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+const bibDoc = `<bib>` +
+	`<book><title>T1</title><author>A1</author><author>A2</author><publisher>P1</publisher><price>10</price></book>` +
+	`<book><title>T2</title><editor>E1</editor><publisher>P2</publisher><price>20</price></book>` +
+	`</bib>`
+
+func TestPrepareAndRunAllEngines(t *testing.T) {
+	q, err := Prepare(`<results>
+{ for $b in $ROOT/bib/book return
+<result> { $b/title } { $b/author } </result> }
+</results>`, bibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<results>` +
+		`<result><title>T1</title><author>A1</author><author>A2</author></result>` +
+		`<result><title>T2</title></result>` +
+		`</results>`
+	for _, eng := range []Engine{FluX, Naive, Projection} {
+		out, st, err := q.RunString(bibDoc, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if out != want {
+			t.Errorf("%v output = %q, want %q", eng, out, want)
+		}
+		if st.OutputBytes != int64(len(want)) {
+			t.Errorf("%v OutputBytes = %d, want %d", eng, st.OutputBytes, len(want))
+		}
+	}
+	// The strong DTD streams this query with zero buffering; the naive
+	// engine holds the whole document.
+	_, stFlux, _ := q.RunString(bibDoc, Options{Engine: FluX})
+	_, stNaive, _ := q.RunString(bibDoc, Options{Engine: Naive})
+	if stFlux.PeakBufferBytes != 0 {
+		t.Errorf("flux buffered %d bytes, want 0", stFlux.PeakBufferBytes)
+	}
+	if stNaive.PeakBufferBytes == 0 {
+		t.Error("naive engine reported zero materialization")
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	if _, err := Prepare(`{ $x/bad }`, bibDTD); err == nil {
+		t.Error("open query accepted")
+	}
+	if _, err := Prepare(`ok`, `<!ELEMENT a (b,)>`); err == nil {
+		t.Error("malformed DTD accepted")
+	}
+	if _, err := Prepare(`{ for $b in`, bibDTD); err == nil {
+		t.Error("malformed query accepted")
+	}
+}
+
+func TestExplainMentionsAllStages(t *testing.T) {
+	q, err := Prepare(`{ for $b in /bib/book return { $b/title } }`, bibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := q.Explain()
+	for _, want := range []string{"normalized", "ps $ROOT", "buffer tree", "scheduled FluX"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("Explain missing %q", want)
+		}
+	}
+	if !strings.Contains(q.FluxText(), "on book as $b") {
+		t.Errorf("FluxText = %s", q.FluxText())
+	}
+}
+
+func TestAttrsToSubelements(t *testing.T) {
+	d := `
+<!ELEMENT people (person)*>
+<!ELEMENT person (person_id,name)>
+<!ELEMENT person_id (#PCDATA)>
+<!ELEMENT name (#PCDATA)>
+`
+	q, err := Prepare(`{ for $p in /people/person where $p/person_id = 'p1' return { $p/name } }`, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `<people><person id="p0"><name>Ann</name></person><person id="p1"><name>Bob</name></person></people>`
+	out, _, err := q.RunString(doc, Options{AttrsToSubelements: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `<name>Bob</name>` {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestValidateDocument(t *testing.T) {
+	q, err := Prepare(`ok`, bibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.ValidateDocument(strings.NewReader(bibDoc), Options{}); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	if err := q.ValidateDocument(strings.NewReader(`<bib><zap/></bib>`), Options{}); err == nil {
+		t.Error("invalid doc accepted")
+	}
+}
+
+// TestXMarkEndToEnd runs all five Figure 4 queries on a generated
+// document through all three engines and requires identical output, with
+// the FluX engine using dramatically less memory.
+func TestXMarkEndToEnd(t *testing.T) {
+	var doc strings.Builder
+	if _, err := xmark.Generate(&doc, xmark.GenOptions{Scale: 0.002, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range xmark.QueryNames {
+		q, err := Prepare(xmark.Queries[name], xmark.DTD)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		outFlux, stFlux, err := q.RunString(doc.String(), Options{Engine: FluX})
+		if err != nil {
+			t.Fatalf("%s flux: %v", name, err)
+		}
+		outNaive, stNaive, err := q.RunString(doc.String(), Options{Engine: Naive})
+		if err != nil {
+			t.Fatalf("%s naive: %v", name, err)
+		}
+		outProj, stProj, err := q.RunString(doc.String(), Options{Engine: Projection})
+		if err != nil {
+			t.Fatalf("%s projection: %v", name, err)
+		}
+		if outFlux != outNaive {
+			t.Errorf("%s: flux and naive outputs differ (%d vs %d bytes)", name, len(outFlux), len(outNaive))
+			continue
+		}
+		if outProj != outNaive {
+			t.Errorf("%s: projection and naive outputs differ", name)
+		}
+		if len(outFlux) == 0 {
+			t.Errorf("%s: produced no output; workload is degenerate", name)
+		}
+		// Figure 4 shape: flux ≤ projection ≤ naive in memory, with the
+		// streaming queries at (near) zero.
+		if stFlux.PeakBufferBytes > stProj.PeakBufferBytes {
+			t.Errorf("%s: flux %d > projection %d buffered bytes", name, stFlux.PeakBufferBytes, stProj.PeakBufferBytes)
+		}
+		if stProj.PeakBufferBytes > stNaive.PeakBufferBytes {
+			t.Errorf("%s: projection %d > naive %d buffered bytes", name, stProj.PeakBufferBytes, stNaive.PeakBufferBytes)
+		}
+		switch name {
+		case "q1", "q13":
+			if stFlux.PeakBufferBytes != 0 {
+				t.Errorf("%s: flux buffered %d bytes, want 0 (on-the-fly)", name, stFlux.PeakBufferBytes)
+			}
+		case "q20":
+			if stFlux.PeakBufferBytes == 0 || stFlux.PeakBufferBytes > 2048 {
+				t.Errorf("%s: flux buffered %d bytes, want a single person", name, stFlux.PeakBufferBytes)
+			}
+		case "q8", "q11":
+			if stFlux.PeakBufferBytes == 0 {
+				t.Errorf("%s: join must buffer", name)
+			}
+			if stFlux.PeakBufferBytes*4 > int64(doc.Len()) {
+				t.Errorf("%s: flux buffered %d of %d document bytes; projection ineffective",
+					name, stFlux.PeakBufferBytes, doc.Len())
+			}
+		}
+	}
+}
+
+// TestPrepareFlux runs a hand-written FluX query (the paper's surface
+// syntax) end to end.
+func TestPrepareFlux(t *testing.T) {
+	q, err := PrepareFlux(`{ ps $ROOT: on bib as $bib return
+		{ ps $bib: on book as $b return
+			{ ps $b: on title as $t return { $t } } };
+		on-first past(bib) return <done/> }`, bibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st, err := q.RunString(bibDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != `<title>T1</title><title>T2</title><done/>` {
+		t.Errorf("out = %q", out)
+	}
+	if st.PeakBufferBytes != 0 {
+		t.Errorf("buffered %d bytes, want 0", st.PeakBufferBytes)
+	}
+	// Baselines are refused for FluX-syntax queries.
+	if _, _, err := q.RunString(bibDoc, Options{Engine: Naive}); err == nil {
+		t.Error("naive run of FluX-syntax query should fail")
+	}
+	// Unsafe hand-written queries are rejected.
+	if _, err := PrepareFlux(`{ ps $ROOT: on bib as $bib return
+		{ ps $bib: on book as $b return
+			{ ps $b: on-first past(title) return { for $a in $b/author return { $a } } } } }`, bibDTD); err == nil {
+		t.Error("unsafe FluX query accepted")
+	}
+}
+
+func TestBufferReport(t *testing.T) {
+	// Fully streaming query under the strong DTD.
+	q, err := Prepare(`{ for $b in /bib/book return { $b/title } }`, bibDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := q.BufferReport()
+	if !rep.Streaming || len(rep.Scopes) != 0 {
+		t.Errorf("expected fully streaming: %+v\n%s", rep, rep)
+	}
+	// Buffering query: whole person per instance (XMark Q20 pattern).
+	q2, err := Prepare(xmark.Queries["q20"], xmark.DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := q2.BufferReport()
+	if rep2.Streaming || len(rep2.Scopes) != 1 {
+		t.Fatalf("q20 report = %+v", rep2)
+	}
+	s := rep2.Scopes[0]
+	if s.Elem != "person" || !s.PerInstance || len(s.Paths) != 1 || s.Paths[0] != ". •" {
+		t.Errorf("q20 scope = %+v", s)
+	}
+	if !strings.Contains(rep2.String(), "freed per instance") {
+		t.Errorf("report text: %s", rep2.String())
+	}
+	// Join query: buffers at the site scope, which repeats never (one site
+	// per document) but is still per-instance.
+	q3, err := Prepare(xmark.Queries["q8"], xmark.DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3 := q3.BufferReport()
+	if rep3.Streaming {
+		t.Error("q8 cannot be streaming")
+	}
+	var found bool
+	for _, sc := range rep3.Scopes {
+		for _, p := range sc.Paths {
+			if strings.HasPrefix(p, "closed_auctions/closed_auction") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("q8 report misses closed_auction buffering: %+v", rep3)
+	}
+}
+
+// TestFallbackToExample34 covers the case where the Figure 2 schedule is
+// formally safe (Definition 3.6) but not single-pass executable: with
+// year occurring exactly once per book, rewrite emits an on-year handler
+// whose guard reads the year's own value at its opening tag. Prepare must
+// fall back to the Example 3.4 schedule and still answer correctly.
+func TestFallbackToExample34(t *testing.T) {
+	d := `
+<!ELEMENT bib (book)*>
+<!ELEMENT book (publisher,year,title*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+	q, err := Prepare(`<bib>
+{ for $b in $ROOT/bib/book
+  where $b/publisher = 'AW' and $b/year > 1991
+  return <book> {$b/year} {$b/title} </book> }
+</bib>`, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.FallbackReason() == "" {
+		t.Fatal("expected Example 3.4 fallback for the self-guarded year handler")
+	}
+	doc := `<bib>` +
+		`<book><publisher>AW</publisher><year>1994</year><title>New</title></book>` +
+		`<book><publisher>AW</publisher><year>1990</year><title>Old</title></book>` +
+		`</bib>`
+	outF, _, err := q.RunString(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outN, _, err := q.RunString(doc, Options{Engine: Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outF != outN {
+		t.Errorf("fallback output differs from oracle:\n flux: %q\n dom:  %q", outF, outN)
+	}
+	if !strings.Contains(outF, "<year>1994</year>") || strings.Contains(outF, "Old") {
+		t.Errorf("wrong result: %q", outF)
+	}
+}

@@ -1,0 +1,270 @@
+package flux
+
+// Differential fuzzing: randomly generated XQuery⁻ queries (schema-aware,
+// always closed) run over randomly generated valid documents through the
+// FluX streaming engine and both in-memory baselines; all three must
+// produce byte-identical output. The naive DOM interpreter is the
+// semantics oracle.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flux/internal/dtd"
+	"flux/internal/xq"
+)
+
+// fuzzSchemas: different ordering regimes to exercise both streaming and
+// buffering schedules.
+var fuzzSchemas = []string{
+	// no order constraints at all
+	`
+<!ELEMENT r (a|b|c)*>
+<!ELEMENT a (d|e)*>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (d*,e*)>
+<!ELEMENT d (#PCDATA)>
+<!ELEMENT e (#PCDATA)>
+`,
+	// fully ordered
+	`
+<!ELEMENT r (a*,b*,c?)>
+<!ELEMENT a (d,e?)>
+<!ELEMENT b (d*)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+<!ELEMENT e (#PCDATA)>
+`,
+	// mixed regimes and a singleton layer (exercises loop merging)
+	`
+<!ELEMENT r (hdr,grp*)>
+<!ELEMENT hdr (k,v)>
+<!ELEMENT grp (k,(x|y)*,v?)>
+<!ELEMENT k (#PCDATA)>
+<!ELEMENT v (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+<!ELEMENT y (#PCDATA)>
+`,
+	// deep nesting with optional layers
+	`
+<!ELEMENT r (s*)>
+<!ELEMENT s (t?,u*)>
+<!ELEMENT t (w,x?)>
+<!ELEMENT u (w*)>
+<!ELEMENT w (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+`,
+	// recursive schema
+	`
+<!ELEMENT part (pid,part*)>
+<!ELEMENT pid (#PCDATA)>
+`,
+}
+
+// queryGen builds random closed queries whose paths follow the schema.
+type queryGen struct {
+	r      *rand.Rand
+	schema *dtd.Schema
+	nvars  int
+}
+
+type binding struct {
+	v    string
+	elem string
+}
+
+func (g *queryGen) freshVar() string {
+	g.nvars++
+	return fmt.Sprintf("$v%d", g.nvars)
+}
+
+// childSteps returns the possible child element names of elem.
+func (g *queryGen) childSteps(elem string) []string {
+	p, ok := g.schema.Production(elem)
+	if !ok {
+		return nil
+	}
+	return p.Auto.Symbols()
+}
+
+func (g *queryGen) randPath(elem string, maxLen int) (xq.Path, string) {
+	var path xq.Path
+	cur := elem
+	n := 1 + g.r.Intn(maxLen)
+	for i := 0; i < n; i++ {
+		steps := g.childSteps(cur)
+		if len(steps) == 0 {
+			break
+		}
+		s := steps[g.r.Intn(len(steps))]
+		path = append(path, s)
+		cur = s
+	}
+	if len(path) == 0 {
+		return nil, ""
+	}
+	return path, cur
+}
+
+var fuzzConsts = []string{"alpha", "beta", "7", "1991", "42"}
+
+func (g *queryGen) randCond(vars []binding) xq.Cond {
+	switch g.r.Intn(6) {
+	case 0:
+		l := g.randCondAtom(vars)
+		r := g.randCondAtom(vars)
+		if g.r.Intn(2) == 0 {
+			return &xq.And{L: l, R: r}
+		}
+		return &xq.Or{L: l, R: r}
+	case 1:
+		return &xq.Not{X: g.randCondAtom(vars)}
+	default:
+		return g.randCondAtom(vars)
+	}
+}
+
+func (g *queryGen) randCondAtom(vars []binding) xq.Cond {
+	b := vars[g.r.Intn(len(vars))]
+	path, _ := g.randPath(b.elem, 2)
+	if path == nil {
+		return xq.True{}
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return &xq.Exists{Var: b.v, Path: path}
+	case 1:
+		return &xq.Exists{Var: b.v, Path: path, Neg: true}
+	default:
+		ops := []xq.RelOp{xq.OpEq, xq.OpNe, xq.OpLt, xq.OpGt, xq.OpLe, xq.OpGe}
+		return &xq.Cmp{
+			L:  xq.PathOp(b.v, path),
+			R:  xq.ConstOp(fuzzConsts[g.r.Intn(len(fuzzConsts))]),
+			Op: ops[g.r.Intn(len(ops))],
+		}
+	}
+}
+
+func (g *queryGen) build(vars []binding, depth int) xq.Expr {
+	if depth <= 0 {
+		return &xq.Str{S: "leaf"}
+	}
+	switch g.r.Intn(10) {
+	case 0, 1:
+		return &xq.Str{S: fmt.Sprintf("s%d", g.r.Intn(5))}
+	case 2:
+		// Whole-subtree output: rare, forces buffering.
+		b := vars[g.r.Intn(len(vars))]
+		return &xq.VarOut{Var: b.v}
+	case 3:
+		b := vars[g.r.Intn(len(vars))]
+		if path, _ := g.randPath(b.elem, 2); path != nil {
+			return &xq.PathOut{Var: b.v, Path: path}
+		}
+		return &xq.Str{S: "p"}
+	case 4:
+		return &xq.If{Cond: g.randCond(vars), Then: g.build(vars, depth-1)}
+	case 5, 6:
+		return xq.NewSeq(g.build(vars, depth-1), g.build(vars, depth-1))
+	default:
+		b := vars[g.r.Intn(len(vars))]
+		path, elem := g.randPath(b.elem, 2)
+		if path == nil {
+			return &xq.Str{S: "f"}
+		}
+		v := g.freshVar()
+		f := &xq.For{Var: v, Src: b.v, Path: path}
+		if g.r.Intn(3) == 0 {
+			f.Where = g.randCond(append(vars, binding{v, elem}))
+		}
+		f.Body = g.build(append(vars, binding{v, elem}), depth-1)
+		return f
+	}
+}
+
+func TestFuzzDifferential(t *testing.T) {
+	const queriesPerSchema = 120
+	const docsPerQuery = 3
+	totalSkipped, total := 0, 0
+	for si, dtdText := range fuzzSchemas {
+		schema := dtd.MustParse(dtdText)
+		for seed := 0; seed < queriesPerSchema; seed++ {
+			g := &queryGen{r: rand.New(rand.NewSource(int64(si*10000 + seed))), schema: schema}
+			queryAST := g.build([]binding{{xq.RootVar, dtd.DocumentVar}}, 4)
+			queryText := xq.Print(queryAST)
+			total++
+			q, err := PrepareWithSchema(queryText, schema)
+			if err != nil {
+				// Engine limitations (duplicate on-handlers for one
+				// element, cross-scope data not provably complete) are
+				// rejected at compile time; rejecting is sound, silently
+				// wrong answers are not.
+				totalSkipped++
+				continue
+			}
+			for d := 0; d < docsPerQuery; d++ {
+				doc := dtd.RandomDocument(schema, int64(seed*31+d), dtd.GenOptions{})
+				outF, _, err := q.RunString(doc, Options{Engine: FluX})
+				if err != nil {
+					t.Fatalf("schema %d seed %d: flux run: %v\nquery: %s\ndoc: %s\nplan:\n%s",
+						si, seed, err, queryText, doc, q.PlanText())
+				}
+				outN, _, err := q.RunString(doc, Options{Engine: Naive})
+				if err != nil {
+					t.Fatalf("schema %d seed %d: naive run: %v\nquery: %s", si, seed, err, queryText)
+				}
+				outP, _, err := q.RunString(doc, Options{Engine: Projection})
+				if err != nil {
+					t.Fatalf("schema %d seed %d: projection run: %v\nquery: %s", si, seed, err, queryText)
+				}
+				if outF != outN {
+					t.Fatalf("schema %d seed %d doc %d: flux differs from oracle\nquery: %s\nflux:  %q\noracle: %q\nFluX: %s\nplan:\n%s\ndoc: %s",
+						si, seed, d, queryText, outF, outN, q.FluxText(), q.PlanText(), doc)
+				}
+				if outP != outN {
+					t.Fatalf("schema %d seed %d doc %d: projection differs from oracle\nquery: %s\nproj:  %q\noracle: %q\ndoc: %s",
+						si, seed, d, queryText, outP, outN, doc)
+				}
+			}
+		}
+	}
+	if totalSkipped*4 > total {
+		t.Errorf("too many queries rejected: %d of %d; generator or engine too restrictive", totalSkipped, total)
+	}
+	t.Logf("fuzz: %d queries, %d rejected at compile time", total, totalSkipped)
+}
+
+// TestFuzzNormalizeEquivalence: normalization and loop merging preserve
+// semantics on the oracle across random queries and documents.
+func TestFuzzNormalizeEquivalence(t *testing.T) {
+	for si, dtdText := range fuzzSchemas {
+		schema := dtd.MustParse(dtdText)
+		for seed := 0; seed < 80; seed++ {
+			g := &queryGen{r: rand.New(rand.NewSource(int64(si*999 + seed))), schema: schema}
+			ast := g.build([]binding{{xq.RootVar, dtd.DocumentVar}}, 4)
+			norm := xq.MergeLoops(xq.Normalize(ast), schema)
+			if !xq.IsNormalForm(norm) {
+				t.Fatalf("schema %d seed %d: not normal form: %s", si, seed, xq.Print(norm))
+			}
+			doc := dtd.RandomDocument(schema, int64(seed), dtd.GenOptions{})
+			a := naiveEval(t, ast, doc)
+			b := naiveEval(t, norm, doc)
+			if a != b {
+				t.Fatalf("schema %d seed %d: normalization changed semantics\nquery: %s\nnorm:  %s\n a: %q\n b: %q\ndoc: %s",
+					si, seed, xq.Print(ast), xq.Print(norm), a, b, doc)
+			}
+		}
+	}
+}
+
+func naiveEval(t *testing.T, ast xq.Expr, doc string) string {
+	t.Helper()
+	var sb strings.Builder
+	q := &Query{source: ast}
+	if _, err := q.Run(strings.NewReader(doc), &sb, Options{Engine: Naive}); err != nil {
+		t.Fatalf("naive eval: %v", err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates documents")
+	}
+	dir := t.TempDir()
+	rows, err := Run(Config{
+		SizesMB: []int{1},
+		Queries: []string{"q1", "q20"},
+		Modes:   []Mode{ModeFluX, ModeNaive},
+		Seed:    1,
+		WorkDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Skipped {
+			t.Errorf("row %+v skipped unexpectedly", r)
+		}
+		if r.Output == 0 {
+			t.Errorf("%s/%s produced no output", r.Query, r.Mode)
+		}
+		if r.Mode == ModeNaive && r.Buffer < r.Bytes/2 {
+			t.Errorf("naive buffered %d of %d bytes; accounting broken", r.Buffer, r.Bytes)
+		}
+		if r.Query == "q1" && r.Mode == ModeFluX && r.Buffer != 0 {
+			t.Errorf("flux q1 buffered %d bytes, want 0", r.Buffer)
+		}
+	}
+	table := FormatTable(rows, []Mode{ModeFluX, ModeNaive})
+	for _, want := range []string{"q1", "q20", "flux (time/mem)", "naive (time/mem)"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunSkipsBaselinesAboveLimit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates documents")
+	}
+	rows, err := Run(Config{
+		SizesMB:       []int{1},
+		Queries:       []string{"q13"},
+		Modes:         []Mode{ModeFluX, ModeNaive},
+		Seed:          1,
+		MaxBaselineMB: 0, // unlimited
+		WorkDir:       t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rows
+	rows2, err := Run(Config{
+		SizesMB:       []int{2},
+		Queries:       []string{"q13"},
+		Modes:         []Mode{ModeFluX, ModeNaive},
+		Seed:          1,
+		MaxBaselineMB: 1,
+		WorkDir:       t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naiveSkipped, fluxSkipped bool
+	for _, r := range rows2 {
+		if r.Mode == ModeNaive && r.Skipped {
+			naiveSkipped = true
+		}
+		if r.Mode == ModeFluX && r.Skipped {
+			fluxSkipped = true
+		}
+	}
+	if !naiveSkipped {
+		t.Error("naive baseline not skipped above MaxBaselineMB")
+	}
+	if fluxSkipped {
+		t.Error("flux engine must never be skipped")
+	}
+	table := FormatTable(rows2, []Mode{ModeFluX, ModeNaive})
+	if !strings.Contains(table, "skipped") {
+		t.Errorf("table should render skipped cells:\n%s", table)
+	}
+}
+
+func TestRunAblationMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates documents")
+	}
+	rows, err := Run(Config{
+		SizesMB: []int{1},
+		Queries: []string{"q20"},
+		Modes:   []Mode{ModeFluX, ModeFluXNoSchema},
+		Seed:    1,
+		WorkDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched, unsched int64
+	for _, r := range rows {
+		switch r.Mode {
+		case ModeFluX:
+			sched = r.Buffer
+		case ModeFluXNoSchema:
+			unsched = r.Buffer
+		}
+	}
+	// Scheduling buffers one person; the fallback buffers every selected
+	// person until end of stream.
+	if sched == 0 || unsched == 0 || sched*10 > unsched {
+		t.Errorf("ablation shape wrong: scheduled %d vs unscheduled %d", sched, unsched)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		702:        "702",
+		4660:       "4.66k",
+		46600:      "46.60k",
+		3_160_000:  "3.16M",
+		32_250_000: "32.25M",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

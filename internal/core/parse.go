@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"flux/internal/xq"
+)
+
+// FluxParseError reports a syntax error in FluX surface syntax.
+type FluxParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *FluxParseError) Error() string {
+	return fmt.Sprintf("core: flux parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// ParseFlux parses the paper's FluX surface syntax, e.g.
+//
+//	{ ps $ROOT:
+//	    on-first past() return <results>;
+//	    on bib as $bib return
+//	      { ps $bib: on book as $b return { $b } };
+//	    on-first past(bib) return </results> }
+//
+// "process-stream" is accepted as a synonym for "ps", and past(*) for the
+// full symbol set. Everything that is not a process-stream expression
+// parses as an XQuery⁻ simple expression. The result is not
+// safety-checked; use CheckSafety.
+func ParseFlux(input string) (Flux, error) {
+	p := &fluxParser{in: input}
+	f, err := p.parseFlux(false)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, p.errf("trailing input")
+	}
+	return f, nil
+}
+
+// MustParseFlux is ParseFlux for known-good queries.
+func MustParseFlux(input string) Flux {
+	f, err := ParseFlux(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type fluxParser struct {
+	in  string
+	pos int
+}
+
+func (p *fluxParser) errf(format string, args ...any) error {
+	return &FluxParseError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *fluxParser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// peekPS reports whether a "{ ps $x:" / "{ process-stream $x:" form starts
+// at the cursor (after whitespace).
+func (p *fluxParser) peekPS() bool {
+	i := p.pos
+	skip := func() {
+		for i < len(p.in) {
+			switch p.in[i] {
+			case ' ', '\t', '\n', '\r':
+				i++
+			default:
+				return
+			}
+		}
+	}
+	skip()
+	if i >= len(p.in) || p.in[i] != '{' {
+		return false
+	}
+	i++
+	skip()
+	rest := p.in[i:]
+	return strings.HasPrefix(rest, "ps ") || strings.HasPrefix(rest, "ps\t") ||
+		strings.HasPrefix(rest, "ps\n") || strings.HasPrefix(rest, "process-stream ") ||
+		strings.HasPrefix(rest, "ps $") || strings.HasPrefix(rest, "process-stream\t")
+}
+
+// parseFlux parses either a process-stream expression or a simple XQuery⁻
+// expression. If inHandler is true, a simple expression extends to the
+// next top-level ';' or the enclosing '}'.
+func (p *fluxParser) parseFlux(inHandler bool) (Flux, error) {
+	if p.peekPS() {
+		return p.parsePS()
+	}
+	// Simple expression: take text up to the handler delimiter, balancing
+	// braces, then delegate to the XQuery⁻ parser.
+	start := p.pos
+	depth := 0
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case '{':
+			depth++
+		case '}':
+			if depth == 0 {
+				goto done
+			}
+			depth--
+		case ';':
+			if depth == 0 && inHandler {
+				goto done
+			}
+		}
+		p.pos++
+	}
+done:
+	text := p.in[start:p.pos]
+	e, err := xq.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if u, ok := IsSimple(e); !ok {
+		return nil, p.errf("expression is not simple (at most one {$u} with conditions only after it): %s", strings.TrimSpace(text))
+	} else {
+		_ = u
+	}
+	return &Simple{Expr: e}, nil
+}
+
+func (p *fluxParser) parsePS() (Flux, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '{' {
+		return nil, p.errf("expected '{'")
+	}
+	p.pos++
+	p.skipSpace()
+	if !p.eatWord("ps") && !p.eatWord("process-stream") {
+		return nil, p.errf("expected 'ps' or 'process-stream'")
+	}
+	p.skipSpace()
+	v, err := p.variable()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != ':' {
+		return nil, p.errf("expected ':' after %s", v)
+	}
+	p.pos++
+	ps := &PS{Var: v}
+	for {
+		h, err := p.parseHandler()
+		if err != nil {
+			return nil, err
+		}
+		ps.Handlers = append(ps.Handlers, h)
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == ';' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '}' {
+		return nil, p.errf("expected '}' or ';' after handler")
+	}
+	p.pos++
+	return ps, nil
+}
+
+func (p *fluxParser) parseHandler() (Handler, error) {
+	p.skipSpace()
+	switch {
+	case p.eatWord("on-first"):
+		p.skipSpace()
+		if !p.eatWord("past") {
+			return nil, p.errf("expected 'past' after on-first")
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+			return nil, p.errf("expected '(' after past")
+		}
+		p.pos++
+		h := &OnFirst{}
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == '*' {
+			h.Star = true
+			p.pos++
+		} else {
+			for {
+				p.skipSpace()
+				if p.pos < len(p.in) && p.in[p.pos] == ')' {
+					break
+				}
+				w := p.word()
+				if w == "" {
+					return nil, p.errf("expected element name in past(...)")
+				}
+				p.pos += len(w)
+				h.Past = append(h.Past, w)
+				p.skipSpace()
+				if p.pos < len(p.in) && p.in[p.pos] == ',' {
+					p.pos++
+				}
+			}
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+			return nil, p.errf("expected ')' in past(...)")
+		}
+		p.pos++
+		p.skipSpace()
+		if !p.eatWord("return") {
+			return nil, p.errf("expected 'return' in on-first handler")
+		}
+		body, err := p.handlerXQ()
+		if err != nil {
+			return nil, err
+		}
+		h.Body = body
+		sortStrings(h.Past)
+		return h, nil
+	case p.eatWord("on"):
+		p.skipSpace()
+		name := p.word()
+		if name == "" {
+			return nil, p.errf("expected element name after 'on'")
+		}
+		p.pos += len(name)
+		p.skipSpace()
+		if !p.eatWord("as") {
+			return nil, p.errf("expected 'as' in on handler")
+		}
+		p.skipSpace()
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eatWord("return") {
+			return nil, p.errf("expected 'return' in on handler")
+		}
+		body, err := p.parseFlux(true)
+		if err != nil {
+			return nil, err
+		}
+		return &On{Name: name, Var: v, Body: body}, nil
+	default:
+		return nil, p.errf("expected 'on' or 'on-first'")
+	}
+}
+
+// handlerXQ parses the XQuery⁻ body of an on-first handler: up to the next
+// top-level ';' or the enclosing '}'.
+func (p *fluxParser) handlerXQ() (xq.Expr, error) {
+	start := p.pos
+	depth := 0
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case '{':
+			depth++
+		case '}':
+			if depth == 0 {
+				goto done
+			}
+			depth--
+		case ';':
+			if depth == 0 {
+				goto done
+			}
+		}
+		p.pos++
+	}
+done:
+	return xq.Parse(p.in[start:p.pos])
+}
+
+func (p *fluxParser) word() string {
+	i := p.pos
+	for i < len(p.in) {
+		b := p.in[i]
+		if b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_' || b == '-' {
+			i++
+			continue
+		}
+		break
+	}
+	return p.in[p.pos:i]
+}
+
+func (p *fluxParser) eatWord(w string) bool {
+	if p.word() == w {
+		p.pos += len(w)
+		return true
+	}
+	return false
+}
+
+func (p *fluxParser) variable() (string, error) {
+	if p.pos >= len(p.in) || p.in[p.pos] != '$' {
+		return "", p.errf("expected variable")
+	}
+	start := p.pos
+	p.pos++
+	w := p.word()
+	if w == "" {
+		return "", p.errf("expected variable name after '$'")
+	}
+	p.pos += len(w)
+	return p.in[start:p.pos], nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

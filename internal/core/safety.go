@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"flux/internal/dtd"
+	"flux/internal/xq"
+)
+
+// SafetyError reports a violation of Definition 3.6.
+type SafetyError struct {
+	Var string // the process-stream variable whose scope is unsafe
+	Msg string
+}
+
+// Error implements error.
+func (e *SafetyError) Error() string {
+	return fmt.Sprintf("core: unsafe FluX query at ps %s: %s", e.Var, e.Msg)
+}
+
+// CheckSafety verifies that f is a safe FluX query w.r.t. the schema
+// (Definition 3.6). Safety guarantees that every XQuery⁻ subexpression is
+// executed only after all buffered paths it refers to have been fully read
+// from the stream.
+func CheckSafety(schema *dtd.Schema, f Flux) error {
+	c := &safetyChecker{schema: schema}
+	binding := map[string]string{xq.RootVar: dtd.DocumentVar}
+	return c.check(f, binding)
+}
+
+type safetyChecker struct {
+	schema *dtd.Schema
+}
+
+func (c *safetyChecker) check(f Flux, binding map[string]string) error {
+	ps, ok := f.(*PS)
+	if !ok {
+		return nil // a bare simple expression has no handler obligations
+	}
+	y := ps.Var
+	elem, bound := binding[y]
+	if !bound {
+		return &SafetyError{Var: y, Msg: "unbound process-stream variable"}
+	}
+	prod, okProd := c.schema.Production(elem)
+	if !okProd {
+		return &SafetyError{Var: y, Msg: fmt.Sprintf("no production for element %q", elem)}
+	}
+
+	// covered reports the Definition 3.6 test "b ∈ S or ∃a∈S: Ord_$y(b,a)";
+	// symbols that cannot occur among $y's children are vacuously covered.
+	covered := func(b string, S []string) bool {
+		if !prod.Auto.HasSymbol(b) {
+			return true
+		}
+		for _, s := range S {
+			if s == b {
+				return true
+			}
+		}
+		for _, a := range S {
+			if prod.Auto.Ord(b, a) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, h := range ps.Handlers {
+		switch h := h.(type) {
+		case *OnFirst:
+			past := h.Past
+			if h.Star {
+				past = prod.Auto.Symbols()
+			}
+			// Condition 1, first bullet.
+			for _, b := range Dependencies(y, h.Body) {
+				if !covered(b, past) {
+					return &SafetyError{Var: y, Msg: fmt.Sprintf(
+						"on-first past(%v): dependency %q not covered", past, b)}
+				}
+			}
+			// Condition 1, second bullet: whole-subtree outputs of FREE
+			// variables need the full scope read, and only $y itself may
+			// be output (outputs of loop-bound variables range over
+			// buffered nodes and are covered by the first bullet).
+			free := make(map[string]bool)
+			for _, v := range xq.FreeVars(h.Body) {
+				free[v] = true
+			}
+			for _, z := range varsOutput(h.Body) {
+				if !free[z] {
+					continue
+				}
+				if z != y {
+					return &SafetyError{Var: y, Msg: fmt.Sprintf(
+						"on-first handler outputs %s, which is not the stream variable %s", z, y)}
+				}
+				for _, b := range prod.Auto.Symbols() {
+					if !covered(b, past) {
+						return &SafetyError{Var: y, Msg: fmt.Sprintf(
+							"on-first past(%v) outputs {%s} but symbol %q may still arrive", past, z, b)}
+					}
+				}
+			}
+		case *On:
+			for _, alpha := range MaximalXQ(h.Body) {
+				// Condition 2, first bullet.
+				for _, b := range Dependencies(y, alpha) {
+					if !prod.Auto.Ord(b, h.Name) {
+						return &SafetyError{Var: y, Msg: fmt.Sprintf(
+							"on %s handler depends on %q, which is not ordered before %q", h.Name, b, h.Name)}
+					}
+				}
+			}
+			// Condition 2, second bullet: a simple handler body may output
+			// only the handler's own variable.
+			if s, okSimple := h.Body.(*Simple); okSimple {
+				for _, u := range varsOutput(s.Expr) {
+					if u != h.Var {
+						return &SafetyError{Var: y, Msg: fmt.Sprintf(
+							"simple on %s handler outputs %s, want only %s", h.Name, u, h.Var)}
+					}
+				}
+			}
+			if err := c.check(h.Body, extendBinding(binding, h.Var, h.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// varsOutput returns the variables z with {$z} or {$z/π} occurring in e,
+// sorted.
+func varsOutput(e xq.Expr) []string {
+	set := make(map[string]bool)
+	xq.Walk(e, func(x xq.Expr) {
+		switch x := x.(type) {
+		case *xq.VarOut:
+			set[x.Var] = true
+		case *xq.PathOut:
+			set[x.Var] = true
+		}
+	})
+	return sortedSet(set)
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flux/internal/dtd"
+	"flux/internal/xq"
+)
+
+// TestSafetySection1Counterexample reproduces the unsafe query discussed
+// in Section 1: with <!ELEMENT book ((title|author)*,price)>, firing
+// on-first past(title,author) and then reading $book/price is unsafe,
+// because price arrives only later.
+func TestSafetySection1Counterexample(t *testing.T) {
+	schema := dtd.MustParse(`
+<!ELEMENT bib (book)*>
+<!ELEMENT book ((title|author)*,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`)
+	unsafe := &PS{Var: "$ROOT", Handlers: []Handler{
+		&On{Name: "bib", Var: "$bib", Body: &PS{Var: "$bib", Handlers: []Handler{
+			&On{Name: "book", Var: "$book", Body: &PS{Var: "$book", Handlers: []Handler{
+				&OnFirst{Past: []string{"author", "title"},
+					Body: xq.MustParse(`{ for $a in $book/price return { $a } }`)},
+			}}},
+		}}},
+	}}
+	err := CheckSafety(schema, unsafe)
+	if err == nil {
+		t.Fatal("unsafe query accepted")
+	}
+	if !strings.Contains(err.Error(), "price") {
+		t.Errorf("error should mention price: %v", err)
+	}
+
+	// The same handler with price in the past-set is safe.
+	safe := &PS{Var: "$ROOT", Handlers: []Handler{
+		&On{Name: "bib", Var: "$bib", Body: &PS{Var: "$bib", Handlers: []Handler{
+			&On{Name: "book", Var: "$book", Body: &PS{Var: "$book", Handlers: []Handler{
+				&OnFirst{Past: []string{"author", "price", "title"},
+					Body: xq.MustParse(`{ for $a in $book/price return { $a } }`)},
+			}}},
+		}}},
+	}}
+	if err := CheckSafety(schema, safe); err != nil {
+		t.Errorf("safe query rejected: %v", err)
+	}
+}
+
+// TestSafetyOrderCoverage: a dependency not in S is still covered when an
+// order constraint places it before some element of S.
+func TestSafetyOrderCoverage(t *testing.T) {
+	schema := dtd.MustParse(`
+<!ELEMENT r (a,b,c)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+`)
+	q := &PS{Var: "$ROOT", Handlers: []Handler{
+		&On{Name: "r", Var: "$r", Body: &PS{Var: "$r", Handlers: []Handler{
+			// depends on a, but past(b) implies a is past since Ord(a,b).
+			&OnFirst{Past: []string{"b"},
+				Body: xq.MustParse(`{ for $x in $r/a return { $x } }`)},
+		}}},
+	}}
+	if err := CheckSafety(schema, q); err != nil {
+		t.Errorf("order-covered query rejected: %v", err)
+	}
+}
+
+// TestSafetyOnHandlerOrder: on-a handlers with a dependency b require
+// Ord(b, a).
+func TestSafetyOnHandlerOrder(t *testing.T) {
+	mk := func(dtdText string) error {
+		schema := dtd.MustParse(dtdText)
+		q := &PS{Var: "$ROOT", Handlers: []Handler{
+			&On{Name: "r", Var: "$r", Body: &PS{Var: "$r", Handlers: []Handler{
+				&On{Name: "b", Var: "$t", Body: &PS{Var: "$t", Handlers: []Handler{
+					&OnFirst{Past: []string{}, Star: true,
+						Body: xq.MustParse(`{ for $x in $r/a return { $x } }`)},
+				}}},
+			}}},
+		}}
+		return CheckSafety(schema, q)
+	}
+	// a before b: streaming on b while referring to $r/a is safe.
+	if err := mk(`
+<!ELEMENT root (r)*>
+<!ELEMENT r (a*,b*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`); err != nil {
+		t.Errorf("ordered case rejected: %v", err)
+	}
+	// interleaved: unsafe.
+	if err := mk(`
+<!ELEMENT root (r)*>
+<!ELEMENT r (a|b)*>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`); err == nil {
+		t.Error("interleaved case accepted")
+	}
+}
+
+// TestSafetySimpleHandlerOutputsOwnVar: a simple on-handler body may
+// output only its own variable (Definition 3.6, condition 2).
+func TestSafetySimpleHandlerOutputsOwnVar(t *testing.T) {
+	schema := dtd.MustParse(`
+<!ELEMENT r (a)*>
+<!ELEMENT a (#PCDATA)>
+`)
+	bad := &PS{Var: "$ROOT", Handlers: []Handler{
+		&On{Name: "r", Var: "$r", Body: &PS{Var: "$r", Handlers: []Handler{
+			&On{Name: "a", Var: "$x", Body: &Simple{Expr: xq.MustParse(`{ $r }`)}},
+		}}},
+	}}
+	if err := CheckSafety(schema, bad); err == nil {
+		t.Error("simple handler outputting foreign variable accepted")
+	}
+	good := &PS{Var: "$ROOT", Handlers: []Handler{
+		&On{Name: "r", Var: "$r", Body: &PS{Var: "$r", Handlers: []Handler{
+			&On{Name: "a", Var: "$x", Body: &Simple{Expr: xq.MustParse(`<w> { $x } </w>`)}},
+		}}},
+	}}
+	if err := CheckSafety(schema, good); err != nil {
+		t.Errorf("stream-copy handler rejected: %v", err)
+	}
+}
+
+// TestSafetyOnFirstForeignSubtreeOutput: an on-first handler outputting an
+// ancestor's subtree is unsafe (the ancestor is not fully read).
+func TestSafetyOnFirstForeignSubtreeOutput(t *testing.T) {
+	schema := dtd.MustParse(`
+<!ELEMENT r (a)*>
+<!ELEMENT a (b)*>
+<!ELEMENT b (#PCDATA)>
+`)
+	bad := &PS{Var: "$ROOT", Handlers: []Handler{
+		&On{Name: "r", Var: "$r", Body: &PS{Var: "$r", Handlers: []Handler{
+			&On{Name: "a", Var: "$x", Body: &PS{Var: "$x", Handlers: []Handler{
+				&OnFirst{Past: []string{"b"}, Body: xq.MustParse(`{ $r }`)},
+			}}},
+		}}},
+	}}
+	if err := CheckSafety(schema, bad); err == nil {
+		t.Error("on-first outputting ancestor subtree accepted")
+	}
+}
+
+// TestScheduledQueriesAreSafe: every query the scheduler emits must pass
+// the checker (Theorem 4.3); exercised across all example queries/DTDs.
+func TestScheduledQueriesAreSafe(t *testing.T) {
+	cases := []struct{ dtdText, query string }{
+		{weakBibDTD, q2Text},
+		{authorFirstDTD, q2Text},
+		{q1WeakDTD, q1Text},
+		{q1OrderedDTD, q1Text},
+		{joinDTD, q3Text},
+		{joinOrderedDTD, q3Text},
+		{useCaseBibDTD, `<r> { for $b in $ROOT/bib/book return { $b } } </r>`},
+	}
+	for i, c := range cases {
+		schema := dtd.MustParse(c.dtdText)
+		f, err := Schedule(schema, xq.MustParse(c.query))
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if err := CheckSafety(schema, f); err != nil {
+			t.Errorf("case %d: scheduled query unsafe: %v\n%s", i, err, Print(f))
+		}
+	}
+}
+
+func TestFreeVarsFlux(t *testing.T) {
+	f := &PS{Var: "$ROOT", Handlers: []Handler{
+		&On{Name: "bib", Var: "$b", Body: &Simple{Expr: xq.MustParse(`{ $b } { $w }`)}},
+	}}
+	got := strings.Join(FreeVars(f), ",")
+	if got != "$ROOT,$w" {
+		t.Errorf("FreeVars = %s, want $ROOT,$w", got)
+	}
+}

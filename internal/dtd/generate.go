@@ -1,0 +1,85 @@
+package dtd
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenOptions tunes RandomDocument.
+type GenOptions struct {
+	// MaxDepth bounds element nesting; beyond it repetitions are cut short.
+	MaxDepth int
+	// MaxRepeat bounds how many times a starred/plussed group repeats.
+	MaxRepeat int
+	// Texts is the vocabulary for #PCDATA content; defaults to a small
+	// built-in list with numeric and string values.
+	Texts []string
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 12
+	}
+	if o.MaxRepeat == 0 {
+		o.MaxRepeat = 3
+	}
+	if len(o.Texts) == 0 {
+		o.Texts = []string{"alpha", "beta", "gamma", "7", "1991", "2004", "42", "person0", "x y"}
+	}
+	return o
+}
+
+// RandomDocument generates a pseudo-random document valid w.r.t. the
+// schema, for differential and property testing. The same seed yields the
+// same document.
+func RandomDocument(s *Schema, seed int64, opt GenOptions) string {
+	opt = opt.withDefaults()
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	g := &generator{schema: s, r: r, opt: opt}
+	g.element(&b, s.Root, 0)
+	return b.String()
+}
+
+type generator struct {
+	schema *Schema
+	r      *rand.Rand
+	opt    GenOptions
+}
+
+func (g *generator) element(b *strings.Builder, name string, depth int) {
+	p, ok := g.schema.Production(name)
+	if !ok {
+		panic(fmt.Sprintf("dtd: generate: undeclared element %q", name))
+	}
+	fmt.Fprintf(b, "<%s>", name)
+	if p.Mixed {
+		b.WriteString(g.opt.Texts[g.r.Intn(len(g.opt.Texts))])
+	}
+	// Random walk over the Glushkov automaton: from each state choose a
+	// random enabled transition or stop if accepting. Depth pressure
+	// biases toward stopping.
+	a := p.Auto
+	state := a.Start()
+	steps := 0
+	for {
+		var enabled []string
+		for _, sym := range a.Symbols() {
+			if _, ok := a.Step(state, sym); ok {
+				enabled = append(enabled, sym)
+			}
+		}
+		stop := a.Accepting(state) &&
+			(len(enabled) == 0 || depth >= g.opt.MaxDepth || steps >= g.opt.MaxRepeat*len(a.Symbols()) || g.r.Intn(2) == 0)
+		if stop || len(enabled) == 0 {
+			break
+		}
+		sym := enabled[g.r.Intn(len(enabled))]
+		g.element(b, sym, depth+1)
+		next, _ := a.Step(state, sym)
+		state = next
+		steps++
+	}
+	fmt.Fprintf(b, "</%s>", name)
+}

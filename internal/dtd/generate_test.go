@@ -1,0 +1,79 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"flux/internal/sax"
+)
+
+// TestRandomDocumentIsValid: every generated document must validate
+// against the schema it was generated from (self-consistency of the
+// generator used by differential tests).
+func TestRandomDocumentIsValid(t *testing.T) {
+	schemas := []string{
+		`<!ELEMENT r (a|b|c)*>
+<!ELEMENT a (d|e)*>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (d*,e*)>
+<!ELEMENT d (#PCDATA)>
+<!ELEMENT e (#PCDATA)>`,
+		`<!ELEMENT r (a+,b?,c)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b EMPTY>
+<!ELEMENT c ((d,e)|(e,d))>
+<!ELEMENT d (#PCDATA)>
+<!ELEMENT e (#PCDATA)>`,
+		`<!ELEMENT part (id,part*)>
+<!ELEMENT id (#PCDATA)>`,
+	}
+	for si, text := range schemas {
+		schema := MustParse(text)
+		for seed := int64(0); seed < 50; seed++ {
+			doc := RandomDocument(schema, seed, GenOptions{})
+			if err := Validate(schema, strings.NewReader(doc), sax.Options{}); err != nil {
+				t.Fatalf("schema %d seed %d: generated invalid document: %v\n%s", si, seed, err, doc)
+			}
+		}
+	}
+}
+
+func TestRandomDocumentDeterministic(t *testing.T) {
+	schema := MustParse(`<!ELEMENT r (a|b)*>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>`)
+	a := RandomDocument(schema, 3, GenOptions{})
+	b := RandomDocument(schema, 3, GenOptions{})
+	if a != b {
+		t.Error("same seed produced different documents")
+	}
+	c := RandomDocument(schema, 4, GenOptions{})
+	if a == c {
+		t.Error("different seeds produced identical documents (suspicious)")
+	}
+}
+
+func TestRandomDocumentRespectsDepth(t *testing.T) {
+	schema := MustParse(`<!ELEMENT part (id,part*)>
+<!ELEMENT id (#PCDATA)>`)
+	doc := RandomDocument(schema, 1, GenOptions{MaxDepth: 4})
+	depth := 0
+	maxDepth := 0
+	if err := sax.ScanString(doc, sax.HandlerFuncs{
+		Start: func(name string) error {
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			return nil
+		},
+		End: func(name string) error { depth--; return nil },
+	}, sax.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Depth pressure is a bias, not a hard bound, but runaway recursion
+	// would blow far past it.
+	if maxDepth > 16 {
+		t.Errorf("document depth %d far exceeds MaxDepth bias", maxDepth)
+	}
+}

@@ -1,0 +1,723 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"flux/internal/dom"
+	"flux/internal/dtd"
+	"flux/internal/sax"
+)
+
+// Stats reports the resources a query execution used.
+type Stats struct {
+	// PeakBufferBytes is the maximum number of bytes held in main-memory
+	// buffers at any point (tag bytes for buffered elements plus text
+	// bytes), the quantity Figure 4 reports as memory consumption.
+	PeakBufferBytes int64
+	// OutputBytes is the number of result bytes produced.
+	OutputBytes int64
+	// Tokens is the number of SAX events processed.
+	Tokens int64
+}
+
+// RunError reports a runtime failure (invalid input or an engine
+// invariant violation).
+type RunError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RunError) Error() string { return "engine: run: " + e.Msg }
+
+// Run executes a compiled plan over the XML stream read from r, writing
+// the query result to w.
+func Run(plan *Plan, r io.Reader, w io.Writer, opt sax.Options) (Stats, error) {
+	eng := newEngine(plan, w)
+	if err := eng.begin(); err != nil {
+		return Stats{}, err
+	}
+	if err := sax.Scan(r, eng, opt); err != nil {
+		return Stats{}, err
+	}
+	if err := eng.finish(); err != nil {
+		return Stats{}, err
+	}
+	if err := eng.w.Flush(); err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		PeakBufferBytes: eng.peakBytes,
+		OutputBytes:     eng.w.BytesWritten(),
+		Tokens:          eng.tokens,
+	}, nil
+}
+
+// RunString executes a plan over an in-memory document.
+func RunString(plan *Plan, doc string, w io.Writer, opt sax.Options) (Stats, error) {
+	return Run(plan, strings.NewReader(doc), w, opt)
+}
+
+// scopeRT is one runtime instance of a process-stream scope.
+type scopeRT struct {
+	spec    *scopeSpec
+	bufRoot *bufNode // non-nil iff the scope buffers data
+	flags   []bool   // one per watcher
+	fired   []bool   // one per on-first handler
+	bytes   int64    // bytes charged to this scope's buffer
+}
+
+// capRef is a full-capture target: events under the current element are
+// appended below node, charged to owner.
+type capRef struct {
+	node  *bufNode
+	owner *scopeRT
+}
+
+// fillPos is a tags-only buffer-tree position.
+type fillPos struct {
+	tree   *bufTreeNode
+	parent *bufNode
+	owner  *scopeRT
+}
+
+// watchPos is a partially matched watcher path.
+type watchPos struct {
+	scope   *scopeRT  // watcher belongs to a scope...
+	simple  *simpleRT // ...or to a simple handler instance
+	specIdx int
+	pathIdx int
+}
+
+func (wp watchPos) spec() *watcherSpec {
+	if wp.simple != nil {
+		return wp.simple.spec.watchers[wp.specIdx]
+	}
+	return wp.scope.spec.watchers[wp.specIdx]
+}
+
+func (wp watchPos) flags() []bool {
+	if wp.simple != nil {
+		return wp.simple.flags
+	}
+	return wp.scope.flags
+}
+
+// valueAcc accumulates the string value of a matched watcher path
+// occurrence.
+type valueAcc struct {
+	spec  *watcherSpec
+	flags []bool
+	idx   int
+	sb    strings.Builder
+}
+
+// simpleRT is one firing of a simple on-handler.
+type simpleRT struct {
+	spec  *simpleSpec
+	flags []bool
+}
+
+// deferredExec is an on-first body whose scan position is after the
+// firing on-handler; it runs when the current child's subtree ends.
+type deferredExec struct {
+	h  *handlerSpec
+	rt *scopeRT
+}
+
+// frame is the per-open-element runtime state.
+type frame struct {
+	prod  *dtd.Production
+	state int
+	name  string
+
+	scope     *scopeRT // set if this element opened a scope
+	prevInst  *scopeRT // saved instance for the scope variable
+	scopeVar  string
+	copying   bool
+	simple    *simpleRT
+	captures  []capRef
+	fills     []fillPos
+	watch     []watchPos
+	accs      []*valueAcc // active accumulators (inherited + own)
+	ownAccs   []*valueAcc // finalize at this element's end
+	deferred  []deferredExec
+	skipDepth bool // purely structural frame with no sinks
+}
+
+type engine struct {
+	plan      *Plan
+	w         *sax.Writer
+	frames    []frame
+	inst      map[string]*scopeRT
+	curBytes  int64
+	peakBytes int64
+	tokens    int64
+}
+
+func newEngine(plan *Plan, w io.Writer) *engine {
+	return &engine{
+		plan: plan,
+		w:    sax.NewWriter(w),
+		inst: make(map[string]*scopeRT),
+	}
+}
+
+func (e *engine) account(owner *scopeRT, delta int64) {
+	owner.bytes += delta
+	e.curBytes += delta
+	if e.curBytes > e.peakBytes {
+		e.peakBytes = e.curBytes
+	}
+}
+
+func (e *engine) newScopeRT(spec *scopeSpec, elemName string) *scopeRT {
+	rt := &scopeRT{
+		spec:  spec,
+		flags: make([]bool, len(spec.watchers)),
+		fired: make([]bool, len(spec.handlers)),
+	}
+	if spec.bufTree != nil {
+		rt.bufRoot = &bufNode{Name: elemName}
+		e.account(rt, int64(2*len(elemName)+5))
+	}
+	return rt
+}
+
+// attachScope wires a new scope instance into its frame: buffer root,
+// watcher positions, instance registration, and i=0 on-first firing.
+func (e *engine) attachScope(f *frame, rt *scopeRT) error {
+	f.scope = rt
+	f.scopeVar = rt.spec.Var
+	f.prevInst = e.inst[rt.spec.Var]
+	e.inst[rt.spec.Var] = rt
+	if rt.bufRoot != nil {
+		if rt.spec.bufTree.mark {
+			f.captures = append(f.captures, capRef{node: rt.bufRoot, owner: rt})
+		} else {
+			f.fills = append(f.fills, fillPos{tree: rt.spec.bufTree, parent: rt.bufRoot, owner: rt})
+		}
+	}
+	for i := range rt.spec.watchers {
+		f.watch = append(f.watch, watchPos{scope: rt, specIdx: i})
+	}
+	// i = 0 scan: on-first handlers whose Past set is already past in q0.
+	// Mixed (#PCDATA) productions defer all on-first handlers to the
+	// closing tag: character data may arrive at any point, so buffered
+	// content is complete only then (the paper's "on-first past(*) delays
+	// execution until the complete node has been seen").
+	if rt.spec.prod.Mixed {
+		return nil
+	}
+	for i, h := range rt.spec.handlers {
+		if h.kind == hOnFirst && h.pastTable[rt.spec.prod.Auto.Start()] {
+			rt.fired[i] = true
+			if err := e.runExec(h.body, &execEnv{eng: e}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// begin sets up the synthetic document frame for the $ROOT scope.
+func (e *engine) begin() error {
+	docProd, _ := e.plan.schema.Production(dtd.DocumentVar)
+	f := frame{prod: docProd, state: docProd.Auto.Start(), name: dtd.DocumentVar}
+	e.frames = append(e.frames, f)
+	rt := e.newScopeRT(e.plan.root, dtd.DocumentVar)
+	return e.attachScope(&e.frames[0], rt)
+}
+
+// finish closes the document scope at end of stream.
+func (e *engine) finish() error {
+	f := &e.frames[0]
+	if !f.prod.Auto.Accepting(f.state) {
+		return &RunError{Msg: "document ended before the root element"}
+	}
+	return e.closeScope(f)
+}
+
+// StartElement implements sax.Handler.
+func (e *engine) StartElement(name string) error {
+	e.tokens++
+	top := &e.frames[len(e.frames)-1]
+
+	// Validating automaton step (also drives punctuation).
+	prevState := top.state
+	next, ok := top.prod.Auto.Step(top.state, name)
+	if !ok {
+		return &RunError{Msg: fmt.Sprintf("element <%s> not allowed by content model %s of <%s>",
+			name, top.prod.Model, top.name)}
+	}
+	top.state = next
+
+	childProd, ok := e.plan.schema.Production(name)
+	if !ok {
+		return &RunError{Msg: fmt.Sprintf("element <%s> is not declared in the DTD", name)}
+	}
+	child := frame{prod: childProd, state: childProd.Auto.Start(), name: name}
+
+	// Inherited sinks.
+	if top.copying {
+		child.copying = true
+		if err := e.w.StartElement(name); err != nil {
+			return err
+		}
+	}
+	for _, c := range top.captures {
+		n := &bufNode{Name: name}
+		c.node.Kids = append(c.node.Kids, n)
+		e.account(c.owner, int64(2*len(name)+5))
+		child.captures = append(child.captures, capRef{node: n, owner: c.owner})
+	}
+	for _, fp := range top.fills {
+		if kid, ok := fp.tree.kids[name]; ok {
+			n := &bufNode{Name: name}
+			fp.parent.Kids = append(fp.parent.Kids, n)
+			e.account(fp.owner, int64(2*len(name)+5))
+			if kid.mark {
+				child.captures = append(child.captures, capRef{node: n, owner: fp.owner})
+			} else {
+				child.fills = append(child.fills, fillPos{tree: kid, parent: n, owner: fp.owner})
+			}
+		}
+	}
+	child.accs = append(child.accs, top.accs...)
+	for _, wp := range top.watch {
+		spec := wp.spec()
+		if spec.path[wp.pathIdx] != name {
+			continue
+		}
+		if wp.pathIdx+1 == len(spec.path) {
+			if spec.kind == wExists {
+				// Existence is established by the opening tag: the scan at
+				// index i sees label(t_i).
+				wp.flags()[wp.specIdx] = true
+				continue
+			}
+			acc := &valueAcc{spec: spec, flags: wp.flags(), idx: wp.specIdx}
+			child.accs = append(child.accs, acc)
+			child.ownAccs = append(child.ownAccs, acc)
+		} else {
+			child.watch = append(child.watch, watchPos{
+				scope: wp.scope, simple: wp.simple, specIdx: wp.specIdx, pathIdx: wp.pathIdx + 1})
+		}
+	}
+
+	// Scope handler scan for this child.
+	if top.scope != nil {
+		if err := e.scanHandlers(top.scope, name, prevState, next, &child); err != nil {
+			return err
+		}
+	}
+
+	e.frames = append(e.frames, child)
+	return nil
+}
+
+// scanHandlers performs the per-child scan of the handler list ζ in order
+// (Section 3.2 semantics). The scan at index i is logically positioned
+// after child t_i has been read completely, so a newly-true on-first
+// handler normally defers to the end of the current child's subtree (its
+// punctuation event may have been triggered by the very child whose
+// content its body reads, e.g. the year loop of F1'). The one exception:
+// an on-first handler that precedes a firing on-handler in ζ must emit its
+// output before the on-handler streams the child, so it fires immediately
+// (its buffers then reflect the children before t_i; see DESIGN.md).
+func (e *engine) scanHandlers(rt *scopeRT, name string, prevState, newState int, child *frame) error {
+	spec := rt.spec
+	if spec.prod.Mixed {
+		// All on-first handlers of mixed scopes fire at the closing tag.
+		if i, ok := spec.onByName[name]; ok {
+			return e.fireOn(spec.handlers[i], child, name)
+		}
+		return nil
+	}
+	onIdx, hasOn := spec.onByName[name]
+	for i, h := range spec.handlers {
+		switch h.kind {
+		case hOnFirst:
+			if rt.fired[i] || !h.pastTable[newState] || h.pastTable[prevState] {
+				continue
+			}
+			rt.fired[i] = true
+			if !hasOn || i > onIdx {
+				child.deferred = append(child.deferred, deferredExec{h: h, rt: rt})
+				continue
+			}
+			if err := e.runExec(h.body, &execEnv{eng: e}); err != nil {
+				return err
+			}
+		case hOn:
+			if !hasOn || i != onIdx {
+				continue
+			}
+			if err := e.fireOn(h, child, name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fireOn starts an on-handler on the child frame.
+func (e *engine) fireOn(h *handlerSpec, child *frame, name string) error {
+	if h.child != nil {
+		crt := e.newScopeRT(h.child, name)
+		return e.attachScope(child, crt)
+	}
+	return e.fireSimple(h.simple, child, name)
+}
+
+// fireSimple starts a simple on-handler on the child frame: emit the
+// prefix, decide the guarded stream-copy, install the handler's watchers.
+func (e *engine) fireSimple(sp *simpleSpec, child *frame, name string) error {
+	rt := &simpleRT{spec: sp, flags: make([]bool, len(sp.watchers))}
+	child.simple = rt
+	env := &execEnv{eng: e, simple: rt}
+	for _, p := range sp.prefix {
+		if err := e.runExec(p, env); err != nil {
+			return err
+		}
+	}
+	if sp.copySub {
+		doCopy := true
+		if sp.copyCond != nil {
+			var err error
+			doCopy, err = e.evalCond(sp.copyCond, env)
+			if err != nil {
+				return err
+			}
+		}
+		if doCopy {
+			child.copying = true
+			if err := e.w.StartElement(name); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range sp.watchers {
+		child.watch = append(child.watch, watchPos{simple: rt, specIdx: i})
+	}
+	return nil
+}
+
+// Text implements sax.Handler.
+func (e *engine) Text(data string) error {
+	e.tokens++
+	top := &e.frames[len(e.frames)-1]
+	if !top.prod.Mixed && top.prod.Name != dtd.DocumentVar && !allXMLSpace(data) {
+		return &RunError{Msg: fmt.Sprintf("character data not allowed inside <%s>", top.name)}
+	}
+	if top.copying {
+		if err := e.w.Text(data); err != nil {
+			return err
+		}
+	}
+	for _, c := range top.captures {
+		if k := len(c.node.Kids); k > 0 && c.node.Kids[k-1].IsText() {
+			c.node.Kids[k-1].Text += data
+		} else {
+			c.node.Kids = append(c.node.Kids, &bufNode{Text: data})
+		}
+		e.account(c.owner, int64(len(data)))
+	}
+	for _, a := range top.accs {
+		a.sb.WriteString(data)
+	}
+	return nil
+}
+
+// EndElement implements sax.Handler.
+func (e *engine) EndElement(name string) error {
+	e.tokens++
+	top := &e.frames[len(e.frames)-1]
+	if !top.prod.Auto.Accepting(top.state) {
+		return &RunError{Msg: fmt.Sprintf("element <%s> closed with incomplete content (model %s)",
+			name, top.prod.Model)}
+	}
+	for _, a := range top.ownAccs {
+		a.finalize()
+	}
+	if top.copying {
+		if err := e.w.EndElement(name); err != nil {
+			return err
+		}
+	}
+	if top.simple != nil {
+		env := &execEnv{eng: e, simple: top.simple}
+		for _, p := range top.simple.spec.suffix {
+			if err := e.runExec(p, env); err != nil {
+				return err
+			}
+		}
+	}
+	// The child's own scope closes first (its end-of-scope on-first
+	// handlers run), then the parent's handlers deferred to this child.
+	if top.scope != nil {
+		if err := e.closeScope(top); err != nil {
+			return err
+		}
+	}
+	for _, d := range top.deferred {
+		if err := e.runExec(d.h.body, &execEnv{eng: e}); err != nil {
+			return err
+		}
+	}
+	e.frames = e.frames[:len(e.frames)-1]
+	return nil
+}
+
+// closeScope performs the i = n+1 scan (unfired on-first handlers fire in
+// list order) and frees the scope's buffer.
+func (e *engine) closeScope(f *frame) error {
+	rt := f.scope
+	for i, h := range rt.spec.handlers {
+		if h.kind == hOnFirst && !rt.fired[i] {
+			rt.fired[i] = true
+			if err := e.runExec(h.body, &execEnv{eng: e}); err != nil {
+				return err
+			}
+		}
+	}
+	e.curBytes -= rt.bytes
+	if f.prevInst != nil {
+		e.inst[f.scopeVar] = f.prevInst
+	} else {
+		delete(e.inst, f.scopeVar)
+	}
+	return nil
+}
+
+func (a *valueAcc) finalize() {
+	switch a.spec.kind {
+	case wExists:
+		a.flags[a.idx] = true
+	case wCmp:
+		v := a.sb.String()
+		if a.spec.scale != 0 {
+			fv, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return
+			}
+			v = strconv.FormatFloat(a.spec.scale*fv, 'f', -1, 64)
+		}
+		l, r := v, a.spec.rhs
+		if a.spec.flip {
+			l, r = a.spec.rhs, v
+		}
+		if dom.CompareValues(l, a.spec.op, r) {
+			a.flags[a.idx] = true
+		}
+	}
+}
+
+// --- Program execution over buffers -------------------------------------
+
+type execEnv struct {
+	eng    *engine
+	vars   map[string]*bufNode
+	simple *simpleRT
+}
+
+func (env *execEnv) bind(v string, n *bufNode) func() {
+	if env.vars == nil {
+		env.vars = make(map[string]*bufNode)
+	}
+	prev, had := env.vars[v]
+	env.vars[v] = n
+	return func() {
+		if had {
+			env.vars[v] = prev
+		} else {
+			delete(env.vars, v)
+		}
+	}
+}
+
+// resolve maps a variable to the buffered node it denotes.
+func (env *execEnv) resolve(v string) (*bufNode, error) {
+	if n, ok := env.vars[v]; ok {
+		return n, nil
+	}
+	if rt, ok := env.eng.inst[v]; ok {
+		if rt.bufRoot == nil {
+			return nil, &RunError{Msg: "no buffer allocated for variable " + v}
+		}
+		return rt.bufRoot, nil
+	}
+	return nil, &RunError{Msg: "unbound variable " + v}
+}
+
+func (e *engine) runExec(p *execProg, env *execEnv) error {
+	switch p.kind {
+	case eSeq:
+		for _, it := range p.items {
+			if err := e.runExec(it, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case eStr:
+		return e.w.Raw(p.str)
+	case eVarOut:
+		n, err := env.resolve(p.varName)
+		if err != nil {
+			return err
+		}
+		if n.Name == dtd.DocumentVar {
+			for _, k := range n.Kids {
+				if err := k.Serialize(e.w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return n.Serialize(e.w)
+	case eFor:
+		src, err := env.resolve(p.src)
+		if err != nil {
+			return err
+		}
+		for _, kid := range src.Kids {
+			if kid.Name != p.step {
+				continue
+			}
+			restore := env.bind(p.loopVar, kid)
+			err := e.runExec(p.body, env)
+			restore()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	case eIf:
+		ok, err := e.evalCond(p.cond, env)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return e.runExec(p.then, env)
+		}
+		return nil
+	default:
+		return &RunError{Msg: "unknown exec node"}
+	}
+}
+
+func (e *engine) evalCond(c *condSpec, env *execEnv) (bool, error) {
+	switch c.kind {
+	case cTrue:
+		return true, nil
+	case cAnd:
+		l, err := e.evalCond(c.l, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.evalCond(c.r, env)
+	case cOr:
+		l, err := e.evalCond(c.l, env)
+		if err != nil || l {
+			return l, err
+		}
+		return e.evalCond(c.r, env)
+	case cNot:
+		x, err := e.evalCond(c.x, env)
+		return !x, err
+	case cAtom:
+		return e.evalAtom(c.atom, env)
+	default:
+		return false, &RunError{Msg: "unknown condition node"}
+	}
+}
+
+func (e *engine) evalAtom(a *atomSpec, env *execEnv) (bool, error) {
+	if a.flag != nil {
+		var flags []bool
+		if a.flag.scopeVar == "" {
+			if env.simple == nil {
+				return false, &RunError{Msg: "simple-handler flag read outside simple handler"}
+			}
+			flags = env.simple.flags
+		} else {
+			rt, ok := e.inst[a.flag.scopeVar]
+			if !ok {
+				return false, &RunError{Msg: "flag read for inactive scope " + a.flag.scopeVar}
+			}
+			flags = rt.flags
+		}
+		v := flags[a.flag.idx]
+		if a.flag.neg {
+			v = !v
+		}
+		return v, nil
+	}
+	if a.exists != nil {
+		nodes, err := e.navNodes(a.exists, env)
+		if err != nil {
+			return false, err
+		}
+		return (len(nodes) > 0) != a.neg, nil
+	}
+	ls, err := e.navValues(a.lhs, env)
+	if err != nil {
+		return false, err
+	}
+	rs, err := e.navValues(a.rhs, env)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range ls {
+		for _, r := range rs {
+			if dom.CompareValues(l, a.op, r) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func (e *engine) navNodes(o *navOperand, env *execEnv) ([]*bufNode, error) {
+	n, err := env.resolve(o.varName)
+	if err != nil {
+		return nil, err
+	}
+	return n.Select(o.path, nil), nil
+}
+
+func (e *engine) navValues(o *navOperand, env *execEnv) ([]string, error) {
+	if o.isConst {
+		return []string{o.constVal}, nil
+	}
+	nodes, err := e.navNodes(o, env)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		v := n.StringValue()
+		if o.scale != 0 {
+			fv, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				continue
+			}
+			v = strconv.FormatFloat(o.scale*fv, 'f', -1, 64)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func allXMLSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,23 @@
+package rex
+
+// bitset is a fixed-size bit vector used for the small reachability sets of
+// Glushkov automata.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// orInto ors other into b and reports whether b changed.
+func (b bitset) orInto(other bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | other[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,451 @@
+package rex
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// matchSuffixes is an independent (automaton-free) matcher used as an
+// oracle: it returns the set of indices j such that e matches w[i:j].
+func matchSuffixes(e Expr, w []string, i int) map[int]bool {
+	out := make(map[int]bool)
+	switch e := e.(type) {
+	case Epsilon:
+		out[i] = true
+	case Sym:
+		if i < len(w) && w[i] == e.Name {
+			out[i+1] = true
+		}
+	case Seq:
+		cur := map[int]bool{i: true}
+		for _, it := range e.Items {
+			next := make(map[int]bool)
+			for j := range cur {
+				for k := range matchSuffixes(it, w, j) {
+					next[k] = true
+				}
+			}
+			cur = next
+		}
+		return cur
+	case Alt:
+		for _, it := range e.Items {
+			for k := range matchSuffixes(it, w, i) {
+				out[k] = true
+			}
+		}
+	case Star:
+		out[i] = true
+		frontier := map[int]bool{i: true}
+		for len(frontier) > 0 {
+			next := make(map[int]bool)
+			for j := range frontier {
+				for k := range matchSuffixes(e.X, w, j) {
+					if !out[k] {
+						out[k] = true
+						next[k] = true
+					}
+				}
+			}
+			frontier = next
+		}
+	case Plus:
+		return matchSuffixes(Seq{Items: []Expr{e.X, Star{X: e.X}}}, w, i)
+	case Opt:
+		out[i] = true
+		for k := range matchSuffixes(e.X, w, i) {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func oracleAccepts(e Expr, w []string) bool {
+	return matchSuffixes(e, w, 0)[len(w)]
+}
+
+// allWords enumerates Σ^≤maxLen.
+func allWords(alphabet []string, maxLen int) [][]string {
+	out := [][]string{{}}
+	level := [][]string{{}}
+	for l := 0; l < maxLen; l++ {
+		var next [][]string
+		for _, w := range level {
+			for _, s := range alphabet {
+				nw := append(append([]string(nil), w...), s)
+				next = append(next, nw)
+				out = append(out, nw)
+			}
+		}
+		level = next
+	}
+	return out
+}
+
+func TestAutomatonAcceptsAgainstOracle(t *testing.T) {
+	exprs := []string{
+		"a",
+		"EMPTY",
+		"a*",
+		"a+",
+		"a?",
+		"(a,b)",
+		"(a|b)*",
+		"(title,(author+|editor+),publisher,price)",
+		"(a*.b.c*.(d|e*).a*)",
+		"((a,b)*,c)",
+		"(a?,b?,c?)",
+	}
+	for _, in := range exprs {
+		e := MustParse(in)
+		a, err := Build(e)
+		if err != nil {
+			t.Errorf("Build(%q): %v", in, err)
+			continue
+		}
+		alpha := a.Symbols()
+		maxLen := 5
+		if len(alpha) > 3 {
+			maxLen = 4
+		}
+		for _, w := range allWords(alpha, maxLen) {
+			got := a.Accepts(w)
+			want := oracleAccepts(e, w)
+			if got != want {
+				t.Errorf("%q: Accepts(%v) = %v, oracle %v", in, w, got, want)
+			}
+		}
+	}
+}
+
+func TestAmbiguityDetection(t *testing.T) {
+	ambiguous := []string{
+		"(a,b)|(a,c)", // classic: after 'a' we cannot know which branch
+		"(a|a)",
+		"(a*,a)",
+		"(a?,a)",
+		"((a,b)|(a,c))",
+	}
+	for _, in := range ambiguous {
+		_, err := Build(MustParse(in))
+		var ae *AmbiguityError
+		if err == nil || !errors.As(err, &ae) {
+			t.Errorf("Build(%q) err = %v, want AmbiguityError", in, err)
+		}
+	}
+	unambiguous := []string{
+		"(a,b)|(b,c)",
+		"(a,(b|c))",
+		"(a*,b)",
+		"(a|b)*",
+	}
+	for _, in := range unambiguous {
+		if _, err := Build(MustParse(in)); err != nil {
+			t.Errorf("Build(%q): %v", in, err)
+		}
+	}
+}
+
+// TestOrdExample21 checks Example 2.1 of the paper:
+// ρ = (a*.b.c*.(d|e*).a*): Ord(b,c), Ord(c,d), Ord(c,e), ¬Ord(a,c), Ord(b,d).
+func TestOrdExample21(t *testing.T) {
+	a := MustBuild(MustParse("(a*.b.c*.(d|e*).a*)"))
+	cases := []struct {
+		x, y string
+		want bool
+	}{
+		{"b", "c", true},
+		{"c", "d", true},
+		{"c", "e", true},
+		{"a", "c", false},
+		{"b", "d", true}, // transitivity
+		{"c", "b", false},
+		{"d", "a", false},
+		{"b", "a", false}, // trailing a* lets a follow b
+		{"zz", "c", true}, // vacuous: zz not in alphabet
+		{"c", "zz", true},
+	}
+	for _, c := range cases {
+		if got := a.Ord(c.x, c.y); got != c.want {
+			t.Errorf("Ord(%s,%s) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+// ordOracle checks the declarative definition over an enumerated sample of
+// the language: Ord(a,b) iff no word has b strictly before a.
+func ordOracle(a *Automaton, x, y string, words [][]string) bool {
+	for _, w := range words {
+		seenY := false
+		for _, s := range w {
+			if s == x && seenY {
+				return false
+			}
+			if s == y {
+				seenY = true
+			}
+		}
+	}
+	return true
+}
+
+func TestOrdAgainstDeclarativeOracle(t *testing.T) {
+	exprs := []string{
+		"(a*.b.c*.(d|e*).a*)",
+		"(title,(author+|editor+),publisher,price)",
+		"(title|author)*",
+		"(book*,article*)",
+		"(a?,b?,c?)",
+		"((a,b)*,c)",
+	}
+	for _, in := range exprs {
+		a := MustBuild(MustParse(in))
+		words := a.Words(2*a.NumStates()+2, 2000000)
+		for _, x := range a.Symbols() {
+			for _, y := range a.Symbols() {
+				got := a.Ord(x, y)
+				want := ordOracle(a, x, y, words)
+				if got != want {
+					t.Errorf("%q: Ord(%s,%s) = %v, oracle %v", in, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+// pastOracle checks Past declaratively: for a prefix u of some word, Past
+// is false iff some enumerated word extends u with a later occurrence.
+func pastOracle(words [][]string, u []string, sym string) bool {
+	for _, w := range words {
+		if len(w) < len(u) {
+			continue
+		}
+		pre := true
+		for i := range u {
+			if w[i] != u[i] {
+				pre = false
+				break
+			}
+		}
+		if !pre {
+			continue
+		}
+		for _, s := range w[len(u):] {
+			if s == sym {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPastAgainstDeclarativeOracle(t *testing.T) {
+	exprs := []string{
+		"(a*.b.c*.(d|e*).a*)",
+		"(title,(author+|editor+),publisher,price)",
+		"(title|author)*",
+		"(a?,b?,c?)",
+	}
+	for _, in := range exprs {
+		a := MustBuild(MustParse(in))
+		words := a.Words(a.NumStates()+2, 200000)
+		// Walk every valid prefix (up to a modest depth) and compare.
+		var walk func(q int, u []string, depth int)
+		walk = func(q int, u []string, depth int) {
+			for _, sym := range a.Symbols() {
+				got := a.Past(q, sym)
+				want := pastOracle(words, u, sym)
+				if got != want {
+					t.Errorf("%q: Past(%v, %s) = %v, oracle %v", in, u, sym, got, want)
+				}
+			}
+			if depth == 0 {
+				return
+			}
+			for _, sym := range a.Symbols() {
+				if p, ok := a.Step(q, sym); ok {
+					walk(p, append(u, sym), depth-1)
+				}
+			}
+		}
+		walk(0, nil, 4)
+	}
+}
+
+func TestPastSingleSymbol(t *testing.T) {
+	// Regression for the Delta+ vs Delta* subtlety: for ρ = a, after
+	// reading the single a, a is past.
+	a := MustBuild(MustParse("a"))
+	q, ok := a.Step(a.Start(), "a")
+	if !ok {
+		t.Fatal("step failed")
+	}
+	if !a.Past(q, "a") {
+		t.Error("Past(q_a, a) = false, want true for ρ=a")
+	}
+	if a.Past(a.Start(), "a") {
+		t.Error("Past(q0, a) = true, want false for ρ=a")
+	}
+}
+
+func TestAtMostOnce(t *testing.T) {
+	cases := []struct {
+		expr string
+		sym  string
+		want bool
+	}{
+		{"a", "a", true},
+		{"a*", "a", false},
+		{"a+", "a", false},
+		{"a?", "a", true},
+		{"(a,b)", "a", true},
+		{"(a,a)", "a", false}, // note: unambiguous? (a,a) -> after first a only one a follows... deterministic yes
+		{"(a|b)*", "a", false},
+		{"(a|b)", "a", true},
+		{"(title,(author+|editor+),publisher,price)", "title", true},
+		{"(title,(author+|editor+),publisher,price)", "author", false},
+		{"(regions,categories,catgraph,people,open_auctions,closed_auctions)", "people", true},
+		{"(a,b)", "zz", true},
+	}
+	for _, c := range cases {
+		a := MustBuild(MustParse(c.expr))
+		if got := a.AtMostOnce(c.sym); got != c.want {
+			t.Errorf("%q: AtMostOnce(%s) = %v, want %v", c.expr, c.sym, got, c.want)
+		}
+	}
+}
+
+func TestPastTableMatchesPast(t *testing.T) {
+	a := MustBuild(MustParse("(title,(author+|editor+),publisher,price)"))
+	S := []string{"title", "author"}
+	tab := a.PastTable(S)
+	for q := 0; q < a.NumStates(); q++ {
+		want := a.Past(q, "title") && a.Past(q, "author")
+		if tab[q] != want {
+			t.Errorf("PastTable[%d] = %v, want %v", q, tab[q], want)
+		}
+	}
+	// Empty S: past everywhere.
+	for q, v := range a.PastTable(nil) {
+		if !v {
+			t.Errorf("PastTable(∅)[%d] = false, want true", q)
+		}
+	}
+}
+
+// randExpr builds a random expression over a small alphabet.
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		return Sym{Name: string(rune('a' + r.Intn(3)))}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Seq{Items: []Expr{randExpr(r, depth-1), randExpr(r, depth-1)}}
+	case 1:
+		return Alt{Items: []Expr{randExpr(r, depth-1), randExpr(r, depth-1)}}
+	case 2:
+		return Star{X: randExpr(r, depth-1)}
+	case 3:
+		return Plus{X: randExpr(r, depth-1)}
+	case 4:
+		return Opt{X: randExpr(r, depth-1)}
+	default:
+		return Sym{Name: string(rune('a' + r.Intn(3)))}
+	}
+}
+
+func TestPropertyRandomExprsAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	alpha := []string{"a", "b", "c"}
+	words := allWords(alpha, 4)
+	built := 0
+	for i := 0; i < 400; i++ {
+		e := randExpr(r, 3)
+		a, err := Build(e)
+		if err != nil {
+			continue // ambiguous by construction; skip
+		}
+		built++
+		for _, w := range words {
+			if got, want := a.Accepts(w), oracleAccepts(e, w); got != want {
+				t.Fatalf("%s: Accepts(%v) = %v, oracle %v", e, w, got, want)
+			}
+		}
+		// Ord must agree with the declarative oracle on the sample.
+		sample := a.Words(2*a.NumStates()+2, 200000)
+		for _, x := range alpha {
+			for _, y := range alpha {
+				if x == y {
+					continue
+				}
+				if got, want := a.Ord(x, y), ordOracle(a, x, y, sample); got != want {
+					t.Fatalf("%s: Ord(%s,%s) = %v, oracle %v", e, x, y, got, want)
+				}
+			}
+		}
+	}
+	if built < 50 {
+		t.Fatalf("only %d/400 random expressions were unambiguous; generator too weak", built)
+	}
+}
+
+func TestWordsEnumeration(t *testing.T) {
+	a := MustBuild(MustParse("(a,b)|(b,a?)"))
+	words := a.Words(2, 100)
+	var got []string
+	for _, w := range words {
+		got = append(got, strings.Join(w, ""))
+	}
+	want := []string{"ab", "b", "ba"}
+	gotSet := map[string]bool{}
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	if len(got) != 3 {
+		t.Fatalf("Words = %v, want %v", got, want)
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("Words missing %q: %v", w, got)
+		}
+	}
+}
+
+func TestOrdTransitive(t *testing.T) {
+	// Paper Example 2.1: Ord(b,c) and Ord(c,d) give Ord(b,d) by
+	// transitivity. (Unrestricted transitivity fails when the middle
+	// symbol never co-occurs with the others, e.g. d and e here.)
+	a := MustBuild(MustParse("(a*.b.c*.(d|e*).a*)"))
+	if !(a.Ord("b", "c") && a.Ord("c", "d") && a.Ord("b", "d")) {
+		t.Error("expected Ord(b,c), Ord(c,d), Ord(b,d) to hold")
+	}
+}
+
+func TestStepRejectsInvalid(t *testing.T) {
+	a := MustBuild(MustParse("(a,b)"))
+	if _, ok := a.Step(a.Start(), "b"); ok {
+		t.Error("Step(q0, b) ok, want reject")
+	}
+	if _, ok := a.Step(a.Start(), "nope"); ok {
+		t.Error("Step(q0, nope) ok, want reject")
+	}
+	q, _ := a.Step(a.Start(), "a")
+	if a.Accepting(q) {
+		t.Error("state after 'a' accepting, want not")
+	}
+	q, _ = a.Step(q, "b")
+	if !a.Accepting(q) {
+		t.Error("state after 'ab' not accepting")
+	}
+}
+
+func TestReflectDeepEqualGuard(t *testing.T) {
+	// Symbols() must return a stable sorted slice; guard against mutation.
+	a := MustBuild(MustParse("(b,a)"))
+	if !reflect.DeepEqual(a.Symbols(), []string{"a", "b"}) {
+		t.Errorf("Symbols = %v", a.Symbols())
+	}
+}

@@ -1,0 +1,194 @@
+package rex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError reports a syntax error in a content-model expression.
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rex: parse error at %d in %q: %s", e.Pos, e.Input, e.Msg)
+}
+
+// Parse parses a DTD content-model expression such as
+//
+//	(title,(author+|editor+),publisher,price)
+//
+// The paper's data model has no attributes and treats #PCDATA at the DTD
+// layer, so Parse accepts only names, sequence (','), choice ('|'),
+// grouping, and the postfix operators '*', '+', '?'. "EMPTY" parses to
+// Epsilon.
+func Parse(input string) (Expr, error) {
+	p := &parser{in: input}
+	p.skipSpace()
+	if p.eat("EMPTY") {
+		p.skipSpace()
+		if p.pos != len(p.in) {
+			return nil, p.errf("trailing input after EMPTY")
+		}
+		return Epsilon{}, nil
+	}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, p.errf("trailing input")
+	}
+	return e, nil
+}
+
+// MustParse is Parse for known-good expressions (tests, built-in DTDs).
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Input: p.in, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) eat(s string) bool {
+	if strings.HasPrefix(p.in[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.in) {
+		return p.in[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) alt() (Expr, error) {
+	first, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	items := []Expr{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Alt{Items: items}, nil
+}
+
+func (p *parser) seq() (Expr, error) {
+	first, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	items := []Expr{first}
+	for {
+		p.skipSpace()
+		// The paper sometimes writes concatenation with '.', e.g.
+		// (a*.b.c*.(d|e*).a*) in Example 2.1; accept both.
+		if p.peek() != ',' && p.peek() != '.' {
+			break
+		}
+		p.pos++
+		next, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Seq{Items: items}, nil
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star{X: e}
+		case '+':
+			p.pos++
+			e = Plus{X: e}
+		case '?':
+			p.pos++
+			e = Opt{X: e}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) && isNameChar(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("expected element name or '('")
+	}
+	return Sym{Name: p.in[start:p.pos]}, nil
+}
+
+func isNameChar(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' ||
+		b >= '0' && b <= '9' || b == '_' || b == '-' || b == ':'
+}

@@ -1,0 +1,86 @@
+package rex
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical printing; "" means same as in
+	}{
+		{"a", ""},
+		{"EMPTY", ""},
+		{"(a,b)", "a,b"},
+		{"(a|b)", "a|b"},
+		{"a*", ""},
+		{"a+", ""},
+		{"a?", ""},
+		{"(book)*", "book*"},
+		{"(title,(author+|editor+),publisher,price)", "title,(author+|editor+),publisher,price"},
+		{"(title|author)*", "(title|author)*"},
+		{"((title|author)*,price)", "(title|author)*,price"},
+		{"(a*.b.c*.(d|e*).a*)", "a*,b,c*,(d|e*),a*"},
+		{"(a , b | c)", "a,b|c"},
+		{"a**", ""},
+		{"(#x | y)", ""}, // '#' is not a name char
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if c.want == "" && c.in == "(#x | y)" {
+			if err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		want := c.want
+		if want == "" {
+			want = c.in
+		}
+		if got := e.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, want)
+		}
+		// Reparse of the printed form must be accepted and print identically.
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Errorf("reparse of %q: %v", e.String(), err)
+			continue
+		}
+		if e2.String() != e.String() {
+			t.Errorf("reparse of %q printed as %q", e.String(), e2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "(", "(a", "(a,)", "a|", "a b", ")", "*", "(a))", "a,,b"}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		} else {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("Parse(%q) error %T, want *ParseError", in, err)
+			}
+		}
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	e := MustParse("(title,(author+|editor+),publisher,title)")
+	got := Symbols(e)
+	want := []string{"title", "author", "editor", "publisher"}
+	if len(got) != len(want) {
+		t.Fatalf("Symbols = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Symbols = %v, want %v", got, want)
+		}
+	}
+}

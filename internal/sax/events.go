@@ -1,0 +1,126 @@
+// Package sax implements a lightweight streaming XML layer: a scanner that
+// turns a byte stream into SAX-style events, an event serializer, and the
+// attribute-to-subelement conversion ("XSAX") used by the FluX paper's
+// benchmark setup.
+//
+// The data model deliberately matches the paper (Section 2): elements and
+// character data only. Attributes are either rejected or converted into
+// subelements named parent_attr, exactly as the paper adapts the XMark
+// schema ("<person id=...>" becomes "<person><person_id>...</person_id>").
+package sax
+
+import "fmt"
+
+// Kind identifies the type of a SAX event.
+type Kind uint8
+
+const (
+	// StartElement is the opening tag of an element.
+	StartElement Kind = iota
+	// EndElement is the closing tag of an element.
+	EndElement
+	// Text is character data.
+	Text
+)
+
+// String returns a human-readable name for the event kind.
+func (k Kind) String() string {
+	switch k {
+	case StartElement:
+		return "start"
+	case EndElement:
+		return "end"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is a single SAX event. Name is set for element events, Data for
+// text events.
+type Event struct {
+	Kind Kind
+	Name string
+	Data string
+}
+
+// String renders the event in XML-ish syntax, for test diagnostics.
+func (e Event) String() string {
+	switch e.Kind {
+	case StartElement:
+		return "<" + e.Name + ">"
+	case EndElement:
+		return "</" + e.Name + ">"
+	default:
+		return fmt.Sprintf("%q", e.Data)
+	}
+}
+
+// Handler receives the event stream produced by the Scanner. Returning a
+// non-nil error aborts the scan and propagates the error to the caller.
+//
+// The string arguments are only valid for the duration of the call unless
+// the scanner was built with interning enabled (the default), in which case
+// element names are stable; text data is always copied before delivery.
+type Handler interface {
+	StartElement(name string) error
+	Text(data string) error
+	EndElement(name string) error
+}
+
+// HandlerFuncs adapts three closures to the Handler interface. Nil funcs
+// ignore their events.
+type HandlerFuncs struct {
+	Start func(name string) error
+	Chars func(data string) error
+	End   func(name string) error
+}
+
+// StartElement implements Handler.
+func (h HandlerFuncs) StartElement(name string) error {
+	if h.Start == nil {
+		return nil
+	}
+	return h.Start(name)
+}
+
+// Text implements Handler.
+func (h HandlerFuncs) Text(data string) error {
+	if h.Chars == nil {
+		return nil
+	}
+	return h.Chars(data)
+}
+
+// EndElement implements Handler.
+func (h HandlerFuncs) EndElement(name string) error {
+	if h.End == nil {
+		return nil
+	}
+	return h.End(name)
+}
+
+// Collector is a Handler that records all events, useful in tests and for
+// small in-memory documents.
+type Collector struct {
+	Events []Event
+}
+
+// StartElement implements Handler.
+func (c *Collector) StartElement(name string) error {
+	c.Events = append(c.Events, Event{Kind: StartElement, Name: name})
+	return nil
+}
+
+// Text implements Handler.
+func (c *Collector) Text(data string) error {
+	c.Events = append(c.Events, Event{Kind: Text, Data: data})
+	return nil
+}
+
+// EndElement implements Handler.
+func (c *Collector) EndElement(name string) error {
+	c.Events = append(c.Events, Event{Kind: EndElement, Name: name})
+	return nil
+}

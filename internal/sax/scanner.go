@@ -1,0 +1,515 @@
+package sax
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Options configures a scan.
+type Options struct {
+	// AttrsToSubelements converts each attribute a="v" on element e into a
+	// leading subelement <e_a>v</e_a>, in attribute order. This is the
+	// "XSAX" conversion from the paper's benchmark setup. If false,
+	// attributes are silently dropped.
+	AttrsToSubelements bool
+
+	// SkipWhitespaceText suppresses text events that consist entirely of
+	// XML whitespace. Element-content DTD productions treat such text as
+	// insignificant, so the engine enables this.
+	SkipWhitespaceText bool
+}
+
+// SyntaxError describes a malformed-XML failure with a byte offset.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sax: syntax error at byte %d: %s", e.Offset, e.Msg)
+}
+
+// Scan reads the XML document from r and delivers SAX events to h.
+// It validates well-formedness (tag nesting, a single document element)
+// but not any schema. Processing instructions, comments, and the DOCTYPE
+// declaration are skipped.
+func Scan(r io.Reader, h Handler, opt Options) error {
+	s := &scanner{
+		r:     bufio.NewReaderSize(r, 64<<10),
+		h:     h,
+		opt:   opt,
+		names: make(map[string]string, 64),
+	}
+	return s.run()
+}
+
+// ScanString is a convenience wrapper around Scan for in-memory documents.
+func ScanString(doc string, h Handler, opt Options) error {
+	return Scan(strings.NewReader(doc), h, opt)
+}
+
+type scanner struct {
+	r     *bufio.Reader
+	h     Handler
+	opt   Options
+	off   int64
+	stack []string
+	text  strings.Builder
+	names map[string]string // interning table for element names
+	buf   []byte            // scratch
+}
+
+func (s *scanner) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: s.off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *scanner) readByte() (byte, error) {
+	b, err := s.r.ReadByte()
+	if err == nil {
+		s.off++
+	}
+	return b, err
+}
+
+func (s *scanner) unreadByte() {
+	// bufio guarantees success right after a successful ReadByte.
+	_ = s.r.UnreadByte()
+	s.off--
+}
+
+// intern returns a canonical string for the name bytes, avoiding an
+// allocation per occurrence of a repeated element name.
+func (s *scanner) intern(b []byte) string {
+	if n, ok := s.names[string(b)]; ok { // no alloc: map lookup on []byte key
+		return n
+	}
+	n := string(b)
+	s.names[n] = n
+	return n
+}
+
+func (s *scanner) run() error {
+	sawRoot := false
+	for {
+		b, err := s.readByte()
+		if err == io.EOF {
+			if len(s.stack) > 0 {
+				return s.errf("unexpected EOF: %d unclosed element(s), innermost <%s>", len(s.stack), s.stack[len(s.stack)-1])
+			}
+			if !sawRoot {
+				return s.errf("empty document")
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if b == '<' {
+			if err := s.flushText(); err != nil {
+				return err
+			}
+			rootClosed, err := s.markup(&sawRoot)
+			if err != nil {
+				return err
+			}
+			_ = rootClosed
+		} else {
+			if len(s.stack) == 0 {
+				if !isXMLSpace(b) {
+					return s.errf("character data %q outside document element", b)
+				}
+				continue
+			}
+			s.text.WriteByte(b)
+		}
+	}
+}
+
+func (s *scanner) flushText() error {
+	if s.text.Len() == 0 {
+		return nil
+	}
+	t := s.text.String()
+	s.text.Reset()
+	if s.opt.SkipWhitespaceText && isAllSpace(t) {
+		return nil
+	}
+	return s.h.Text(decodeEntities(t))
+}
+
+// markup handles everything after a '<'.
+func (s *scanner) markup(sawRoot *bool) (bool, error) {
+	b, err := s.readByte()
+	if err != nil {
+		return false, s.errf("unexpected EOF after '<'")
+	}
+	switch {
+	case b == '/':
+		return s.endTag()
+	case b == '?':
+		return false, s.skipPI()
+	case b == '!':
+		return false, s.bangMarkup()
+	default:
+		s.unreadByte()
+		if len(s.stack) == 0 && *sawRoot {
+			return false, s.errf("content after document element")
+		}
+		*sawRoot = true
+		return false, s.startTag()
+	}
+}
+
+func (s *scanner) readName() (string, error) {
+	s.buf = s.buf[:0]
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return "", s.errf("unexpected EOF in name")
+		}
+		if isNameByte(b) {
+			s.buf = append(s.buf, b)
+			continue
+		}
+		s.unreadByte()
+		break
+	}
+	if len(s.buf) == 0 {
+		return "", s.errf("expected name")
+	}
+	return s.intern(s.buf), nil
+}
+
+func (s *scanner) skipSpace() error {
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return err
+		}
+		if !isXMLSpace(b) {
+			s.unreadByte()
+			return nil
+		}
+	}
+}
+
+func (s *scanner) startTag() error {
+	name, err := s.readName()
+	if err != nil {
+		return err
+	}
+	type attr struct{ name, value string }
+	var attrs []attr
+	selfClose := false
+	for {
+		if err := s.skipSpace(); err != nil {
+			return s.errf("unexpected EOF in <%s ...>", name)
+		}
+		b, err := s.readByte()
+		if err != nil {
+			return s.errf("unexpected EOF in <%s ...>", name)
+		}
+		if b == '>' {
+			break
+		}
+		if b == '/' {
+			b2, err := s.readByte()
+			if err != nil || b2 != '>' {
+				return s.errf("expected '/>' in <%s ...>", name)
+			}
+			selfClose = true
+			break
+		}
+		s.unreadByte()
+		aname, err := s.readName()
+		if err != nil {
+			return err
+		}
+		if err := s.skipSpace(); err != nil {
+			return s.errf("unexpected EOF in attribute %s", aname)
+		}
+		b, err = s.readByte()
+		if err != nil || b != '=' {
+			return s.errf("expected '=' after attribute name %s", aname)
+		}
+		if err := s.skipSpace(); err != nil {
+			return s.errf("unexpected EOF in attribute %s", aname)
+		}
+		quote, err := s.readByte()
+		if err != nil || (quote != '"' && quote != '\'') {
+			return s.errf("expected quoted value for attribute %s", aname)
+		}
+		s.buf = s.buf[:0]
+		for {
+			b, err := s.readByte()
+			if err != nil {
+				return s.errf("unexpected EOF in attribute value of %s", aname)
+			}
+			if b == quote {
+				break
+			}
+			s.buf = append(s.buf, b)
+		}
+		if s.opt.AttrsToSubelements {
+			attrs = append(attrs, attr{aname, decodeEntities(string(s.buf))})
+		}
+	}
+
+	if err := s.h.StartElement(name); err != nil {
+		return err
+	}
+	if s.opt.AttrsToSubelements {
+		for _, a := range attrs {
+			sub := s.intern(append(append(append(s.buf[:0], name...), '_'), a.name...))
+			if err := s.h.StartElement(sub); err != nil {
+				return err
+			}
+			if a.value != "" {
+				if err := s.h.Text(a.value); err != nil {
+					return err
+				}
+			}
+			if err := s.h.EndElement(sub); err != nil {
+				return err
+			}
+		}
+	}
+	if selfClose {
+		return s.h.EndElement(name)
+	}
+	s.stack = append(s.stack, name)
+	return nil
+}
+
+func (s *scanner) endTag() (bool, error) {
+	name, err := s.readName()
+	if err != nil {
+		return false, err
+	}
+	if err := s.skipSpace(); err != nil {
+		return false, s.errf("unexpected EOF in </%s>", name)
+	}
+	b, err := s.readByte()
+	if err != nil || b != '>' {
+		return false, s.errf("expected '>' in </%s>", name)
+	}
+	if len(s.stack) == 0 {
+		return false, s.errf("close tag </%s> with no open element", name)
+	}
+	top := s.stack[len(s.stack)-1]
+	if top != name {
+		return false, s.errf("close tag </%s> does not match open <%s>", name, top)
+	}
+	s.stack = s.stack[:len(s.stack)-1]
+	if err := s.h.EndElement(name); err != nil {
+		return false, err
+	}
+	return len(s.stack) == 0, nil
+}
+
+// skipPI consumes a processing instruction (or XML declaration) up to "?>".
+func (s *scanner) skipPI() error {
+	prev := byte(0)
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return s.errf("unexpected EOF in processing instruction")
+		}
+		if prev == '?' && b == '>' {
+			return nil
+		}
+		prev = b
+	}
+}
+
+// bangMarkup handles "<!" constructs: comments, CDATA, and DOCTYPE.
+func (s *scanner) bangMarkup() error {
+	b, err := s.readByte()
+	if err != nil {
+		return s.errf("unexpected EOF after '<!'")
+	}
+	switch b {
+	case '-':
+		b2, err := s.readByte()
+		if err != nil || b2 != '-' {
+			return s.errf("malformed comment")
+		}
+		return s.skipComment()
+	case '[':
+		return s.cdata()
+	default:
+		s.unreadByte()
+		return s.skipDoctype()
+	}
+}
+
+func (s *scanner) skipComment() error {
+	dashes := 0
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return s.errf("unexpected EOF in comment")
+		}
+		switch {
+		case b == '-':
+			dashes++
+		case b == '>' && dashes >= 2:
+			return nil
+		default:
+			dashes = 0
+		}
+	}
+}
+
+func (s *scanner) cdata() error {
+	const open = "CDATA["
+	for i := 0; i < len(open); i++ {
+		b, err := s.readByte()
+		if err != nil || b != open[i] {
+			return s.errf("malformed CDATA section")
+		}
+	}
+	if len(s.stack) == 0 {
+		return s.errf("CDATA outside document element")
+	}
+	brackets := 0
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return s.errf("unexpected EOF in CDATA section")
+		}
+		switch {
+		case b == ']':
+			if brackets == 2 {
+				s.text.WriteByte(']')
+			} else {
+				brackets++
+			}
+		case b == '>' && brackets >= 2:
+			if err := s.flushTextRaw(); err != nil {
+				return err
+			}
+			return nil
+		default:
+			for ; brackets > 0; brackets-- {
+				s.text.WriteByte(']')
+			}
+			s.text.WriteByte(b)
+		}
+	}
+}
+
+// flushTextRaw delivers accumulated CDATA text without entity decoding.
+func (s *scanner) flushTextRaw() error {
+	if s.text.Len() == 0 {
+		return nil
+	}
+	t := s.text.String()
+	s.text.Reset()
+	if s.opt.SkipWhitespaceText && isAllSpace(t) {
+		return nil
+	}
+	return s.h.Text(t)
+}
+
+// skipDoctype consumes a DOCTYPE declaration, including an internal subset.
+func (s *scanner) skipDoctype() error {
+	depth := 0
+	for {
+		b, err := s.readByte()
+		if err != nil {
+			return s.errf("unexpected EOF in DOCTYPE")
+		}
+		switch b {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				return nil
+			}
+		}
+	}
+}
+
+func isXMLSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+func isAllSpace(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isXMLSpace(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' ||
+		b >= '0' && b <= '9' || b == '_' || b == '-' || b == '.' || b == ':' || b >= 0x80
+}
+
+// decodeEntities resolves the five predefined XML entities and numeric
+// character references. Unknown entities are left verbatim.
+func decodeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	s = s[amp:]
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := strings.IndexByte(s, '&')
+			if next < 0 {
+				b.WriteString(s)
+				break
+			}
+			b.WriteString(s[:next])
+			s = s[next:]
+			continue
+		}
+		semi := strings.IndexByte(s, ';')
+		if semi < 0 || semi > 12 {
+			b.WriteByte('&')
+			s = s[1:]
+			continue
+		}
+		ent := s[1:semi]
+		switch {
+		case ent == "lt":
+			b.WriteByte('<')
+		case ent == "gt":
+			b.WriteByte('>')
+		case ent == "amp":
+			b.WriteByte('&')
+		case ent == "apos":
+			b.WriteByte('\'')
+		case ent == "quot":
+			b.WriteByte('"')
+		case strings.HasPrefix(ent, "#"):
+			num := ent[1:]
+			base := 10
+			if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+				num, base = num[1:], 16
+			}
+			if n, err := strconv.ParseInt(num, base, 32); err == nil && n >= 0 {
+				b.WriteRune(rune(n))
+			} else {
+				b.WriteString(s[:semi+1])
+			}
+		default:
+			b.WriteString(s[:semi+1])
+		}
+		s = s[semi+1:]
+	}
+	return b.String()
+}

@@ -1,0 +1,312 @@
+package sax
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *testing.T, doc string, opt Options) []Event {
+	t.Helper()
+	var c Collector
+	if err := ScanString(doc, &c, opt); err != nil {
+		t.Fatalf("ScanString(%q): %v", doc, err)
+	}
+	return c.Events
+}
+
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScanBasic(t *testing.T) {
+	got := collect(t, `<a><b>hi</b><c/></a>`, Options{})
+	want := []Event{
+		{StartElement, "a", ""},
+		{StartElement, "b", ""},
+		{Text, "", "hi"},
+		{EndElement, "b", ""},
+		{StartElement, "c", ""},
+		{EndElement, "c", ""},
+		{EndElement, "a", ""},
+	}
+	if !eventsEqual(got, want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+}
+
+func TestScanSkipsPrologCommentsPI(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]>
+<!-- leading comment -->
+<a>x<!-- inner -->y<?pi data?></a>`
+	got := collect(t, doc, Options{})
+	want := []Event{
+		{StartElement, "a", ""},
+		{Text, "", "x"},
+		{Text, "", "y"},
+		{EndElement, "a", ""},
+	}
+	if !eventsEqual(got, want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+}
+
+func TestScanWhitespaceSkipping(t *testing.T) {
+	doc := "<a>\n  <b>v</b>\n</a>"
+	got := collect(t, doc, Options{SkipWhitespaceText: true})
+	want := []Event{
+		{StartElement, "a", ""},
+		{StartElement, "b", ""},
+		{Text, "", "v"},
+		{EndElement, "b", ""},
+		{EndElement, "a", ""},
+	}
+	if !eventsEqual(got, want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+	// Without the option the whitespace text nodes are preserved.
+	got = collect(t, doc, Options{})
+	if len(got) != 7 {
+		t.Errorf("got %d events without skipping, want 7: %v", len(got), got)
+	}
+}
+
+func TestScanEntities(t *testing.T) {
+	got := collect(t, `<a>&lt;x&gt; &amp; &#65;&#x42; &quot;&apos; &unknown;</a>`, Options{})
+	want := `<x> & AB "' &unknown;`
+	if len(got) != 3 || got[1].Data != want {
+		t.Errorf("text = %q, want %q (events %v)", got[1].Data, want, got)
+	}
+}
+
+func TestScanCDATA(t *testing.T) {
+	got := collect(t, `<a><![CDATA[<not> & markup]]]></a>`, Options{})
+	want := []Event{
+		{StartElement, "a", ""},
+		{Text, "", "<not> & markup]"},
+		{EndElement, "a", ""},
+	}
+	if !eventsEqual(got, want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+}
+
+func TestScanAttrsDropped(t *testing.T) {
+	got := collect(t, `<person id="p0" x='y'><name>n</name></person>`, Options{})
+	want := []Event{
+		{StartElement, "person", ""},
+		{StartElement, "name", ""},
+		{Text, "", "n"},
+		{EndElement, "name", ""},
+		{EndElement, "person", ""},
+	}
+	if !eventsEqual(got, want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+}
+
+func TestScanAttrsToSubelements(t *testing.T) {
+	got := collect(t, `<person id="p&amp;0"><name>n</name></person>`, Options{AttrsToSubelements: true})
+	want := []Event{
+		{StartElement, "person", ""},
+		{StartElement, "person_id", ""},
+		{Text, "", "p&0"},
+		{EndElement, "person_id", ""},
+		{StartElement, "name", ""},
+		{Text, "", "n"},
+		{EndElement, "name", ""},
+		{EndElement, "person", ""},
+	}
+	if !eventsEqual(got, want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+}
+
+func TestScanAttrsToSubelementsSelfClosing(t *testing.T) {
+	got := collect(t, `<edge from="1" to="2"/>`, Options{AttrsToSubelements: true})
+	want := []Event{
+		{StartElement, "edge", ""},
+		{StartElement, "edge_from", ""},
+		{Text, "", "1"},
+		{EndElement, "edge_from", ""},
+		{StartElement, "edge_to", ""},
+		{Text, "", "2"},
+		{EndElement, "edge_to", ""},
+		{EndElement, "edge", ""},
+	}
+	if !eventsEqual(got, want) {
+		t.Errorf("events = %v, want %v", got, want)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"<a>",
+		"<a></b>",
+		"</a>",
+		"<a></a><b></b>",
+		"<a></a>trailing",
+		"text<a></a>",
+		"<a",
+		"<a x></a>",
+		"<a x=y></a>",
+		`<a x="v></a>`,
+		"<a/",
+	}
+	for _, doc := range bad {
+		var c Collector
+		err := ScanString(doc, &c, Options{})
+		if err == nil {
+			t.Errorf("ScanString(%q) succeeded, want error", doc)
+			continue
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("ScanString(%q) error %T, want *SyntaxError", doc, err)
+		}
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	err := ScanString("<a><b/></a>", HandlerFuncs{
+		Start: func(name string) error {
+			if name == "b" {
+				return boom
+			}
+			return nil
+		},
+	}, Options{})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	doc := `<a><b>hi &amp; lo</b><c></c>tail</a>`
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := ScanString(doc, w, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != doc {
+		t.Errorf("round trip = %q, want %q", sb.String(), doc)
+	}
+	if w.BytesWritten() != int64(len(doc)) {
+		t.Errorf("BytesWritten = %d, want %d", w.BytesWritten(), len(doc))
+	}
+}
+
+func TestEscapeText(t *testing.T) {
+	cases := map[string]string{
+		"plain":  "plain",
+		"a<b>&c": "a&lt;b&gt;&amp;c",
+		"":       "",
+	}
+	for in, want := range cases {
+		if got := EscapeText(in); got != want {
+			t.Errorf("EscapeText(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// genDoc builds a small random document from a shape seed and returns it
+// along with the expected events.
+func genDoc(shape []byte) (string, []Event) {
+	var sb strings.Builder
+	var want []Event
+	names := []string{"a", "b", "c", "d"}
+	var depth int
+	var stack []string
+	sb.WriteString("<root>")
+	want = append(want, Event{StartElement, "root", ""})
+	for _, s := range shape {
+		switch s % 3 {
+		case 0:
+			n := names[int(s/3)%len(names)]
+			sb.WriteString("<" + n + ">")
+			want = append(want, Event{StartElement, n, ""})
+			stack = append(stack, n)
+			depth++
+		case 1:
+			if depth > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				depth--
+				sb.WriteString("</" + n + ">")
+				want = append(want, Event{EndElement, n, ""})
+			}
+		case 2:
+			txt := "t" + string('0'+s%10)
+			sb.WriteString(txt)
+			if len(want) > 0 && want[len(want)-1].Kind == Text {
+				want[len(want)-1].Data += txt
+			} else {
+				want = append(want, Event{Text, "", txt})
+			}
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		sb.WriteString("</" + stack[i] + ">")
+		want = append(want, Event{EndElement, stack[i], ""})
+	}
+	sb.WriteString("</root>")
+	want = append(want, Event{EndElement, "root", ""})
+	return sb.String(), want
+}
+
+func TestScanPropertyRandomDocs(t *testing.T) {
+	f := func(shape []byte) bool {
+		doc, want := genDoc(shape)
+		var c Collector
+		if err := ScanString(doc, &c, Options{}); err != nil {
+			t.Logf("doc %q: %v", doc, err)
+			return false
+		}
+		return eventsEqual(c.Events, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanPropertySerializeRescan(t *testing.T) {
+	// Scanning, serializing and re-scanning must be a fixpoint.
+	f := func(shape []byte) bool {
+		doc, _ := genDoc(shape)
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		if err := ScanString(doc, w, Options{}); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		var c1, c2 Collector
+		if err := ScanString(doc, &c1, Options{}); err != nil {
+			return false
+		}
+		if err := ScanString(sb.String(), &c2, Options{}); err != nil {
+			return false
+		}
+		return eventsEqual(c1.Events, c2.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package sax
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Writer serializes SAX events back into XML text. It implements Handler,
+// so a Scanner piped into a Writer round-trips a document (modulo skipped
+// constructs such as comments). It also counts bytes written, which the
+// benchmark harness uses to size query outputs.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// BytesWritten reports the number of bytes emitted so far (pre-flush
+// buffering included).
+func (w *Writer) BytesWritten() int64 { return w.n }
+
+// Flush flushes the underlying buffered writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *Writer) writeString(s string) error {
+	if w.err != nil {
+		return w.err
+	}
+	n, err := w.w.WriteString(s)
+	w.n += int64(n)
+	w.err = err
+	return err
+}
+
+// StartElement implements Handler.
+func (w *Writer) StartElement(name string) error {
+	if err := w.writeString("<"); err != nil {
+		return err
+	}
+	if err := w.writeString(name); err != nil {
+		return err
+	}
+	return w.writeString(">")
+}
+
+// EndElement implements Handler.
+func (w *Writer) EndElement(name string) error {
+	if err := w.writeString("</"); err != nil {
+		return err
+	}
+	if err := w.writeString(name); err != nil {
+		return err
+	}
+	return w.writeString(">")
+}
+
+// Text implements Handler. Character data is escaped.
+func (w *Writer) Text(data string) error {
+	return w.writeString(EscapeText(data))
+}
+
+// Raw writes a pre-formed string (e.g. a fixed output string from a query)
+// without escaping.
+func (w *Writer) Raw(s string) error { return w.writeString(s) }
+
+// EscapeText escapes the characters that must not appear literally in XML
+// character data.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

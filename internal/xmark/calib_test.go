@@ -1,0 +1,15 @@
+package xmark
+
+import "testing"
+
+// TestCalibrationProbe prints the byte count at a reference scale; used
+// once to fix bytesPerScale. Skipped unless -run Calib is requested
+// explicitly with -v.
+func TestCalibrationProbe(t *testing.T) {
+	var cw countWriter
+	n, err := Generate(&cw, GenOptions{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scale 0.01 -> %d bytes (scale 1.0 ≈ %d)", n, n*100)
+}

@@ -1,0 +1,160 @@
+package xq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randAST builds random well-formed ASTs (not schema-aware; for printer /
+// parser round-trip properties).
+func randAST(r *rand.Rand, depth int, vars []string) Expr {
+	if depth == 0 {
+		return &Str{S: "x"}
+	}
+	pick := func() string { return vars[r.Intn(len(vars))] }
+	step := func() string { return string(rune('a' + r.Intn(4))) }
+	path := func() Path {
+		p := Path{step()}
+		if r.Intn(2) == 0 {
+			p = append(p, step())
+		}
+		return p
+	}
+	var cond func(d int) Cond
+	cond = func(d int) Cond {
+		if d == 0 {
+			return True{}
+		}
+		switch r.Intn(6) {
+		case 0:
+			return &And{L: cond(d - 1), R: cond(d - 1)}
+		case 1:
+			return &Or{L: cond(d - 1), R: cond(d - 1)}
+		case 2:
+			return &Not{X: cond(d - 1)}
+		case 3:
+			return &Exists{Var: pick(), Path: path(), Neg: r.Intn(2) == 0}
+		case 4:
+			op := PathOp(pick(), path())
+			if r.Intn(2) == 0 {
+				op.Scale = float64(1 + r.Intn(9))
+			}
+			return &Cmp{L: PathOp(pick(), path()), R: op, Op: RelOp(r.Intn(6))}
+		default:
+			return &Cmp{L: PathOp(pick(), path()), R: ConstOp("lit"), Op: RelOp(r.Intn(6))}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return &Str{S: "str" + step()}
+	case 1:
+		return &VarOut{Var: pick()}
+	case 2:
+		return &PathOut{Var: pick(), Path: path()}
+	case 3:
+		return &If{Cond: cond(2), Then: randAST(r, depth-1, vars)}
+	case 4:
+		v := "$w" + step()
+		f := &For{Var: v, Src: pick(), Path: path()}
+		if r.Intn(2) == 0 {
+			f.Where = cond(2)
+		}
+		f.Body = randAST(r, depth-1, append(vars, v))
+		return f
+	default:
+		return NewSeq(randAST(r, depth-1, vars), randAST(r, depth-1, vars))
+	}
+}
+
+// TestPrintParseRoundTripProperty: Print followed by Parse is the identity
+// on random ASTs (up to Seq flattening, which NewSeq already performs).
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		ast := randAST(r, 4, []string{RootVar, "$z"})
+		text := Print(ast)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("iteration %d: reparse of %q failed: %v", i, text, err)
+		}
+		if Print(back) != text {
+			t.Fatalf("iteration %d: print not stable:\n  %s\n  %s", i, text, Print(back))
+		}
+	}
+}
+
+// TestCopyIsDeep: mutating a copy never changes the original.
+func TestCopyIsDeep(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		ast := randAST(r, 4, []string{RootVar})
+		before := Print(ast)
+		cp := Copy(ast)
+		mutate(cp)
+		if Print(ast) != before {
+			t.Fatalf("iteration %d: Copy shares state with original", i)
+		}
+	}
+}
+
+func mutate(e Expr) {
+	Walk(e, func(x Expr) {
+		switch x := x.(type) {
+		case *Str:
+			x.S = "MUT"
+		case *For:
+			x.Var = "$MUT"
+			if len(x.Path) > 0 {
+				x.Path[0] = "MUT"
+			}
+		case *PathOut:
+			x.Var = "$MUT"
+		case *VarOut:
+			x.Var = "$MUT"
+		}
+	})
+}
+
+// TestNormalizeTerminatesOnRandomASTs: Theorem 4.1's termination and
+// idempotence over random inputs.
+func TestNormalizeTerminatesOnRandomASTs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		ast := randAST(r, 4, []string{RootVar})
+		n1 := Normalize(ast)
+		if !IsNormalForm(n1) {
+			t.Fatalf("iteration %d: not normal form: %s", i, Print(n1))
+		}
+		n2 := Normalize(n1)
+		if Print(n1) != Print(n2) {
+			t.Fatalf("iteration %d: not idempotent:\n  %s\n  %s", i, Print(n1), Print(n2))
+		}
+	}
+}
+
+func TestItemsAndNewSeq(t *testing.T) {
+	if got := Items(NewSeq()); len(got) != 0 {
+		t.Errorf("Items(empty) = %v", got)
+	}
+	one := &Str{S: "a"}
+	if got := NewSeq(one); got != one {
+		t.Errorf("singleton Seq not collapsed")
+	}
+	nested := NewSeq(&Str{S: "a"}, NewSeq(&Str{S: "b"}, &Str{S: "c"}), nil, &Str{S: ""})
+	if got := len(Items(nested)); got != 3 {
+		t.Errorf("flattened items = %d, want 3 (%s)", got, Print(nested))
+	}
+}
+
+func TestCondPathsNilSafe(t *testing.T) {
+	if got := CondPaths(nil, nil); got != nil {
+		t.Errorf("CondPaths(nil) = %v", got)
+	}
+	c := &And{L: True{}, R: &Not{X: &Exists{Var: "$x", Path: Path{"a"}}}}
+	got := CondPaths(c, nil)
+	want := []CondPath{{Var: "$x", Path: Path{"a"}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CondPaths = %v, want %v", got, want)
+	}
+}

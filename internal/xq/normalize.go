@@ -1,0 +1,205 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Normalize rewrites q into XQuery⁻ normal form by the rules of Figure 1,
+// implemented as one structural recursion (which applies each rule
+// downwards to a fixpoint, Theorem 4.1). In the result:
+//
+//  1. all paths outside conditions are simple steps ($x/a);
+//  2. no for-loop carries a where-clause (conditions are pushed inside);
+//  3. every conditional body is a fixed string or {$x}.
+//
+// Variables are made unique first (the paper assumes this w.l.o.g. in
+// Section 5), so fresh loop variables never collide.
+func Normalize(q Expr) Expr {
+	n := &normalizer{used: make(map[string]bool)}
+	q = n.uniquify(Copy(q), map[string]string{RootVar: RootVar})
+	return n.norm(q)
+}
+
+type normalizer struct {
+	used map[string]bool
+}
+
+// fresh picks an unused variable named after the path step it ranges over
+// (the paper writes e.g. $year, $title for the loops introduced by
+// normalizing {$b/year} {$b/title}).
+func (n *normalizer) fresh(step string) string {
+	base := "$" + step
+	name := base
+	for i := 2; n.used[name]; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	n.used[name] = true
+	return name
+}
+
+// uniquify alpha-renames so that every binder introduces a distinct
+// variable, and records all names in use.
+func (n *normalizer) uniquify(e Expr, env map[string]string) Expr {
+	switch e := e.(type) {
+	case nil, *Str:
+		return e
+	case *Seq:
+		for i, it := range e.Items {
+			e.Items[i] = n.uniquify(it, env)
+		}
+		return e
+	case *VarOut:
+		e.Var = lookupVar(env, e.Var)
+		return e
+	case *PathOut:
+		e.Var = lookupVar(env, e.Var)
+		return e
+	case *If:
+		e.Cond = n.uniquifyCond(e.Cond, env)
+		e.Then = n.uniquify(e.Then, env)
+		return e
+	case *For:
+		e.Src = lookupVar(env, e.Src)
+		name := e.Var
+		if n.used[name] {
+			name = n.fresh(strings.TrimPrefix(e.Var, "$"))
+		}
+		n.used[name] = true
+		inner := map[string]string{}
+		for k, v := range env {
+			inner[k] = v
+		}
+		inner[e.Var] = name
+		e.Var = name
+		e.Where = n.uniquifyCond(e.Where, inner)
+		e.Body = n.uniquify(e.Body, inner)
+		return e
+	default:
+		panic("xq: unknown expression type in uniquify")
+	}
+}
+
+func lookupVar(env map[string]string, v string) string {
+	if nv, ok := env[v]; ok {
+		return nv
+	}
+	return v // free variable (only $ROOT in closed queries)
+}
+
+func (n *normalizer) uniquifyCond(c Cond, env map[string]string) Cond {
+	switch c := c.(type) {
+	case nil:
+		return nil
+	case True:
+		return c
+	case *And:
+		return &And{L: n.uniquifyCond(c.L, env), R: n.uniquifyCond(c.R, env)}
+	case *Or:
+		return &Or{L: n.uniquifyCond(c.L, env), R: n.uniquifyCond(c.R, env)}
+	case *Not:
+		return &Not{X: n.uniquifyCond(c.X, env)}
+	case *Cmp:
+		cc := *c
+		if cc.L.Kind == PathOperand {
+			cc.L.Var = lookupVar(env, cc.L.Var)
+		}
+		if cc.R.Kind == PathOperand {
+			cc.R.Var = lookupVar(env, cc.R.Var)
+		}
+		return &cc
+	case *Exists:
+		return &Exists{Var: lookupVar(env, c.Var), Path: c.Path, Neg: c.Neg}
+	default:
+		panic("xq: unknown condition type in uniquify")
+	}
+}
+
+// norm is the Figure 1 rewriting.
+func (n *normalizer) norm(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return &Seq{}
+	case *Str:
+		return e
+	case *VarOut:
+		return e
+	case *Seq:
+		items := make([]Expr, len(e.Items))
+		for i, it := range e.Items {
+			items[i] = n.norm(it)
+		}
+		return NewSeq(items...)
+	case *PathOut:
+		// Rule 2: {$y/π} → {for $x in $y/π return {$x}}.
+		v := n.fresh(e.Path[len(e.Path)-1])
+		return n.norm(&For{Var: v, Src: e.Var, Path: e.Path, Body: &VarOut{Var: v}})
+	case *For:
+		// Rule 1: conditional for-loop → unconditional with if-body.
+		if e.Where != nil {
+			body := &If{Cond: e.Where, Then: e.Body}
+			return n.norm(&For{Var: e.Var, Src: e.Src, Path: e.Path, Body: body})
+		}
+		// Rule 3: multi-step loop path → nested single-step loops.
+		if len(e.Path) > 1 {
+			v0 := n.fresh(e.Path[0])
+			inner := &For{Var: e.Var, Src: v0, Path: e.Path[1:], Body: e.Body}
+			return n.norm(&For{Var: v0, Src: e.Src, Path: e.Path[:1], Body: inner})
+		}
+		return &For{Var: e.Var, Src: e.Src, Path: e.Path, Body: n.norm(e.Body)}
+	case *If:
+		// Rules 4–6: push the conditional inside loops and sequences, and
+		// fuse nested conditionals, until the body is a string or {$x}.
+		return n.distribute(e.Cond, n.norm(e.Then))
+	default:
+		panic("xq: unknown expression type in norm")
+	}
+}
+
+// distribute pushes condition χ into the already-normalized expression.
+func (n *normalizer) distribute(chi Cond, e Expr) Expr {
+	switch e := e.(type) {
+	case *Seq:
+		// Rule 5: {if χ then α β} → {if χ then α} {if χ then β}.
+		items := make([]Expr, len(e.Items))
+		for i, it := range e.Items {
+			items[i] = n.distribute(CopyCond(chi), it)
+		}
+		return NewSeq(items...)
+	case *For:
+		// Rule 4: {if χ then {for …}} → {for … {if χ then …}}.
+		e.Body = n.distribute(chi, e.Body)
+		return e
+	case *If:
+		// Rule 6: {if χ then {if ψ then α}} → {if χ and ψ then α}.
+		return n.distribute(&And{L: chi, R: e.Cond}, e.Then)
+	case *Str, *VarOut:
+		return &If{Cond: chi, Then: e}
+	default:
+		panic(fmt.Sprintf("xq: unexpected %T under conditional after normalization", e))
+	}
+}
+
+// IsNormalForm reports whether e satisfies the three normal-form
+// properties (used by tests and as a precondition check by the rewrite
+// algorithm).
+func IsNormalForm(e Expr) bool {
+	ok := true
+	Walk(e, func(x Expr) {
+		switch x := x.(type) {
+		case *PathOut:
+			ok = false
+		case *For:
+			if x.Where != nil || len(x.Path) != 1 {
+				ok = false
+			}
+		case *If:
+			switch x.Then.(type) {
+			case *Str, *VarOut:
+			default:
+				ok = false
+			}
+		}
+	})
+	return ok
+}
