@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check fuzz bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Short-mode fuzz smoke: drives the native scanner fuzz target for a few
+# seconds on top of its checked-in seeds.
+fuzz:
+	$(GO) test ./internal/sax -run='^FuzzScan$$' -fuzz='^FuzzScan$$' -fuzztime=10s
+
+# Benchmark smoke: one pass over every Go benchmark (compile + correctness
+# of the measurement loops), then a 1 MB Figure 4 sweep whose rows land in
+# BENCH_1.json — the perf-trajectory snapshot this tree is expected to
+# keep updating (BENCH_2.json, ... in later revisions).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/fluxbench -sizes 1 -json BENCH_1.json
+
+clean:
+	$(GO) clean ./...

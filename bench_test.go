@@ -149,6 +149,63 @@ func BenchmarkAblationLoopMerge(b *testing.B) {
 	}
 }
 
+// BenchmarkSharedScan is the multi-query serving benchmark: all five
+// Figure 4 queries against one document, as one shared-scan batch
+// (RunAll — one pass, events fanned to every engine) versus N independent
+// Run calls (N passes). Wall-clock per iteration covers the whole batch in
+// both cases; tokens-scanned counts the SAX events tokenized from the
+// input, the cost the shared scan amortizes.
+func BenchmarkSharedScan(b *testing.B) {
+	doc := benchDocument(b)
+	queries := make([]*Query, 0, len(xmark.QueryNames))
+	for _, name := range xmark.QueryNames {
+		q, err := Prepare(xmark.Queries[name], xmark.DTD)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		queries = append(queries, q)
+	}
+	ws := make([]io.Writer, len(queries))
+	for i := range ws {
+		ws[i] = io.Discard
+	}
+
+	b.Run("shared", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		var scanned int64
+		for i := 0; i < b.N; i++ {
+			results, err := RunAll(queries, strings.NewReader(doc), Options{}, ws...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Every query sees the same single event stream; its token
+			// count is the per-pass tokenization cost, paid once.
+			scanned = results[0].Stats.Tokens
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(scanned), "tokens-scanned")
+	})
+	b.Run("separate", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		var scanned int64
+		for i := 0; i < b.N; i++ {
+			scanned = 0
+			for _, q := range queries {
+				st, err := q.Run(strings.NewReader(doc), io.Discard, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanned += st.Tokens
+			}
+		}
+		b.ReportMetric(float64(scanned), "tokens-scanned")
+	})
+}
+
 // BenchmarkScanner measures raw SAX tokenization throughput, the
 // substrate cost below every engine.
 func BenchmarkScanner(b *testing.B) {

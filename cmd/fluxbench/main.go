@@ -28,6 +28,7 @@ func main() {
 		maxBaseline = flag.Int("max-baseline", 0, "skip in-memory baselines above this many MB (0 = never)")
 		workDir     = flag.String("dir", "", "directory for generated documents (default: temp, removed after)")
 		ablation    = flag.Bool("ablation", false, "compare FluX against FluX with scheduling disabled")
+		jsonPath    = flag.String("json", "", "also write the rows as a JSON snapshot to this path")
 	)
 	flag.Parse()
 
@@ -61,6 +62,11 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(bench.FormatTable(rows, modes))
+	if *jsonPath != "" {
+		if err := bench.WriteJSON(*jsonPath, rows); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

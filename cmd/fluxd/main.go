@@ -1,0 +1,70 @@
+// Command fluxd is a long-running query server over one XML document: it
+// accepts XQuery⁻ queries over HTTP, compiles them against the configured
+// DTD, batches concurrent requests onto shared scans of the document, and
+// streams each result back.
+//
+// Usage:
+//
+//	fluxd -dtd schema.dtd -doc data.xml [-addr :8700] [-window 2ms] [-max-batch 16] [-attrs]
+//
+// Endpoints:
+//
+//	POST /query    query text in the body; result streams back, with
+//	               X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens and
+//	               X-Flux-Batch-Size arriving as HTTP trailers
+//	GET  /healthz  liveness probe
+//	GET  /stats    serving counters (queries, shared scans, batch sizes)
+//
+// Concurrent requests that arrive within -window of each other (or up to
+// -max-batch of them) execute in a single pass of the document: the scan
+// is tokenized once and every SAX event fans out to all queries in the
+// batch, so the cost of a burst is one traversal, not one per query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8700", "listen address")
+		dtdFile  = flag.String("dtd", "", "path to the DTD the document and all queries compile against")
+		docFile  = flag.String("doc", "", "path to the XML document to serve queries over")
+		window   = flag.Duration("window", 2*time.Millisecond, "how long the first query of a batch waits for companions")
+		maxBatch = flag.Int("max-batch", 16, "maximum queries per shared scan")
+		attrs    = flag.Bool("attrs", false, "convert attributes to subelements (XSAX)")
+	)
+	flag.Parse()
+	if *dtdFile == "" || *docFile == "" {
+		fatal(fmt.Errorf("both -dtd and -doc are required"))
+	}
+	dtdText, err := os.ReadFile(*dtdFile)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := newServer(config{
+		dtdText:  string(dtdText),
+		docPath:  *docFile,
+		window:   *window,
+		maxBatch: *maxBatch,
+		attrs:    *attrs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("fluxd: serving %s (DTD %s) on %s, batch window %s, max batch %d",
+		*docFile, *dtdFile, *addr, *window, *maxBatch)
+	if err := http.ListenAndServe(*addr, s); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluxd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flux"
+	"flux/internal/dtd"
+)
+
+// config is the static server configuration.
+type config struct {
+	dtdText  string
+	docPath  string
+	window   time.Duration // how long the first request of a batch waits for companions
+	maxBatch int           // a full batch dispatches immediately
+	attrs    bool          // XSAX attribute conversion on the input stream
+}
+
+// server batches concurrent query requests onto shared scans of the
+// target document. Each HTTP request compiles its query, joins the open
+// batch, and blocks until the batch's single input pass has streamed its
+// result; the pass itself runs through flux.RunAll, so per-request
+// output, statistics, and failures stay isolated.
+type server struct {
+	cfg    config
+	schema *dtd.Schema
+	routes *http.ServeMux
+
+	mu       sync.Mutex
+	pending  []*request
+	batchGen uint64 // bumped whenever a batch is taken; stale timers check it
+
+	// Served counters, reported by /stats.
+	nQueries  atomic.Int64 // queries executed
+	nScans    atomic.Int64 // shared input passes performed
+	nShared   atomic.Int64 // queries that shared their pass with a sibling
+	peakBatch atomic.Int64 // largest batch so far
+}
+
+// request is one enqueued query execution.
+type request struct {
+	q    *flux.Query
+	w    io.Writer
+	done chan reqResult
+}
+
+// reqResult is what the batch runner reports back to the HTTP handler.
+type reqResult struct {
+	stats     flux.Stats
+	batchSize int
+	err       error
+}
+
+func newServer(cfg config) (*server, error) {
+	schema, err := dtd.Parse(cfg.dtdText)
+	if err != nil {
+		return nil, fmt.Errorf("DTD: %w", err)
+	}
+	if _, err := os.Stat(cfg.docPath); err != nil {
+		return nil, fmt.Errorf("document: %w", err)
+	}
+	if cfg.maxBatch <= 0 {
+		cfg.maxBatch = 16
+	}
+	s := &server{cfg: cfg, schema: schema, routes: http.NewServeMux()}
+	s.routes.HandleFunc("/query", s.handleQuery)
+	s.routes.HandleFunc("/healthz", s.handleHealthz)
+	s.routes.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.routes.ServeHTTP(w, r) }
+
+// maxQueryBytes bounds the request body; queries are small programs, not
+// documents.
+const maxQueryBytes = 1 << 20
+
+// handleQuery compiles the posted XQuery⁻ text against the server's DTD,
+// joins the open batch, and streams the query result back. Execution
+// statistics arrive as HTTP trailers, since the body streams before they
+// are known.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST the query text to /query", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+	if err != nil {
+		http.Error(w, "reading query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxQueryBytes {
+		// Reject rather than truncate: a silently truncated query would
+		// compile — and run — as a different query.
+		http.Error(w, "query exceeds the 1 MB limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	q, err := flux.PrepareWithSchema(string(body), s.schema)
+	if err != nil {
+		http.Error(w, "compiling query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("Trailer", "X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens, X-Flux-Batch-Size")
+	cw := &countingWriter{w: w}
+	req := &request{q: q, w: cw, done: make(chan reqResult, 1)}
+	s.enqueue(req)
+	res := <-req.done
+
+	if res.err != nil {
+		if cw.n == 0 {
+			// Nothing streamed yet; a clean error status is still possible.
+			http.Error(w, "executing query: "+res.err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// The response is already partially written with a 200 header; a
+		// clean chunked terminator would make the truncated body look
+		// complete to any client that ignores trailers. Abort the
+		// connection instead so the failure is visible at the transport.
+		panic(http.ErrAbortHandler)
+	}
+	if cw.n == 0 {
+		// Force the header out even for empty results.
+		w.WriteHeader(http.StatusOK)
+	}
+	w.Header().Set("X-Flux-Peak-Buffer-Bytes", fmt.Sprint(res.stats.PeakBufferBytes))
+	w.Header().Set("X-Flux-Tokens", fmt.Sprint(res.stats.Tokens))
+	w.Header().Set("X-Flux-Batch-Size", fmt.Sprint(res.batchSize))
+}
+
+// enqueue adds req to the open batch. The first request of a batch arms
+// the dispatch timer; a full batch dispatches at once.
+func (s *server) enqueue(req *request) {
+	s.mu.Lock()
+	s.pending = append(s.pending, req)
+	n := len(s.pending)
+	if n >= s.cfg.maxBatch {
+		batch := s.pending
+		s.pending = nil
+		s.batchGen++
+		s.mu.Unlock()
+		s.runBatch(batch)
+		return
+	}
+	gen := s.batchGen
+	s.mu.Unlock()
+	if n == 1 {
+		time.AfterFunc(s.cfg.window, func() { s.dispatch(gen) })
+	}
+}
+
+// dispatch runs whatever has accumulated when the batch window closes.
+// The generation check makes a timer armed for an already-dispatched
+// batch a no-op instead of prematurely flushing the next batch's window.
+func (s *server) dispatch(gen uint64) {
+	s.mu.Lock()
+	if gen != s.batchGen || len(s.pending) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	batch := s.pending
+	s.pending = nil
+	s.batchGen++
+	s.mu.Unlock()
+	s.runBatch(batch)
+}
+
+// runBatch executes one shared scan of the target document for the whole
+// batch and delivers each request its result.
+func (s *server) runBatch(batch []*request) {
+	s.nScans.Add(1)
+	s.nQueries.Add(int64(len(batch)))
+	if len(batch) > 1 {
+		s.nShared.Add(int64(len(batch)))
+	}
+	for {
+		peak := s.peakBatch.Load()
+		if int64(len(batch)) <= peak || s.peakBatch.CompareAndSwap(peak, int64(len(batch))) {
+			break
+		}
+	}
+
+	fail := func(err error) {
+		for _, req := range batch {
+			req.done <- reqResult{batchSize: len(batch), err: err}
+		}
+	}
+	f, err := os.Open(s.cfg.docPath)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer f.Close()
+
+	queries := make([]*flux.Query, len(batch))
+	ws := make([]io.Writer, len(batch))
+	for i, req := range batch {
+		queries[i] = req.q
+		ws[i] = req.w
+	}
+	results, err := flux.RunAll(queries, f, flux.Options{AttrsToSubelements: s.cfg.attrs}, ws...)
+	if results == nil {
+		fail(err)
+		return
+	}
+	for i, req := range batch {
+		req.done <- reqResult{
+			stats:     results[i].Stats,
+			batchSize: len(batch),
+			err:       results[i].Err,
+		}
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleStats reports serving counters; a queries/scans ratio above 1 is
+// the shared-scan amortization in action.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	queries, scans := s.nQueries.Load(), s.nScans.Load()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]int64{
+		"queries":         queries,
+		"scans":           scans,
+		"queries_shared":  s.nShared.Load(),
+		"peak_batch_size": s.peakBatch.Load(),
+	})
+}
+
+// countingWriter tracks whether (and how much) output has been streamed,
+// which decides error reporting: a clean 500 is only possible before the
+// first byte.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flux"
+)
+
+const serverDTD = `
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title,year)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+const serverDoc = `<bib>` +
+	`<book><title>FluX</title><year>2004</year></book>` +
+	`<book><title>XMark</title><year>2002</year></book>` +
+	`<book><title>Galax</title><year>2004</year></book>` +
+	`</bib>`
+
+// testServer builds a server over a temp document with a deterministic
+// batching setup: a window long enough that dispatch is driven purely by
+// maxBatch filling up.
+func testServer(t *testing.T, maxBatch int, window time.Duration) (*server, *httptest.Server) {
+	t.Helper()
+	docPath := filepath.Join(t.TempDir(), "bib.xml")
+	if err := os.WriteFile(docPath, []byte(serverDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(config{
+		dtdText:  serverDTD,
+		docPath:  docPath,
+		window:   window,
+		maxBatch: maxBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postQuery(t *testing.T, url, query string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/query", "text/plain", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestServerBatchesConcurrentRequests: with maxBatch == number of
+// concurrent clients and a long window, all requests must execute in one
+// shared scan and return exactly the single-run results.
+func TestServerBatchesConcurrentRequests(t *testing.T) {
+	queries := []string{
+		`<out> { for $b in /bib/book return {$b/title} } </out>`,
+		`<out> { for $b in /bib/book where $b/year = '2004' return {$b} } </out>`,
+		`<out> { for $b in /bib/book return <y> {$b/year} </y> } </out>`,
+		`<out> { for $b in /bib/book where $b/title = 'XMark' return {$b/year} } </out>`,
+	}
+	s, ts := testServer(t, len(queries), 30*time.Second)
+
+	want := make([]string, len(queries))
+	for i, qt := range queries {
+		q, err := flux.Prepare(qt, serverDTD)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out, _, err := q.RunString(serverDoc, flux.Options{})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		want[i] = out
+	}
+
+	var wg sync.WaitGroup
+	for i, qt := range queries {
+		wg.Add(1)
+		go func(i int, qt string) {
+			defer wg.Done()
+			resp, body := postQuery(t, ts.URL, qt)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("query %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			if body != want[i] {
+				t.Errorf("query %d: body %q, want %q", i, body, want[i])
+			}
+			if got := resp.Trailer.Get("X-Flux-Batch-Size"); got != fmt.Sprint(len(queries)) {
+				t.Errorf("query %d: batch size trailer %q, want %d", i, got, len(queries))
+			}
+			if resp.Trailer.Get("X-Flux-Tokens") == "" {
+				t.Errorf("query %d: missing tokens trailer", i)
+			}
+		}(i, qt)
+	}
+	wg.Wait()
+
+	if scans, queriesRun := s.nScans.Load(), s.nQueries.Load(); scans != 1 || queriesRun != int64(len(queries)) {
+		t.Errorf("scans = %d, queries = %d; want 1 shared scan for %d queries", scans, queriesRun, len(queries))
+	}
+}
+
+// TestServerWindowDispatch: a lone request below maxBatch is dispatched
+// by the window timer, not stuck waiting for companions.
+func TestServerWindowDispatch(t *testing.T) {
+	_, ts := testServer(t, 100, 5*time.Millisecond)
+	const query = `<titles> { for $b in /bib/book return {$b/title} } </titles>`
+	q, err := flux.Prepare(query, serverDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := q.RunString(serverDoc, flux.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postQuery(t, ts.URL, query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if body != want {
+		t.Fatalf("body = %q, want %q", body, want)
+	}
+	if got := resp.Trailer.Get("X-Flux-Batch-Size"); got != "1" {
+		t.Errorf("batch size trailer = %q, want 1", got)
+	}
+}
+
+// TestServerBadQuery: a query outside the fragment is a client error,
+// reported before any scan runs.
+func TestServerBadQuery(t *testing.T) {
+	s, ts := testServer(t, 100, 5*time.Millisecond)
+	resp, body := postQuery(t, ts.URL, `<out> { for $b in return } </out>`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d (%s), want 400", resp.StatusCode, body)
+	}
+	if s.nScans.Load() != 0 {
+		t.Errorf("a compile error must not trigger a scan; scans = %d", s.nScans.Load())
+	}
+}
+
+// TestServerEndpoints: liveness and counters.
+func TestServerEndpoints(t *testing.T) {
+	_, ts := testServer(t, 100, time.Millisecond)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	if _, body := postQuery(t, ts.URL, `<out> { for $b in /bib/book return {$b/title} } </out>`); body == "" {
+		t.Fatal("empty query result")
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %v %v", resp, err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{"queries", "scans", "peak_batch_size"} {
+		if !strings.Contains(string(stats), key) {
+			t.Errorf("stats missing %q: %s", key, stats)
+		}
+	}
+}

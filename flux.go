@@ -21,6 +21,7 @@ package flux
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"strings"
 
@@ -28,6 +29,7 @@ import (
 	"flux/internal/dom"
 	"flux/internal/dtd"
 	"flux/internal/engine"
+	"flux/internal/mux"
 	"flux/internal/sax"
 	"flux/internal/xq"
 )
@@ -245,6 +247,56 @@ func (q *Query) Run(r io.Reader, w io.Writer, opt Options) (Stats, error) {
 		st, err := engine.Run(q.plan, r, w, saxOpt)
 		return Stats{PeakBufferBytes: st.PeakBufferBytes, OutputBytes: st.OutputBytes, Tokens: st.Tokens}, err
 	}
+}
+
+// Result is the outcome of one query in a shared-scan batch.
+type Result struct {
+	// Stats are the query's execution statistics; for a failed query they
+	// cover the stream prefix processed before the failure.
+	Stats Stats
+	// Err is the query's own failure, nil on success.
+	Err error
+}
+
+// RunAll evaluates all queries in a single pass of the XML document read
+// from r, writing each query's result to the corresponding writer (one
+// writer per query). The scan — read, tokenization, entity decoding — is
+// paid once and every event fans out to all queries, so N queries against
+// one document cost one traversal instead of N.
+//
+// Failures are isolated per query: a query whose plan errors mid-stream
+// is detached and its Result records the error, while its siblings keep
+// running. The returned error is reserved for stream-level failures
+// (malformed XML, read errors) that end every query; per-query Results
+// are still returned alongside it. All queries run on the FluX streaming
+// engine — the in-memory baselines cannot share a scan.
+func RunAll(queries []*Query, r io.Reader, opt Options, ws ...io.Writer) ([]Result, error) {
+	if opt.Engine != FluX {
+		return nil, errors.New("flux: RunAll shares one stream pass and requires the FluX engine")
+	}
+	if len(ws) != len(queries) {
+		return nil, fmt.Errorf("flux: RunAll needs one writer per query: %d queries, %d writers", len(queries), len(ws))
+	}
+	m := mux.New()
+	for i, q := range queries {
+		m.Add(q.plan, ws[i])
+	}
+	rs, err := m.Run(r, sax.Options{
+		SkipWhitespaceText: true,
+		AttrsToSubelements: opt.AttrsToSubelements,
+	})
+	out := make([]Result, len(rs))
+	for i, res := range rs {
+		out[i] = Result{
+			Stats: Stats{
+				PeakBufferBytes: res.Stats.PeakBufferBytes,
+				OutputBytes:     res.Stats.OutputBytes,
+				Tokens:          res.Stats.Tokens,
+			},
+			Err: res.Err,
+		}
+	}
+	return out, err
 }
 
 // RunString evaluates the query over an in-memory document and returns

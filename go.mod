@@ -1,0 +1,3 @@
+module flux
+
+go 1.24

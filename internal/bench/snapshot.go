@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Snapshot is the JSON artifact one benchmark run leaves behind (the
+// BENCH_<n>.json files at the repository root): enough context to compare
+// runs across commits and machines, plus the raw rows.
+type Snapshot struct {
+	// Schema names the snapshot layout, for forward compatibility.
+	Schema string `json:"schema"`
+	// CreatedAt is the wall-clock time the snapshot was written.
+	CreatedAt time.Time `json:"created_at"`
+	// GoVersion and NumCPU describe the machine that produced the rows.
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Rows are the raw measurements.
+	Rows []SnapshotRow `json:"rows"`
+}
+
+// SnapshotRow is one Row with the duration flattened to nanoseconds so
+// the JSON is toolable without Go's duration syntax.
+type SnapshotRow struct {
+	Query       string `json:"query"`
+	SizeMB      int    `json:"size_mb"`
+	Bytes       int64  `json:"bytes"`
+	Mode        Mode   `json:"mode"`
+	ElapsedNS   int64  `json:"elapsed_ns"`
+	BufferBytes int64  `json:"buffer_bytes"`
+	OutputBytes int64  `json:"output_bytes"`
+	Skipped     bool   `json:"skipped,omitempty"`
+}
+
+// WriteJSON writes rows as a Snapshot to path.
+func WriteJSON(path string, rows []Row) error {
+	snap := Snapshot{
+		Schema:    "flux-bench/v1",
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, r := range rows {
+		snap.Rows = append(snap.Rows, SnapshotRow{
+			Query:       r.Query,
+			SizeMB:      r.SizeMB,
+			Bytes:       r.Bytes,
+			Mode:        r.Mode,
+			ElapsedNS:   r.Elapsed.Nanoseconds(),
+			BufferBytes: r.Buffer,
+			OutputBytes: r.Output,
+			Skipped:     r.Skipped,
+		})
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

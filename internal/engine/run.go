@@ -33,26 +33,19 @@ type RunError struct {
 func (e *RunError) Error() string { return "engine: run: " + e.Msg }
 
 // Run executes a compiled plan over the XML stream read from r, writing
-// the query result to w.
+// the query result to w. It is the single-query convenience around
+// Session; multi-query shared scans build on Session directly.
 func Run(plan *Plan, r io.Reader, w io.Writer, opt sax.Options) (Stats, error) {
-	eng := newEngine(plan, w)
-	if err := eng.begin(); err != nil {
+	s := NewSession(plan, w)
+	if err := s.Begin(); err != nil {
+		s.Abort()
 		return Stats{}, err
 	}
-	if err := sax.Scan(r, eng, opt); err != nil {
+	if err := sax.Scan(r, s, opt); err != nil {
+		s.Abort()
 		return Stats{}, err
 	}
-	if err := eng.finish(); err != nil {
-		return Stats{}, err
-	}
-	if err := eng.w.Flush(); err != nil {
-		return Stats{}, err
-	}
-	return Stats{
-		PeakBufferBytes: eng.peakBytes,
-		OutputBytes:     eng.w.BytesWritten(),
-		Tokens:          eng.tokens,
-	}, nil
+	return s.Finish()
 }
 
 // RunString executes a plan over an in-memory document.
@@ -155,14 +148,6 @@ type engine struct {
 	curBytes  int64
 	peakBytes int64
 	tokens    int64
-}
-
-func newEngine(plan *Plan, w io.Writer) *engine {
-	return &engine{
-		plan: plan,
-		w:    sax.NewWriter(w),
-		inst: make(map[string]*scopeRT),
-	}
 }
 
 func (e *engine) account(owner *scopeRT, delta int64) {

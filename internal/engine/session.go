@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"io"
+	"sync"
+
+	"flux/internal/sax"
+)
+
+// Session is one execution of a compiled plan driven by an externally
+// supplied SAX event stream. It decouples event delivery from the scan
+// loop so that a single pass over the input can feed many queries at once
+// (see internal/mux): the caller owns the scanner and fans each event to
+// any number of sessions.
+//
+// The lifecycle is Begin, then any number of StartElement/Text/EndElement
+// calls (Session implements sax.Handler), then exactly one of Finish or
+// Abort. A Session is single-use and not safe for concurrent use; run
+// concurrent executions of the same Plan in separate Sessions.
+type Session struct {
+	eng  *engine
+	done bool
+}
+
+// NewSession creates a session executing plan, writing query output to w.
+func NewSession(plan *Plan, w io.Writer) *Session {
+	return &Session{eng: newEngine(plan, w)}
+}
+
+// errClosed reports use of a finished session.
+var errClosed = &RunError{Msg: "session already finished"}
+
+// Begin opens the synthetic document scope. It must be called once,
+// before the first event.
+func (s *Session) Begin() error {
+	if s.done {
+		return errClosed
+	}
+	return s.eng.begin()
+}
+
+// StartElement implements sax.Handler.
+func (s *Session) StartElement(name string) error {
+	if s.done {
+		return errClosed
+	}
+	return s.eng.StartElement(name)
+}
+
+// Text implements sax.Handler.
+func (s *Session) Text(data string) error {
+	if s.done {
+		return errClosed
+	}
+	return s.eng.Text(data)
+}
+
+// EndElement implements sax.Handler.
+func (s *Session) EndElement(name string) error {
+	if s.done {
+		return errClosed
+	}
+	return s.eng.EndElement(name)
+}
+
+// Finish signals end of stream: the document scope closes (running any
+// remaining on-first handlers), output is flushed, and the execution
+// statistics are returned. The session is dead afterwards.
+func (s *Session) Finish() (Stats, error) {
+	if s.done {
+		return Stats{}, errClosed
+	}
+	err := s.eng.finish()
+	if err == nil {
+		err = s.eng.w.Flush()
+	}
+	return s.close(), err
+}
+
+// Abort abandons the execution without running end-of-stream handlers or
+// flushing buffered output; use it when the event stream failed. It
+// returns the statistics accumulated so far and is a no-op on a finished
+// session.
+func (s *Session) Abort() Stats {
+	if s.done {
+		return Stats{}
+	}
+	return s.close()
+}
+
+// close snapshots stats and recycles the engine.
+func (s *Session) close() Stats {
+	st := Stats{
+		PeakBufferBytes: s.eng.peakBytes,
+		OutputBytes:     s.eng.w.BytesWritten(),
+		Tokens:          s.eng.tokens,
+	}
+	s.eng.release()
+	s.eng = nil
+	s.done = true
+	return st
+}
+
+// enginePool recycles engine shells — the frame stack, the instance map,
+// and the output writer's 64 KB buffer — across executions, so a resident
+// server does not churn allocations per query.
+var enginePool sync.Pool
+
+func newEngine(plan *Plan, w io.Writer) *engine {
+	e, _ := enginePool.Get().(*engine)
+	if e == nil {
+		e = &engine{
+			w:    sax.NewWriter(nil),
+			inst: make(map[string]*scopeRT),
+		}
+	}
+	e.plan = plan
+	e.w.Reset(w)
+	return e
+}
+
+// release clears all per-run state (including pointers parked beyond the
+// frame stack's length, which would otherwise pin buffered subtrees) and
+// returns the engine to the pool.
+func (e *engine) release() {
+	e.plan = nil
+	e.w.Reset(nil)
+	clear(e.frames[:cap(e.frames)])
+	e.frames = e.frames[:0]
+	clear(e.inst)
+	e.curBytes, e.peakBytes, e.tokens = 0, 0, 0
+	enginePool.Put(e)
+}

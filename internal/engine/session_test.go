@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"flux/internal/core"
+	"flux/internal/dtd"
+	"flux/internal/sax"
+)
+
+func sessionTestPlan(t *testing.T) *Plan {
+	t.Helper()
+	schema := dtd.MustParse(`
+<!ELEMENT r (a*)>
+<!ELEMENT a (#PCDATA)>
+`)
+	f, err := core.ParseFlux(`{ ps $ROOT: on r as $x return { $x } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(schema, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestSessionLifecycle: the explicit Begin/events/Finish seam produces
+// the same result as Run, and a finished session rejects further use.
+func TestSessionLifecycle(t *testing.T) {
+	plan := sessionTestPlan(t)
+	const doc = `<r><a>hi</a></r>`
+
+	var sb strings.Builder
+	s := NewSession(plan, &sb)
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sax.ScanString(doc, s, sax.Options{SkipWhitespaceText: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != doc {
+		t.Errorf("output = %q, want %q", sb.String(), doc)
+	}
+	if st.Tokens == 0 || st.OutputBytes != int64(len(doc)) {
+		t.Errorf("stats = %+v", st)
+	}
+
+	if _, err := s.Finish(); err == nil {
+		t.Error("second Finish: want an error, got nil")
+	}
+	if err := s.StartElement("r"); err == nil {
+		t.Error("event after Finish: want an error, got nil")
+	}
+	if st := s.Abort(); st != (Stats{}) {
+		t.Errorf("Abort after Finish: stats = %+v, want zero", st)
+	}
+}
+
+// TestSessionAbort: aborting mid-stream returns partial stats and leaves
+// the session unusable; pooled engines must come back clean (exercised by
+// the immediately following full run).
+func TestSessionAbort(t *testing.T) {
+	plan := sessionTestPlan(t)
+	s := NewSession(plan, &strings.Builder{})
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StartElement("r"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Abort()
+	if st.Tokens != 1 {
+		t.Errorf("partial stats tokens = %d, want 1", st.Tokens)
+	}
+
+	var sb strings.Builder
+	if _, err := Run(plan, strings.NewReader(`<r><a>x</a></r>`), &sb, sax.Options{SkipWhitespaceText: true}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != `<r><a>x</a></r>` {
+		t.Errorf("run after abort: output = %q", sb.String())
+	}
+}

@@ -1,0 +1,174 @@
+// Package mux executes many compiled query plans over a single SAX pass
+// of one input stream — a shared scan.
+//
+// The FluX engine already keeps per-query memory independent of input
+// size; the multiplexer extends that discipline to concurrent workloads
+// by amortizing the scan itself: N queries against the same document cost
+// one tokenization and one read of the input, not N. Each registered plan
+// runs in its own engine.Session, so per-query state, output, statistics,
+// and failures stay fully isolated — a plan that errors mid-stream is
+// detached from the event flow without disturbing its siblings.
+package mux
+
+import (
+	"errors"
+	"io"
+
+	"flux/internal/engine"
+	"flux/internal/sax"
+)
+
+// Result is the outcome of one plan in a shared scan.
+type Result struct {
+	// Stats are the per-query execution statistics; for a failed query
+	// they cover the prefix of the stream processed before the failure.
+	Stats engine.Stats
+	// Err is the query's own failure, nil on success. An input-level
+	// failure (malformed XML, read error) is recorded on every query that
+	// was still live when it happened and also returned from Run.
+	Err error
+}
+
+// Mux fans one stream's SAX events to any number of engine sessions.
+// Zero value is not ready; use New. A Mux is single-use: register plans
+// with Add, then call Run once.
+type Mux struct {
+	sessions []*engine.Session
+	results  []Result
+	live     []bool
+	nlive    int
+	events   int64
+	ran      bool
+}
+
+// New returns an empty multiplexer.
+func New() *Mux { return &Mux{} }
+
+// Add registers a compiled plan whose output is written to w, returning
+// the slot index of its Result in the slice Run returns.
+func (m *Mux) Add(plan *engine.Plan, w io.Writer) int {
+	m.sessions = append(m.sessions, engine.NewSession(plan, w))
+	m.results = append(m.results, Result{})
+	m.live = append(m.live, true)
+	m.nlive++
+	return len(m.sessions) - 1
+}
+
+// Len reports the number of registered plans.
+func (m *Mux) Len() int { return len(m.sessions) }
+
+// Events reports the number of SAX events the shared scan delivered —
+// the per-pass token cost that N independent runs would each pay again.
+func (m *Mux) Events() int64 { return m.events }
+
+// errAllFailed aborts the scan early once no session is listening.
+var errAllFailed = errors.New("mux: all queries failed")
+
+// fail detaches slot i from the event flow, recording err and the stats
+// accumulated up to the failure.
+func (m *Mux) fail(i int, err error) {
+	m.results[i].Err = err
+	m.results[i].Stats = m.sessions[i].Abort()
+	m.live[i] = false
+	m.nlive--
+}
+
+// StartElement implements sax.Handler.
+func (m *Mux) StartElement(name string) error {
+	m.events++
+	for i, s := range m.sessions {
+		if !m.live[i] {
+			continue
+		}
+		if err := s.StartElement(name); err != nil {
+			m.fail(i, err)
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
+// Text implements sax.Handler.
+func (m *Mux) Text(data string) error {
+	m.events++
+	for i, s := range m.sessions {
+		if !m.live[i] {
+			continue
+		}
+		if err := s.Text(data); err != nil {
+			m.fail(i, err)
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
+// EndElement implements sax.Handler.
+func (m *Mux) EndElement(name string) error {
+	m.events++
+	for i, s := range m.sessions {
+		if !m.live[i] {
+			continue
+		}
+		if err := s.EndElement(name); err != nil {
+			m.fail(i, err)
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
+// Run scans the XML document from r once, delivering every event to all
+// registered plans, and returns one Result per plan in Add order.
+//
+// Per-query failures (schema violations under a plan's DTD, write errors
+// on a query's output) are isolated in that query's Result. The returned
+// error is reserved for stream-level failures that necessarily end every
+// query: malformed XML, a read error, or all queries having failed.
+func (m *Mux) Run(r io.Reader, opt sax.Options) ([]Result, error) {
+	if m.ran {
+		return nil, errors.New("mux: Run called twice")
+	}
+	m.ran = true
+	for i, s := range m.sessions {
+		if !m.live[i] {
+			continue
+		}
+		if err := s.Begin(); err != nil {
+			m.fail(i, err)
+		}
+	}
+	if m.nlive > 0 {
+		if err := sax.Scan(r, m, opt); err != nil {
+			if errors.Is(err, errAllFailed) {
+				return m.results, err
+			}
+			// The stream itself is bad: every remaining query inherits
+			// the failure.
+			for i := range m.sessions {
+				if m.live[i] {
+					m.fail(i, err)
+				}
+			}
+			return m.results, err
+		}
+	} else if len(m.sessions) > 0 {
+		return m.results, errAllFailed
+	}
+	for i, s := range m.sessions {
+		if !m.live[i] {
+			continue
+		}
+		st, err := s.Finish()
+		m.results[i] = Result{Stats: st, Err: err}
+		m.live[i] = false
+	}
+	m.nlive = 0
+	return m.results, nil
+}

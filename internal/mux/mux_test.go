@@ -1,0 +1,164 @@
+package mux_test
+
+import (
+	"strings"
+	"testing"
+
+	"flux/internal/core"
+	"flux/internal/dtd"
+	"flux/internal/engine"
+	"flux/internal/mux"
+	"flux/internal/sax"
+)
+
+var scanOpt = sax.Options{SkipWhitespaceText: true}
+
+func compile(t *testing.T, dtdText, fluxText string) *engine.Plan {
+	t.Helper()
+	schema := dtd.MustParse(dtdText)
+	f, err := core.ParseFlux(fluxText)
+	if err != nil {
+		t.Fatalf("parse %q: %v", fluxText, err)
+	}
+	plan, err := engine.Compile(schema, f)
+	if err != nil {
+		t.Fatalf("compile %q: %v", fluxText, err)
+	}
+	return plan
+}
+
+const testDTD = `
+<!ELEMENT r (a*,b*)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+`
+
+const testDoc = `<r><a>1</a><a>2</a><b>x</b></r>`
+
+// TestSharedScanMatchesSingleRun: each plan in a shared scan must produce
+// exactly the output and statistics it produces when run alone.
+func TestSharedScanMatchesSingleRun(t *testing.T) {
+	plans := []*engine.Plan{
+		compile(t, testDTD, `{ ps $ROOT: on r as $x return { $x } }`),
+		compile(t, testDTD, `{ ps $ROOT: on-first past(*) return done }`),
+	}
+
+	single := make([]string, len(plans))
+	singleStats := make([]engine.Stats, len(plans))
+	for i, p := range plans {
+		var sb strings.Builder
+		st, err := engine.Run(p, strings.NewReader(testDoc), &sb, scanOpt)
+		if err != nil {
+			t.Fatalf("single run %d: %v", i, err)
+		}
+		single[i], singleStats[i] = sb.String(), st
+	}
+
+	m := mux.New()
+	shared := make([]*strings.Builder, len(plans))
+	for i, p := range plans {
+		shared[i] = &strings.Builder{}
+		if got := m.Add(p, shared[i]); got != i {
+			t.Fatalf("Add returned slot %d, want %d", got, i)
+		}
+	}
+	results, err := m.Run(strings.NewReader(testDoc), scanOpt)
+	if err != nil {
+		t.Fatalf("shared run: %v", err)
+	}
+	for i := range plans {
+		if results[i].Err != nil {
+			t.Fatalf("query %d: %v", i, results[i].Err)
+		}
+		if shared[i].String() != single[i] {
+			t.Errorf("query %d output: shared %q, single %q", i, shared[i].String(), single[i])
+		}
+		if results[i].Stats != singleStats[i] {
+			t.Errorf("query %d stats: shared %+v, single %+v", i, results[i].Stats, singleStats[i])
+		}
+	}
+	if m.Events() != singleStats[0].Tokens {
+		t.Errorf("shared scan delivered %d events, single run processed %d tokens",
+			m.Events(), singleStats[0].Tokens)
+	}
+}
+
+// TestErrorIsolation: a plan whose DTD rejects the document must fail
+// alone; its siblings complete with correct output.
+func TestErrorIsolation(t *testing.T) {
+	good := compile(t, testDTD, `{ ps $ROOT: on r as $x return { $x } }`)
+	// This plan's DTD does not allow <a> inside <r>, so its validating
+	// automaton fails mid-stream.
+	bad := compile(t, `
+<!ELEMENT r (b*)>
+<!ELEMENT b (#PCDATA)>
+`, `{ ps $ROOT: on r as $x return { $x } }`)
+
+	m := mux.New()
+	var goodOut, badOut strings.Builder
+	gi := m.Add(good, &goodOut)
+	bi := m.Add(bad, &badOut)
+	results, err := m.Run(strings.NewReader(testDoc), scanOpt)
+	if err != nil {
+		t.Fatalf("shared run: %v", err)
+	}
+	if results[bi].Err == nil {
+		t.Error("bad plan: want a validation error, got nil")
+	}
+	if results[gi].Err != nil {
+		t.Errorf("good plan poisoned by sibling: %v", results[gi].Err)
+	}
+	if goodOut.String() != testDoc {
+		t.Errorf("good plan output = %q, want %q", goodOut.String(), testDoc)
+	}
+}
+
+// TestAllFailed: when every plan fails the scan aborts early and Run
+// reports it, with each per-query error preserved.
+func TestAllFailed(t *testing.T) {
+	badDTD := `
+<!ELEMENT r (b*)>
+<!ELEMENT b (#PCDATA)>
+`
+	m := mux.New()
+	m.Add(compile(t, badDTD, `{ ps $ROOT: on r as $x return { $x } }`), &strings.Builder{})
+	m.Add(compile(t, badDTD, `{ ps $ROOT: on-first past(*) return done }`), &strings.Builder{})
+	results, err := m.Run(strings.NewReader(testDoc), scanOpt)
+	if err == nil {
+		t.Fatal("want an all-queries-failed error, got nil")
+	}
+	for i, res := range results {
+		if res.Err == nil {
+			t.Errorf("query %d: want an error, got nil", i)
+		}
+	}
+}
+
+// TestMalformedInput: a stream-level failure is returned from Run and
+// recorded on every query.
+func TestMalformedInput(t *testing.T) {
+	m := mux.New()
+	m.Add(compile(t, testDTD, `{ ps $ROOT: on r as $x return { $x } }`), &strings.Builder{})
+	m.Add(compile(t, testDTD, `{ ps $ROOT: on-first past(*) return done }`), &strings.Builder{})
+	results, err := m.Run(strings.NewReader(`<r><a>1</a>`), scanOpt)
+	if err == nil {
+		t.Fatal("want a syntax error for truncated input, got nil")
+	}
+	for i, res := range results {
+		if res.Err == nil {
+			t.Errorf("query %d: want the stream error, got nil", i)
+		}
+	}
+}
+
+// TestRunTwice: a Mux is single-use.
+func TestRunTwice(t *testing.T) {
+	m := mux.New()
+	m.Add(compile(t, testDTD, `{ ps $ROOT: on-first past(*) return done }`), &strings.Builder{})
+	if _, err := m.Run(strings.NewReader(testDoc), scanOpt); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := m.Run(strings.NewReader(testDoc), scanOpt); err == nil {
+		t.Fatal("second Run: want an error, got nil")
+	}
+}

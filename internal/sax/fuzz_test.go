@@ -1,0 +1,94 @@
+package sax
+
+// Native fuzz target for the scanner, complementing the differential
+// query fuzzer at the repository root: any input the scanner accepts must
+// produce a balanced, properly nested event stream that survives a
+// serialize → rescan round trip unchanged.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzScan(f *testing.F) {
+	for _, seed := range []string{
+		`<a>hi</a>`,
+		`<r><a>1</a><a>2</a><b>x</b></r>`,
+		`<a/>`,
+		`<a b="c" d='e'>t</a>`,
+		`<?xml version="1.0"?><!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>x</r>`,
+		`<a><!-- comment --><![CDATA[<raw>&amp;]]></a>`,
+		`<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x41;&unknown;</a>`,
+		`<a> <b></b>
+		</a>`,
+		`<a`,
+		`<a></b>`,
+		`text only`,
+		`<a>]]></a>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		var events Collector
+		if err := ScanString(doc, &events, Options{}); err != nil {
+			// Rejected input is fine; the scan just must not panic or
+			// deliver a malformed event stream before rejecting.
+			return
+		}
+
+		// Accepted input: events must be balanced and properly nested.
+		var stack []string
+		for _, ev := range events.Events {
+			switch ev.Kind {
+			case StartElement:
+				stack = append(stack, ev.Name)
+			case EndElement:
+				if len(stack) == 0 || stack[len(stack)-1] != ev.Name {
+					t.Fatalf("unbalanced events %v for %q", events.Events, doc)
+				}
+				stack = stack[:len(stack)-1]
+			case Text:
+				if ev.Data == "" {
+					t.Fatalf("empty text event for %q", doc)
+				}
+			}
+		}
+		if len(stack) != 0 {
+			t.Fatalf("unclosed events %v for %q", events.Events, doc)
+		}
+
+		// Round trip: serializing the events and rescanning must
+		// reproduce them exactly (escaping and entity decoding cancel).
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		for _, ev := range events.Events {
+			var err error
+			switch ev.Kind {
+			case StartElement:
+				err = w.StartElement(ev.Name)
+			case EndElement:
+				err = w.EndElement(ev.Name)
+			case Text:
+				err = w.Text(ev.Data)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var again Collector
+		if err := ScanString(sb.String(), &again, Options{}); err != nil {
+			t.Fatalf("rescan of %q (from %q): %v", sb.String(), doc, err)
+		}
+		if len(again.Events) != len(events.Events) {
+			t.Fatalf("round trip changed event count: %v vs %v", events.Events, again.Events)
+		}
+		for i := range events.Events {
+			if events.Events[i] != again.Events[i] {
+				t.Fatalf("round trip changed event %d: %v vs %v", i, events.Events[i], again.Events[i])
+			}
+		}
+	})
+}

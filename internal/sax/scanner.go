@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Options configures a scan.
@@ -33,18 +34,60 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("sax: syntax error at byte %d: %s", e.Offset, e.Msg)
 }
 
+// scannerPool recycles scanners — the 64 KB read buffer, the name
+// interning table, and the scratch buffers — so a resident server running
+// many scans does not re-allocate them per query batch.
+var scannerPool sync.Pool
+
+// maxPooledNames bounds the interning table carried across pooled scans;
+// a table blown up by one adversarial document is dropped rather than
+// pinned in memory forever.
+const maxPooledNames = 1 << 12
+
+// maxPooledScratch likewise bounds the pooled name/attribute scratch
+// buffer, which one huge attribute value would otherwise pin.
+const maxPooledScratch = 64 << 10
+
 // Scan reads the XML document from r and delivers SAX events to h.
 // It validates well-formedness (tag nesting, a single document element)
 // but not any schema. Processing instructions, comments, and the DOCTYPE
 // declaration are skipped.
 func Scan(r io.Reader, h Handler, opt Options) error {
-	s := &scanner{
-		r:     bufio.NewReaderSize(r, 64<<10),
-		h:     h,
-		opt:   opt,
-		names: make(map[string]string, 64),
+	s, _ := scannerPool.Get().(*scanner)
+	if s == nil {
+		s = &scanner{
+			r:     bufio.NewReaderSize(nil, 64<<10),
+			names: make(map[string]string, 64),
+		}
 	}
-	return s.run()
+	s.r.Reset(r)
+	s.h = h
+	s.opt = opt
+	err := s.run()
+	s.recycle()
+	return err
+}
+
+// recycle clears per-scan state and returns the scanner to the pool. The
+// interning table is kept (element names repeat across scans of the same
+// corpus) unless it has grown past maxPooledNames.
+func (s *scanner) recycle() {
+	s.r.Reset(nil)
+	s.h = nil
+	s.opt = Options{}
+	s.off = 0
+	clear(s.stack[:cap(s.stack)])
+	s.stack = s.stack[:0]
+	s.text.Reset()
+	if cap(s.buf) > maxPooledScratch {
+		s.buf = nil
+	} else {
+		s.buf = s.buf[:0]
+	}
+	if len(s.names) > maxPooledNames {
+		s.names = make(map[string]string, 64)
+	}
+	scannerPool.Put(s)
 }
 
 // ScanString is a convenience wrapper around Scan for in-memory documents.

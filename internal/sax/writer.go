@@ -25,6 +25,15 @@ func NewWriter(w io.Writer) *Writer {
 // buffering included).
 func (w *Writer) BytesWritten() int64 { return w.n }
 
+// Reset discards any unflushed output and error state and redirects the
+// Writer to out, allowing a long-lived server to reuse Writers instead of
+// allocating one per query execution.
+func (w *Writer) Reset(out io.Writer) {
+	w.w.Reset(out)
+	w.n = 0
+	w.err = nil
+}
+
 // Flush flushes the underlying buffered writer.
 func (w *Writer) Flush() error {
 	if w.err != nil {
