@@ -23,12 +23,21 @@ fuzz:
 	$(GO) test ./internal/sax -run='^FuzzScan$$' -fuzz='^FuzzScan$$' -fuzztime=10s
 
 # Benchmark smoke: one pass over every Go benchmark (compile + correctness
-# of the measurement loops), then a 1 MB Figure 4 sweep whose rows land in
-# BENCH_1.json — the perf-trajectory snapshot this tree is expected to
-# keep updating (BENCH_2.json, ... in later revisions).
+# of the measurement loops), then a 1 MB Figure 4 sweep (plus the
+# shared-scan serving row) written to a fresh BENCH_NEW.json. Checked-in
+# trajectory snapshots are BENCH_1.json, BENCH_2.json, ...: one per
+# revision that moves performance, never overwritten.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
-	$(GO) run ./cmd/fluxbench -sizes 1 -json BENCH_1.json
+	$(GO) run ./cmd/fluxbench -sizes 1 -json BENCH_NEW.json
+
+# Perf-trajectory gate: diff the fresh snapshot against the
+# highest-numbered checked-in BENCH_<n>.json and fail on >20% regression
+# in shared-scan elapsed time (calibration-scaled across machines) or
+# any row's peak buffer bytes.
+bench-diff: bench
+	$(GO) run ./cmd/benchdiff -old "$$(ls BENCH_[0-9]*.json | sort -V | tail -n 1)" -new BENCH_NEW.json -pct 20
 
 clean:
 	$(GO) clean ./...
+	rm -f BENCH_NEW.json

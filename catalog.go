@@ -1,0 +1,347 @@
+package flux
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flux/internal/dtd"
+	"flux/internal/fsutil"
+)
+
+// Catalog is a concurrency-safe registry of named documents, each bound
+// to a DTD, backing multi-document serving: fluxd routes requests by
+// document name, and any embedder can treat a corpus of XML files as a
+// managed, queryable collection instead of a single stream.
+//
+// Schemas parse lazily — registering a document costs nothing until its
+// first query — and parse results (including failures) are cached per
+// distinct DTD text, so documents sharing a DTD share one parsed schema.
+// Compiled queries are cached in a bounded LRU keyed by (schema, query
+// text): repeated Prepare calls for the same query against the same
+// schema are free, and CacheStats exports hit/miss/eviction counters.
+//
+// Swap atomically repoints a document at a new file: batches already
+// scanning the old file complete against it (they hold an open file
+// handle), while every later request opens the new one.
+type Catalog struct {
+	mu      sync.RWMutex
+	docs    map[string]*catalogDoc
+	schemas map[string]*schemaEntry // keyed by exact DTD text
+
+	cache *queryCache
+}
+
+// catalogDoc is the registry entry for one named document. The path is
+// swapped atomically under the catalog lock; everything else is fixed at
+// Add time.
+type catalogDoc struct {
+	name   string
+	path   string
+	schema *schemaEntry
+	swaps  int64 // completed hot-swaps
+}
+
+// schemaEntry parses one DTD text at most once, on first use.
+type schemaEntry struct {
+	dtdText string
+	once    sync.Once
+	schema  *dtd.Schema
+	err     error
+}
+
+func (se *schemaEntry) get() (*dtd.Schema, error) {
+	se.once.Do(func() {
+		se.schema, se.err = dtd.Parse(se.dtdText)
+	})
+	return se.schema, se.err
+}
+
+// DefaultQueryCacheCap bounds the compiled-query cache when CatalogOptions
+// leaves QueryCacheCap zero.
+const DefaultQueryCacheCap = 256
+
+// CatalogOptions configures a Catalog.
+type CatalogOptions struct {
+	// QueryCacheCap bounds the compiled-query LRU cache; 0 means
+	// DefaultQueryCacheCap, negative disables caching.
+	QueryCacheCap int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog(opt CatalogOptions) *Catalog {
+	cap := opt.QueryCacheCap
+	if cap == 0 {
+		cap = DefaultQueryCacheCap
+	}
+	return &Catalog{
+		docs:    make(map[string]*catalogDoc),
+		schemas: make(map[string]*schemaEntry),
+		cache:   newQueryCache(cap),
+	}
+}
+
+// errors reported by catalog operations.
+var (
+	ErrDocNotFound = errors.New("flux: document not registered in catalog")
+	ErrDocExists   = errors.New("flux: document already registered in catalog")
+)
+
+// Add registers a document under name, bound to dtdText. The document
+// file must exist and be a readable regular file; the DTD is not parsed
+// until the document's first query (lazy schema parsing).
+func (c *Catalog) Add(name, docPath, dtdText string) error {
+	if name == "" {
+		return errors.New("flux: catalog document name must be non-empty")
+	}
+	if err := fsutil.CheckRegularFile(docPath); err != nil {
+		return fmt.Errorf("flux: document %q: %w", name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.docs[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDocExists, name)
+	}
+	se, ok := c.schemas[dtdText]
+	if !ok {
+		se = &schemaEntry{dtdText: dtdText}
+		c.schemas[dtdText] = se
+	}
+	c.docs[name] = &catalogDoc{name: name, path: docPath, schema: se}
+	return nil
+}
+
+// Swap atomically repoints the named document at path (hot-swap). The
+// new file is stat-checked before the switch; on any error the old
+// binding stays in place. In-flight scans of the old file complete
+// against it, new requests see the new file, and the document's DTD,
+// schema, and cached compiled queries are unchanged.
+func (c *Catalog) Swap(name, path string) error {
+	if err := fsutil.CheckRegularFile(path); err != nil {
+		return fmt.Errorf("flux: swap %q: %w", name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	d.path = path
+	d.swaps++
+	return nil
+}
+
+// Remove unregisters the named document. A schema no other document
+// references is dropped with it, so cycling documents through
+// Add/Remove does not grow the registry without bound; that schema's
+// cached compiled queries age out of the bounded LRU.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	delete(c.docs, name)
+	for _, other := range c.docs {
+		if other.schema == d.schema {
+			return nil
+		}
+	}
+	delete(c.schemas, d.schema.dtdText)
+	return nil
+}
+
+// Docs lists the registered document names, sorted.
+func (c *Catalog) Docs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.docs))
+	for n := range c.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DocInfo describes one registered document.
+type DocInfo struct {
+	// Name is the registry key.
+	Name string `json:"name"`
+	// Path is the file currently bound to the name.
+	Path string `json:"path"`
+	// Swaps counts completed hot-swaps since registration.
+	Swaps int64 `json:"swaps"`
+}
+
+// Info reports the named document's current binding.
+func (c *Catalog) Info(name string) (DocInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[name]
+	if !ok {
+		return DocInfo{}, fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	return DocInfo{Name: d.name, Path: d.path, Swaps: d.swaps}, nil
+}
+
+// Schema returns the named document's parsed schema, parsing the DTD on
+// first use.
+func (c *Catalog) Schema(name string) (*dtd.Schema, error) {
+	c.mu.RLock()
+	d, ok := c.docs[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	return d.schema.get()
+}
+
+// Open returns a reader over the file currently bound to name. The
+// caller owns the returned file; a concurrent Swap does not disturb it —
+// that is what makes hot-swap safe for in-flight scans.
+func (c *Catalog) Open(name string) (*os.File, error) {
+	c.mu.RLock()
+	d, ok := c.docs[name]
+	var path string
+	if ok {
+		path = d.path
+	}
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	return os.Open(path)
+}
+
+// Prepare compiles queryText against the named document's schema,
+// serving repeated compilations from the catalog's compiled-query cache.
+// Cached queries are shared — a *Query is stateless after preparation,
+// so one compiled query may execute concurrently for many callers.
+func (c *Catalog) Prepare(name, queryText string) (*Query, error) {
+	c.mu.RLock()
+	d, ok := c.docs[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	schema, err := d.schema.get()
+	if err != nil {
+		return nil, fmt.Errorf("flux: document %q DTD: %w", name, err)
+	}
+	if q, ok := c.cache.get(schema, queryText); ok {
+		return q, nil
+	}
+	q, err := PrepareWithSchema(queryText, schema)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.put(schema, queryText, q)
+	return q, nil
+}
+
+// CacheStats reports the compiled-query cache counters.
+func (c *Catalog) CacheStats() CacheStats { return c.cache.stats() }
+
+// --- compiled-query cache ------------------------------------------------
+
+// CacheStats are the compiled-query cache counters exported by a
+// Catalog: hits and misses measure how often Prepare was free, evictions
+// how often the LRU bound displaced a compiled query.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+}
+
+// cacheKey identifies a compiled query: the schema pointer (schemas are
+// deduplicated per DTD text, so pointer identity equals DTD identity)
+// plus the exact query text.
+type cacheKey struct {
+	schema *dtd.Schema
+	query  string
+}
+
+// queryCache is a bounded LRU of compiled queries.
+type queryCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[cacheKey]*list.Element
+	order *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheItem struct {
+	key cacheKey
+	q   *Query
+}
+
+func newQueryCache(cap int) *queryCache {
+	qc := &queryCache{cap: cap}
+	if cap > 0 {
+		qc.items = make(map[cacheKey]*list.Element, cap)
+		qc.order = list.New()
+	}
+	return qc
+}
+
+func (qc *queryCache) get(schema *dtd.Schema, query string) (*Query, bool) {
+	if qc.cap <= 0 {
+		// A disabled cache reports zero counters rather than a climbing
+		// miss count an operator would misread as a 0% hit rate.
+		return nil, false
+	}
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	el, ok := qc.items[cacheKey{schema, query}]
+	if !ok {
+		qc.misses.Add(1)
+		return nil, false
+	}
+	qc.order.MoveToFront(el)
+	qc.hits.Add(1)
+	return el.Value.(*cacheItem).q, true
+}
+
+func (qc *queryCache) put(schema *dtd.Schema, query string, q *Query) {
+	if qc.cap <= 0 {
+		return
+	}
+	qc.mu.Lock()
+	defer qc.mu.Unlock()
+	key := cacheKey{schema, query}
+	if el, ok := qc.items[key]; ok {
+		qc.order.MoveToFront(el)
+		el.Value.(*cacheItem).q = q
+		return
+	}
+	qc.items[key] = qc.order.PushFront(&cacheItem{key: key, q: q})
+	if qc.order.Len() > qc.cap {
+		oldest := qc.order.Back()
+		qc.order.Remove(oldest)
+		delete(qc.items, oldest.Value.(*cacheItem).key)
+		qc.evictions.Add(1)
+	}
+}
+
+func (qc *queryCache) stats() CacheStats {
+	st := CacheStats{
+		Hits:      qc.hits.Load(),
+		Misses:    qc.misses.Load(),
+		Evictions: qc.evictions.Load(),
+	}
+	if qc.cap > 0 {
+		qc.mu.Lock()
+		st.Size = qc.order.Len()
+		qc.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,221 @@
+package flux
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const catDTD = `
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title,year)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+const catDoc = `<bib>` +
+	`<book><title>FluX</title><year>2004</year></book>` +
+	`<book><title>XMark</title><year>2002</year></book>` +
+	`</bib>`
+
+const catDoc2 = `<bib>` +
+	`<book><title>Galax</title><year>2004</year></book>` +
+	`</bib>`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCatalogAddLookupRemove(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	docPath := writeTemp(t, "bib.xml", catDoc)
+
+	if err := cat.Add("bib", docPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("bib", docPath, catDTD); !errors.Is(err, ErrDocExists) {
+		t.Fatalf("duplicate Add: err = %v, want ErrDocExists", err)
+	}
+	if err := cat.Add("ghost", filepath.Join(t.TempDir(), "missing.xml"), catDTD); err == nil {
+		t.Fatal("Add with missing file must fail")
+	}
+	if got := cat.Docs(); len(got) != 1 || got[0] != "bib" {
+		t.Fatalf("Docs() = %v, want [bib]", got)
+	}
+	info, err := cat.Info("bib")
+	if err != nil || info.Path != docPath || info.Swaps != 0 {
+		t.Fatalf("Info = %+v, %v", info, err)
+	}
+	if err := cat.Remove("bib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Remove("bib"); !errors.Is(err, ErrDocNotFound) {
+		t.Fatalf("double Remove: err = %v, want ErrDocNotFound", err)
+	}
+	if n := len(cat.schemas); n != 0 {
+		t.Fatalf("schemas after removing the last referencing doc = %d, want 0", n)
+	}
+	if _, err := cat.Prepare("bib", "{ for $b in /bib/book return {$b/title} }"); !errors.Is(err, ErrDocNotFound) {
+		t.Fatalf("Prepare on removed doc: err = %v, want ErrDocNotFound", err)
+	}
+}
+
+// TestCatalogLazySchema: a bad DTD is accepted at Add time (lazy
+// parsing) and surfaces on first Prepare — once, cached, for every
+// subsequent use.
+func TestCatalogLazySchema(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	docPath := writeTemp(t, "bib.xml", catDoc)
+	if err := cat.Add("bad", docPath, "<!ELEMENT "); err != nil {
+		t.Fatalf("Add must not parse the DTD eagerly: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cat.Prepare("bad", "{ for $b in /bib/book return {$b} }"); err == nil {
+			t.Fatal("Prepare against a malformed DTD must fail")
+		}
+	}
+}
+
+// TestCatalogQueryCache: repeated Prepare hits the cache and returns the
+// identical compiled query; distinct texts miss; the LRU bound evicts.
+func TestCatalogQueryCache(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{QueryCacheCap: 2})
+	docPath := writeTemp(t, "bib.xml", catDoc)
+	if err := cat.Add("bib", docPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+
+	const q1 = `<out> { for $b in /bib/book return {$b/title} } </out>`
+	first, err := cat.Prepare("bib", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := cat.Prepare("bib", q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("repeated Prepare must return the cached compiled query")
+	}
+	st := cat.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("after one repeat: stats = %+v", st)
+	}
+
+	// Two more distinct queries overflow cap=2 and evict the LRU entry.
+	for _, q := range []string{
+		`<out> { for $b in /bib/book return {$b/year} } </out>`,
+		`<out> { for $b in /bib/book return {$b} } </out>`,
+	} {
+		if _, err := cat.Prepare("bib", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = cat.CacheStats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("after overflow: stats = %+v", st)
+	}
+
+	// The evicted query (q1, least recently used) recompiles: a miss.
+	misses := st.Misses
+	if _, err := cat.Prepare("bib", q1); err != nil {
+		t.Fatal(err)
+	}
+	if st = cat.CacheStats(); st.Misses != misses+1 {
+		t.Fatalf("evicted query must miss: stats = %+v", st)
+	}
+
+	// The cached query still runs correctly.
+	out, _, err := again.RunString(catDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<title>FluX</title>") {
+		t.Fatalf("cached query output = %q", out)
+	}
+}
+
+// TestCatalogSharedSchema: documents registered with identical DTD text
+// share one schema, so compiled queries are shared across them too.
+func TestCatalogSharedSchema(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	if err := cat.Add("a", writeTemp(t, "a.xml", catDoc), catDTD); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("b", writeTemp(t, "b.xml", catDoc2), catDTD); err != nil {
+		t.Fatal(err)
+	}
+	const q = `<out> { for $b in /bib/book return {$b/title} } </out>`
+	qa, err := cat.Prepare("a", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := cat.Prepare("b", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa != qb {
+		t.Fatal("documents with identical DTD text must share compiled queries")
+	}
+	if st := cat.CacheStats(); st.Hits != 1 {
+		t.Fatalf("cross-document Prepare must hit: %+v", st)
+	}
+}
+
+// TestCatalogSwap: Swap repoints the name atomically; a reader opened
+// before the swap still reads the old file; a bad path leaves the old
+// binding untouched.
+func TestCatalogSwap(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	oldPath := writeTemp(t, "old.xml", catDoc)
+	newPath := writeTemp(t, "new.xml", catDoc2)
+	if err := cat.Add("bib", oldPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := cat.Open("bib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer before.Close()
+
+	if err := cat.Swap("bib", filepath.Join(t.TempDir(), "missing.xml")); err == nil {
+		t.Fatal("Swap to a missing file must fail")
+	}
+	if info, _ := cat.Info("bib"); info.Path != oldPath || info.Swaps != 0 {
+		t.Fatalf("failed swap must not change the binding: %+v", info)
+	}
+	if err := cat.Swap("bib", newPath); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := cat.Info("bib"); info.Path != newPath || info.Swaps != 1 {
+		t.Fatalf("after swap: %+v", info)
+	}
+
+	// The pre-swap handle still serves the old content.
+	oldContent, err := io.ReadAll(before)
+	if err != nil || string(oldContent) != catDoc {
+		t.Fatalf("pre-swap reader must see the old file: %q, %v", oldContent, err)
+	}
+	after, err := cat.Open("bib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Close()
+	newContent, err := io.ReadAll(after)
+	if err != nil || string(newContent) != catDoc2 {
+		t.Fatalf("post-swap reader must see the new file: %q, %v", newContent, err)
+	}
+
+	if err := cat.Swap("nope", newPath); !errors.Is(err, ErrDocNotFound) {
+		t.Fatalf("Swap of unknown doc: err = %v, want ErrDocNotFound", err)
+	}
+}

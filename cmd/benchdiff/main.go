@@ -1,0 +1,59 @@
+// Command benchdiff is the perf-trajectory gate: it compares a fresh
+// benchmark snapshot against a checked-in baseline and fails (exit 1)
+// on regressions beyond the threshold — shared-scan elapsed time
+// (calibration-scaled across machines) or any row's peak buffer bytes.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_2.json -new BENCH_NEW.json [-pct 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flux/internal/bench"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline snapshot (the last checked-in BENCH_<n>.json)")
+		newPath = flag.String("new", "", "fresh snapshot to check")
+		pct     = flag.Float64("pct", 20, "maximum allowed regression in percent")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fatal(fmt.Errorf("both -old and -new are required"))
+	}
+	if *pct < 0 {
+		fatal(fmt.Errorf("-pct must be non-negative, got %v", *pct))
+	}
+	oldSnap, err := bench.ReadSnapshot(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := bench.ReadSnapshot(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	res := bench.Diff(oldSnap, newSnap, *pct)
+	if res.Compared == 0 {
+		fatal(fmt.Errorf("no comparable rows between %s and %s", *oldPath, *newPath))
+	}
+	fmt.Printf("benchdiff: %d rows compared (%s -> %s), machine scale %.2f, threshold %.0f%%\n",
+		res.Compared, *oldPath, *newPath, res.Scale, *pct)
+	if len(res.Regressions) == 0 {
+		fmt.Println("benchdiff: no regressions")
+		return
+	}
+	for _, r := range res.Regressions {
+		fmt.Println("benchdiff: REGRESSION", r)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

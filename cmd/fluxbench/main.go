@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"flux/internal/bench"
 )
@@ -29,6 +33,7 @@ func main() {
 		workDir     = flag.String("dir", "", "directory for generated documents (default: temp, removed after)")
 		ablation    = flag.Bool("ablation", false, "compare FluX against FluX with scheduling disabled")
 		jsonPath    = flag.String("json", "", "also write the rows as a JSON snapshot to this path")
+		shared      = flag.Bool("shared", true, "add a shared-scan row per size (all queries, one pass)")
 	)
 	flag.Parse()
 
@@ -55,9 +60,17 @@ func main() {
 		modes = []bench.Mode{bench.ModeFluX, bench.ModeFluXNoSchema}
 	}
 	cfg.Modes = modes
+	cfg.SharedScan = *shared
 
-	rows, err := bench.Run(cfg)
+	// An interrupt abandons the sweep mid-document via the context path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rows, err := bench.RunContext(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(errors.New("interrupted"))
+		}
 		fatal(err)
 	}
 	fmt.Println()

@@ -1,24 +1,39 @@
-// Command fluxd is a long-running query server over one XML document: it
-// accepts XQuery⁻ queries over HTTP, compiles them against the configured
-// DTD, batches concurrent requests onto shared scans of the document, and
-// streams each result back.
+// Command fluxd is a long-running query server over a catalog of XML
+// documents: it accepts XQuery⁻ queries over HTTP, compiles them against
+// each document's DTD (with a compiled-query cache), batches concurrent
+// requests onto shared scans per document, and streams each result back.
+// It is a thin HTTP veneer over flux.Catalog and flux.Executor.
 //
 // Usage:
 //
-//	fluxd -dtd schema.dtd -doc data.xml [-addr :8700] [-window 2ms] [-max-batch 16] [-attrs]
+//	fluxd -dtd schema.dtd -doc data.xml [flags]     # single document
+//	fluxd -docroot corpus/ [flags]                  # every corpus/<name>.xml + <name>.dtd pair
+//
+// Flags: [-addr :8700] [-window 2ms] [-max-batch 16] [-attrs] [-query-cache 256] [-admin]
 //
 // Endpoints:
 //
-//	POST /query    query text in the body; result streams back, with
-//	               X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens and
-//	               X-Flux-Batch-Size arriving as HTTP trailers
-//	GET  /healthz  liveness probe
-//	GET  /stats    serving counters (queries, shared scans, batch sizes)
+//	POST /query?doc=name   query text in the body; result streams back,
+//	                       with X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens
+//	                       and X-Flux-Batch-Size arriving as HTTP
+//	                       trailers. ?doc= may be omitted when exactly
+//	                       one document is registered.
+//	GET  /docs             registered documents (name, path, swap count)
+//	POST /admin/swap?doc=name&path=/new/file.xml
+//	                       atomic hot-swap: in-flight scans finish on the
+//	                       old file, later requests read the new one.
+//	                       Disabled unless fluxd runs with -admin: the
+//	                       endpoint takes server-side file paths, so it
+//	                       belongs on trusted networks only
+//	GET  /stats            per-document serving counters plus
+//	                       compiled-query cache hit/miss/eviction counters
+//	GET  /healthz          liveness probe
 //
-// Concurrent requests that arrive within -window of each other (or up to
-// -max-batch of them) execute in a single pass of the document: the scan
-// is tokenized once and every SAX event fans out to all queries in the
-// batch, so the cost of a burst is one traversal, not one per query.
+// Concurrent requests for the same document that arrive within -window
+// of each other (or up to -max-batch of them) execute in a single pass
+// of that document. A client that disconnects mid-result is detached
+// from its shared scan at the next event batch; sibling queries keep
+// streaming.
 package main
 
 import (
@@ -27,38 +42,161 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
+
+	"flux"
+	"flux/internal/fsutil"
 )
+
+// docSpec is one document to register at startup.
+type docSpec struct {
+	name    string
+	docPath string
+	dtdPath string
+}
+
+// config is the validated server configuration.
+type config struct {
+	docs     []docSpec
+	window   time.Duration
+	maxBatch int
+	attrs    bool
+	cacheCap int
+	admin    bool // expose the mutating /admin/* endpoints
+}
+
+// maxSaneBatch bounds -max-batch: beyond this, a single scan fanning to
+// that many engines is a misconfiguration, not a workload.
+const maxSaneBatch = 4096
+
+// maxSaneWindow bounds -window: a batch window is a latency trade
+// measured in milliseconds; anything over a minute holds every first
+// request hostage.
+const maxSaneWindow = time.Minute
+
+// buildConfig validates the flag values and resolves the document set.
+// It is the startup gate: bad values produce errors here, not silent
+// defaults at serving time.
+func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatch, cacheCap int, attrs, admin bool) (config, error) {
+	cfg := config{window: window, maxBatch: maxBatch, attrs: attrs, cacheCap: cacheCap, admin: admin}
+	if window <= 0 {
+		// ExecutorOptions treats 0 as "use the default", so accepting 0
+		// here would silently re-introduce the 2ms default the user was
+		// trying to turn off.
+		return cfg, fmt.Errorf("-window must be positive (batching needs a window; try 100us for near-immediate dispatch), got %s", window)
+	}
+	if window > maxSaneWindow {
+		return cfg, fmt.Errorf("-window %s is absurd: batches would hold requests for over %s", window, maxSaneWindow)
+	}
+	if maxBatch <= 0 {
+		return cfg, fmt.Errorf("-max-batch must be positive, got %d", maxBatch)
+	}
+	if maxBatch > maxSaneBatch {
+		return cfg, fmt.Errorf("-max-batch %d is absurd (limit %d)", maxBatch, maxSaneBatch)
+	}
+	if cacheCap < 0 {
+		return cfg, fmt.Errorf("-query-cache must be non-negative, got %d", cacheCap)
+	}
+	if cacheCap == 0 {
+		cfg.cacheCap = -1 // flag 0 = disabled; CatalogOptions negative = disabled
+	}
+	if (dtdFile == "") != (docFile == "") {
+		return cfg, fmt.Errorf("-dtd and -doc must be given together")
+	}
+	if docFile == "" && docroot == "" {
+		return cfg, fmt.Errorf("no documents: give -dtd/-doc or -docroot")
+	}
+	if docFile != "" {
+		name := docName(docFile)
+		if err := fsutil.CheckRegularFile(docFile); err != nil {
+			return cfg, fmt.Errorf("-doc: %w", err)
+		}
+		if err := fsutil.CheckRegularFile(dtdFile); err != nil {
+			return cfg, fmt.Errorf("-dtd: %w", err)
+		}
+		cfg.docs = append(cfg.docs, docSpec{name: name, docPath: docFile, dtdPath: dtdFile})
+	}
+	if docroot != "" {
+		specs, err := scanDocroot(docroot)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.docs = append(cfg.docs, specs...)
+	}
+	seen := make(map[string]string)
+	for _, d := range cfg.docs {
+		if prev, dup := seen[d.name]; dup {
+			return cfg, fmt.Errorf("duplicate document name %q (%s and %s)", d.name, prev, d.docPath)
+		}
+		seen[d.name] = d.docPath
+	}
+	return cfg, nil
+}
+
+// scanDocroot finds every <name>.xml in dir and pairs it with the
+// required <name>.dtd. A stray .xml without its DTD, or an unreadable
+// entry, fails startup with a clear message.
+func scanDocroot(dir string) ([]docSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("-docroot: %w", err)
+	}
+	var specs []docSpec
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		docPath := filepath.Join(dir, e.Name())
+		dtdPath := strings.TrimSuffix(docPath, ".xml") + ".dtd"
+		if err := fsutil.CheckRegularFile(docPath); err != nil {
+			return nil, fmt.Errorf("-docroot entry: %w", err)
+		}
+		if err := fsutil.CheckRegularFile(dtdPath); err != nil {
+			return nil, fmt.Errorf("-docroot entry %s needs a DTD: %w", e.Name(), err)
+		}
+		specs = append(specs, docSpec{name: docName(docPath), docPath: docPath, dtdPath: dtdPath})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-docroot %s contains no <name>.xml/<name>.dtd pairs", dir)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].name < specs[j].name })
+	return specs, nil
+}
+
+// docName derives the registry name from a document path: the base name
+// without its extension.
+func docName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8700", "listen address")
-		dtdFile  = flag.String("dtd", "", "path to the DTD the document and all queries compile against")
-		docFile  = flag.String("doc", "", "path to the XML document to serve queries over")
+		dtdFile  = flag.String("dtd", "", "path to the DTD for the single -doc document")
+		docFile  = flag.String("doc", "", "path to a single XML document to serve queries over")
+		docroot  = flag.String("docroot", "", "directory of <name>.xml + <name>.dtd pairs to serve")
 		window   = flag.Duration("window", 2*time.Millisecond, "how long the first query of a batch waits for companions")
 		maxBatch = flag.Int("max-batch", 16, "maximum queries per shared scan")
+		cacheCap = flag.Int("query-cache", flux.DefaultQueryCacheCap, "compiled-query cache capacity (0 disables)")
 		attrs    = flag.Bool("attrs", false, "convert attributes to subelements (XSAX)")
+		admin    = flag.Bool("admin", false, "expose the mutating /admin/* endpoints (hot-swap); they accept server-side file paths, so enable only on trusted networks")
 	)
 	flag.Parse()
-	if *dtdFile == "" || *docFile == "" {
-		fatal(fmt.Errorf("both -dtd and -doc are required"))
-	}
-	dtdText, err := os.ReadFile(*dtdFile)
+
+	cfg, err := buildConfig(*dtdFile, *docFile, *docroot, *window, *maxBatch, *cacheCap, *attrs, *admin)
 	if err != nil {
 		fatal(err)
 	}
-	s, err := newServer(config{
-		dtdText:  string(dtdText),
-		docPath:  *docFile,
-		window:   *window,
-		maxBatch: *maxBatch,
-		attrs:    *attrs,
-	})
+	s, err := newServer(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("fluxd: serving %s (DTD %s) on %s, batch window %s, max batch %d",
-		*docFile, *dtdFile, *addr, *window, *maxBatch)
+	log.Printf("fluxd: serving %d document(s) %v on %s, batch window %s, max batch %d",
+		len(cfg.docs), s.cat.Docs(), *addr, cfg.window, cfg.maxBatch)
 	if err := http.ListenAndServe(*addr, s); err != nil {
 		fatal(err)
 	}

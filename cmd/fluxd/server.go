@@ -2,75 +2,60 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"flux"
-	"flux/internal/dtd"
 )
 
-// config is the static server configuration.
-type config struct {
-	dtdText  string
-	docPath  string
-	window   time.Duration // how long the first request of a batch waits for companions
-	maxBatch int           // a full batch dispatches immediately
-	attrs    bool          // XSAX attribute conversion on the input stream
-}
-
-// server batches concurrent query requests onto shared scans of the
-// target document. Each HTTP request compiles its query, joins the open
-// batch, and blocks until the batch's single input pass has streamed its
-// result; the pass itself runs through flux.RunAll, so per-request
-// output, statistics, and failures stay isolated.
+// server is the thin HTTP veneer over flux.Catalog (document registry,
+// hot-swap, compiled-query cache) and flux.Executor (shared-scan
+// batching). All serving policy — batching windows, cancellation,
+// per-document counters — lives in the library; the handlers only
+// translate HTTP.
 type server struct {
-	cfg    config
-	schema *dtd.Schema
+	cat    *flux.Catalog
+	ex     *flux.Executor
 	routes *http.ServeMux
 
-	mu       sync.Mutex
-	pending  []*request
-	batchGen uint64 // bumped whenever a batch is taken; stale timers check it
-
-	// Served counters, reported by /stats.
-	nQueries  atomic.Int64 // queries executed
-	nScans    atomic.Int64 // shared input passes performed
-	nShared   atomic.Int64 // queries that shared their pass with a sibling
-	peakBatch atomic.Int64 // largest batch so far
-}
-
-// request is one enqueued query execution.
-type request struct {
-	q    *flux.Query
-	w    io.Writer
-	done chan reqResult
-}
-
-// reqResult is what the batch runner reports back to the HTTP handler.
-type reqResult struct {
-	stats     flux.Stats
-	batchSize int
-	err       error
+	// defaultDoc serves /query without ?doc= when exactly one document
+	// is registered at startup; "" means the parameter is required.
+	defaultDoc string
 }
 
 func newServer(cfg config) (*server, error) {
-	schema, err := dtd.Parse(cfg.dtdText)
+	cat := flux.NewCatalog(flux.CatalogOptions{QueryCacheCap: cfg.cacheCap})
+	for _, d := range cfg.docs {
+		dtdText, err := os.ReadFile(d.dtdPath)
+		if err != nil {
+			return nil, fmt.Errorf("DTD %s: %w", d.dtdPath, err)
+		}
+		if err := cat.Add(d.name, d.docPath, string(dtdText)); err != nil {
+			return nil, err
+		}
+	}
+	ex, err := flux.NewExecutor(cat, flux.ExecutorOptions{
+		Window:             cfg.window,
+		MaxBatch:           cfg.maxBatch,
+		AttrsToSubelements: cfg.attrs,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("DTD: %w", err)
+		return nil, err
 	}
-	if _, err := os.Stat(cfg.docPath); err != nil {
-		return nil, fmt.Errorf("document: %w", err)
+	s := &server{cat: cat, ex: ex, routes: http.NewServeMux()}
+	if docs := cat.Docs(); len(docs) == 1 {
+		s.defaultDoc = docs[0]
 	}
-	if cfg.maxBatch <= 0 {
-		cfg.maxBatch = 16
-	}
-	s := &server{cfg: cfg, schema: schema, routes: http.NewServeMux()}
 	s.routes.HandleFunc("/query", s.handleQuery)
+	s.routes.HandleFunc("/docs", s.handleDocs)
+	if cfg.admin {
+		s.routes.HandleFunc("/admin/swap", s.handleSwap)
+	} else {
+		s.routes.HandleFunc("/admin/", s.handleAdminDisabled)
+	}
 	s.routes.HandleFunc("/healthz", s.handleHealthz)
 	s.routes.HandleFunc("/stats", s.handleStats)
 	return s, nil
@@ -83,13 +68,30 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.routes.Se
 // documents.
 const maxQueryBytes = 1 << 20
 
-// handleQuery compiles the posted XQuery⁻ text against the server's DTD,
-// joins the open batch, and streams the query result back. Execution
-// statistics arrive as HTTP trailers, since the body streams before they
-// are known.
+// resolveDoc picks the target document for a request.
+func (s *server) resolveDoc(r *http.Request) (string, error) {
+	doc := r.URL.Query().Get("doc")
+	if doc != "" {
+		return doc, nil
+	}
+	if s.defaultDoc != "" {
+		return s.defaultDoc, nil
+	}
+	return "", fmt.Errorf("multiple documents are registered; pick one with ?doc= (see /docs)")
+}
+
+// handleQuery streams the posted query's result from the document's
+// shared scan. The request context rides into ExecuteContext, so a
+// client that disconnects mid-result is detached from the scan at the
+// next event batch while batch siblings keep streaming.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST the query text to /query", http.StatusMethodNotAllowed)
+		return
+	}
+	doc, err := s.resolveDoc(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
@@ -103,23 +105,29 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "query exceeds the 1 MB limit", http.StatusRequestEntityTooLarge)
 		return
 	}
-	q, err := flux.PrepareWithSchema(string(body), s.schema)
+	q, err := s.cat.Prepare(doc, string(body))
 	if err != nil {
-		http.Error(w, "compiling query: "+err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		if errors.Is(err, flux.ErrDocNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, "compiling query: "+err.Error(), status)
 		return
 	}
 
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	w.Header().Set("Trailer", "X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens, X-Flux-Batch-Size")
 	cw := &countingWriter{w: w}
-	req := &request{q: q, w: cw, done: make(chan reqResult, 1)}
-	s.enqueue(req)
-	res := <-req.done
-
-	if res.err != nil {
+	res, err := s.ex.ExecuteQueryContext(r.Context(), doc, q, cw)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; there is no one to report to. The
+			// executor has already detached the query from its batch.
+			return
+		}
 		if cw.n == 0 {
 			// Nothing streamed yet; a clean error status is still possible.
-			http.Error(w, "executing query: "+res.err.Error(), http.StatusInternalServerError)
+			http.Error(w, "executing query: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
 		// The response is already partially written with a 200 header; a
@@ -132,93 +140,56 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Force the header out even for empty results.
 		w.WriteHeader(http.StatusOK)
 	}
-	w.Header().Set("X-Flux-Peak-Buffer-Bytes", fmt.Sprint(res.stats.PeakBufferBytes))
-	w.Header().Set("X-Flux-Tokens", fmt.Sprint(res.stats.Tokens))
-	w.Header().Set("X-Flux-Batch-Size", fmt.Sprint(res.batchSize))
+	w.Header().Set("X-Flux-Peak-Buffer-Bytes", fmt.Sprint(res.Stats.PeakBufferBytes))
+	w.Header().Set("X-Flux-Tokens", fmt.Sprint(res.Stats.Tokens))
+	w.Header().Set("X-Flux-Batch-Size", fmt.Sprint(res.BatchSize))
 }
 
-// enqueue adds req to the open batch. The first request of a batch arms
-// the dispatch timer; a full batch dispatches at once.
-func (s *server) enqueue(req *request) {
-	s.mu.Lock()
-	s.pending = append(s.pending, req)
-	n := len(s.pending)
-	if n >= s.cfg.maxBatch {
-		batch := s.pending
-		s.pending = nil
-		s.batchGen++
-		s.mu.Unlock()
-		s.runBatch(batch)
-		return
-	}
-	gen := s.batchGen
-	s.mu.Unlock()
-	if n == 1 {
-		time.AfterFunc(s.cfg.window, func() { s.dispatch(gen) })
-	}
-}
-
-// dispatch runs whatever has accumulated when the batch window closes.
-// The generation check makes a timer armed for an already-dispatched
-// batch a no-op instead of prematurely flushing the next batch's window.
-func (s *server) dispatch(gen uint64) {
-	s.mu.Lock()
-	if gen != s.batchGen || len(s.pending) == 0 {
-		s.mu.Unlock()
-		return
-	}
-	batch := s.pending
-	s.pending = nil
-	s.batchGen++
-	s.mu.Unlock()
-	s.runBatch(batch)
-}
-
-// runBatch executes one shared scan of the target document for the whole
-// batch and delivers each request its result.
-func (s *server) runBatch(batch []*request) {
-	s.nScans.Add(1)
-	s.nQueries.Add(int64(len(batch)))
-	if len(batch) > 1 {
-		s.nShared.Add(int64(len(batch)))
-	}
-	for {
-		peak := s.peakBatch.Load()
-		if int64(len(batch)) <= peak || s.peakBatch.CompareAndSwap(peak, int64(len(batch))) {
-			break
+// handleDocs lists the registered documents.
+func (s *server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	var infos []flux.DocInfo
+	for _, name := range s.cat.Docs() {
+		if info, err := s.cat.Info(name); err == nil {
+			infos = append(infos, info)
 		}
 	}
+	writeJSON(w, infos)
+}
 
-	fail := func(err error) {
-		for _, req := range batch {
-			req.done <- reqResult{batchSize: len(batch), err: err}
-		}
+// handleSwap atomically repoints a document at a new file. In-flight
+// scans complete against the old file; later requests read the new one.
+func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /admin/swap?doc=name&path=/new/file.xml", http.StatusMethodNotAllowed)
+		return
 	}
-	f, err := os.Open(s.cfg.docPath)
+	doc := r.URL.Query().Get("doc")
+	path := r.URL.Query().Get("path")
+	if doc == "" || path == "" {
+		http.Error(w, "both doc and path parameters are required", http.StatusBadRequest)
+		return
+	}
+	if err := s.cat.Swap(doc, path); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, flux.ErrDocNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	info, err := s.cat.Info(doc)
 	if err != nil {
-		fail(err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	defer f.Close()
+	writeJSON(w, info)
+}
 
-	queries := make([]*flux.Query, len(batch))
-	ws := make([]io.Writer, len(batch))
-	for i, req := range batch {
-		queries[i] = req.q
-		ws[i] = req.w
-	}
-	results, err := flux.RunAll(queries, f, flux.Options{AttrsToSubelements: s.cfg.attrs}, ws...)
-	if results == nil {
-		fail(err)
-		return
-	}
-	for i, req := range batch {
-		req.done <- reqResult{
-			stats:     results[i].Stats,
-			batchSize: len(batch),
-			err:       results[i].Err,
-		}
-	}
+// handleAdminDisabled answers /admin/* when the server was started
+// without -admin: the mutating endpoints accept server-side file paths
+// and are opt-in.
+func (s *server) handleAdminDisabled(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "admin endpoints are disabled; start fluxd with -admin to enable hot-swap", http.StatusForbidden)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -226,19 +197,31 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleStats reports serving counters; a queries/scans ratio above 1 is
-// the shared-scan amortization in action.
+// statsReply is the /stats payload: per-document serving counters (the
+// queries/scans ratio is the shared-scan amortization) plus the
+// compiled-query cache counters.
+type statsReply struct {
+	Docs  map[string]flux.DocStats `json:"docs"`
+	Cache flux.CacheStats          `json:"cache"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	docs := s.ex.Stats()
+	// Documents that have not served a query yet still appear, with
+	// zero counters, so dashboards see the whole catalog.
+	for _, name := range s.cat.Docs() {
+		if _, ok := docs[name]; !ok {
+			docs[name] = flux.DocStats{}
+		}
+	}
+	writeJSON(w, statsReply{Docs: docs, Cache: s.cat.CacheStats()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	queries, scans := s.nQueries.Load(), s.nScans.Load()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(map[string]int64{
-		"queries":         queries,
-		"scans":           scans,
-		"queries_shared":  s.nShared.Load(),
-		"peak_batch_size": s.peakBatch.Load(),
-	})
+	_ = enc.Encode(v)
 }
 
 // countingWriter tracks whether (and how much) output has been streamed,

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,20 +30,41 @@ const serverDoc = `<bib>` +
 	`<book><title>Galax</title><year>2004</year></book>` +
 	`</bib>`
 
-// testServer builds a server over a temp document with a deterministic
-// batching setup: a window long enough that dispatch is driven purely by
-// maxBatch filling up.
+const serverDoc2 = `<bib>` +
+	`<book><title>Streams</title><year>2003</year></book>` +
+	`</bib>`
+
+// writeDocPair writes <name>.xml and <name>.dtd into dir.
+func writeDocPair(t *testing.T, dir, name, doc string) string {
+	t.Helper()
+	docPath := filepath.Join(dir, name+".xml")
+	if err := os.WriteFile(docPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".dtd"), []byte(serverDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return docPath
+}
+
+// testServer builds a single-document server with a deterministic
+// batching setup.
 func testServer(t *testing.T, maxBatch int, window time.Duration) (*server, *httptest.Server) {
 	t.Helper()
-	docPath := filepath.Join(t.TempDir(), "bib.xml")
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "bib.xml")
+	dtdPath := filepath.Join(dir, "bib.dtd")
 	if err := os.WriteFile(docPath, []byte(serverDoc), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if err := os.WriteFile(dtdPath, []byte(serverDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	s, err := newServer(config{
-		dtdText:  serverDTD,
-		docPath:  docPath,
+		docs:     []docSpec{{name: "bib", docPath: docPath, dtdPath: dtdPath}},
 		window:   window,
 		maxBatch: maxBatch,
+		admin:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,9 +74,29 @@ func testServer(t *testing.T, maxBatch int, window time.Duration) (*server, *htt
 	return s, ts
 }
 
+// testServerDocroot builds a multi-document server from a docroot-style
+// config.
+func testServerDocroot(t *testing.T, maxBatch int, window time.Duration) (*server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	writeDocPair(t, dir, "alpha", serverDoc)
+	writeDocPair(t, dir, "beta", serverDoc2)
+	specs, err := scanDocroot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(config{docs: specs, window: window, maxBatch: maxBatch, admin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, dir
+}
+
 func postQuery(t *testing.T, url, query string) (*http.Response, string) {
 	t.Helper()
-	resp, err := http.Post(url+"/query", "text/plain", strings.NewReader(query))
+	resp, err := http.Post(url, "text/plain", strings.NewReader(query))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +138,7 @@ func TestServerBatchesConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int, qt string) {
 			defer wg.Done()
-			resp, body := postQuery(t, ts.URL, qt)
+			resp, body := postQuery(t, ts.URL+"/query", qt)
 			if resp.StatusCode != http.StatusOK {
 				t.Errorf("query %d: status %d: %s", i, resp.StatusCode, body)
 				return
@@ -113,8 +156,9 @@ func TestServerBatchesConcurrentRequests(t *testing.T) {
 	}
 	wg.Wait()
 
-	if scans, queriesRun := s.nScans.Load(), s.nQueries.Load(); scans != 1 || queriesRun != int64(len(queries)) {
-		t.Errorf("scans = %d, queries = %d; want 1 shared scan for %d queries", scans, queriesRun, len(queries))
+	st := s.ex.Stats()["bib"]
+	if st.Scans != 1 || st.Queries != int64(len(queries)) {
+		t.Errorf("scans = %d, queries = %d; want 1 shared scan for %d queries", st.Scans, st.Queries, len(queries))
 	}
 }
 
@@ -131,7 +175,7 @@ func TestServerWindowDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, body := postQuery(t, ts.URL, query)
+	resp, body := postQuery(t, ts.URL+"/query", query)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -143,20 +187,250 @@ func TestServerWindowDispatch(t *testing.T) {
 	}
 }
 
+// TestServerMultiDoc: /query?doc= routes to the right document; a
+// missing doc param with several documents registered is a clear client
+// error; an unknown name is 404.
+func TestServerMultiDoc(t *testing.T) {
+	_, ts, _ := testServerDocroot(t, 100, time.Millisecond)
+	const query = `<out> { for $b in /bib/book return {$b/title} } </out>`
+
+	resp, body := postQuery(t, ts.URL+"/query?doc=alpha", query)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "FluX") {
+		t.Fatalf("alpha: status %d body %q", resp.StatusCode, body)
+	}
+	resp, body = postQuery(t, ts.URL+"/query?doc=beta", query)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "Streams") {
+		t.Fatalf("beta: status %d body %q", resp.StatusCode, body)
+	}
+	resp, body = postQuery(t, ts.URL+"/query", query)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "?doc=") {
+		t.Fatalf("no doc param: status %d body %q", resp.StatusCode, body)
+	}
+	resp, _ = postQuery(t, ts.URL+"/query?doc=nope", query)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown doc: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerDocsEndpoint: /docs lists the catalog.
+func TestServerDocsEndpoint(t *testing.T) {
+	_, ts, _ := testServerDocroot(t, 100, time.Millisecond)
+	resp, err := http.Get(ts.URL + "/docs")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("docs: %v %v", resp, err)
+	}
+	var infos []flux.DocInfo
+	err = json.NewDecoder(resp.Body).Decode(&infos)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("docs = %+v", infos)
+	}
+}
+
+// TestServerHotSwap: /admin/swap repoints a document; subsequent queries
+// see the new content and /docs reports the swap count.
+func TestServerHotSwap(t *testing.T) {
+	_, ts, dir := testServerDocroot(t, 100, time.Millisecond)
+	newPath := filepath.Join(dir, "replacement.xml")
+	if err := os.WriteFile(newPath, []byte(serverDoc2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const query = `<out> { for $b in /bib/book return {$b/title} } </out>`
+
+	resp, err := http.Post(ts.URL+"/admin/swap?doc=alpha&path="+newPath, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info flux.DocInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || info.Swaps != 1 || info.Path != newPath {
+		t.Fatalf("swap: status %d info %+v", resp.StatusCode, info)
+	}
+
+	if resp, body := postQuery(t, ts.URL+"/query?doc=alpha", query); resp.StatusCode != http.StatusOK ||
+		!strings.Contains(body, "Streams") || strings.Contains(body, "FluX") {
+		t.Fatalf("post-swap query: status %d body %q", resp.StatusCode, body)
+	}
+
+	// Swapping to a missing file is rejected and leaves the binding.
+	resp, err = http.Post(ts.URL+"/admin/swap?doc=alpha&path="+filepath.Join(dir, "missing.xml"), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("swap to missing file: status %d, want 400", resp.StatusCode)
+	}
+	// Unknown document is 404.
+	resp, err = http.Post(ts.URL+"/admin/swap?doc=nope&path="+newPath, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("swap unknown doc: status %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestServerBadQuery: a query outside the fragment is a client error,
 // reported before any scan runs.
 func TestServerBadQuery(t *testing.T) {
 	s, ts := testServer(t, 100, 5*time.Millisecond)
-	resp, body := postQuery(t, ts.URL, `<out> { for $b in return } </out>`)
+	resp, body := postQuery(t, ts.URL+"/query", `<out> { for $b in return } </out>`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d (%s), want 400", resp.StatusCode, body)
 	}
-	if s.nScans.Load() != 0 {
-		t.Errorf("a compile error must not trigger a scan; scans = %d", s.nScans.Load())
+	if st := s.ex.Stats()["bib"]; st.Scans != 0 {
+		t.Errorf("a compile error must not trigger a scan; stats = %+v", st)
 	}
 }
 
-// TestServerEndpoints: liveness and counters.
+// TestServerStats: per-document counters and compiled-query cache
+// counters; a repeated query hits the cache.
+func TestServerStats(t *testing.T) {
+	_, ts, _ := testServerDocroot(t, 100, time.Millisecond)
+	const query = `<out> { for $b in /bib/book return {$b/title} } </out>`
+	for i := 0; i < 2; i++ {
+		if resp, body := postQuery(t, ts.URL+"/query?doc=alpha", query); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %v %v", resp, err)
+	}
+	var reply statsReply
+	err = json.NewDecoder(resp.Body).Decode(&reply)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Docs["alpha"].Queries != 2 || reply.Docs["alpha"].Scans != 2 {
+		t.Errorf("alpha stats = %+v", reply.Docs["alpha"])
+	}
+	if _, ok := reply.Docs["beta"]; !ok {
+		t.Error("stats must list documents that have not served yet")
+	}
+	if reply.Cache.Hits != 1 || reply.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 hit / 1 miss for a repeated query", reply.Cache)
+	}
+}
+
+// TestServerClientDisconnect: a client that vanishes mid-batch is
+// detached while its batch sibling streams the complete, correct result
+// — the whole scan is NOT wasted. Regression test for the
+// disconnect-wastes-the-scan bug.
+func TestServerClientDisconnect(t *testing.T) {
+	// A document big enough that the scan is still comfortably in
+	// flight when the disconnect has propagated through the HTTP
+	// server's connection watcher (ctx cancellation is asynchronous).
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 120000; i++ {
+		fmt.Fprintf(&sb, "<book><title>vol %06d</title><year>2004</year></book>", i)
+	}
+	sb.WriteString("</bib>")
+	bigDoc := sb.String()
+
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "big.xml")
+	dtdPath := filepath.Join(dir, "big.dtd")
+	if err := os.WriteFile(docPath, []byte(bigDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dtdPath, []byte(serverDTD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(config{
+		docs:     []docSpec{{name: "big", docPath: docPath, dtdPath: dtdPath}},
+		window:   30 * time.Second, // dispatch strictly on the batch filling
+		maxBatch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const query = `<out> { for $b in /bib/book return {$b/title} } </out>`
+	q, err := flux.Prepare(query, serverDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := q.RunString(bigDoc, flux.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The surviving client.
+	type outcome struct {
+		body string
+		err  error
+	}
+	survived := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(query))
+		if err != nil {
+			survived <- outcome{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		survived <- outcome{body: string(body), err: err}
+	}()
+
+	// The hanging client: joins the batch (filling it, which dispatches
+	// the shared scan), reads a little, then disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", strings.NewReader(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatalf("hanging client never saw output: %v", err)
+	}
+	cancel() // disconnect mid-stream
+	resp.Body.Close()
+
+	out := <-survived
+	if out.err != nil {
+		t.Fatalf("surviving client: %v", out.err)
+	}
+	if out.body != want {
+		t.Fatalf("surviving client's result corrupted: %d bytes, want %d", len(out.body), len(want))
+	}
+
+	// The canceled query must be recorded; deadline guards the counter
+	// becoming visible after the batch finishes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.ex.Stats()["big"]; st.Canceled == 1 {
+			if st.Scans != 1 || st.Queries != 2 {
+				t.Fatalf("stats = %+v, want one shared scan of two queries", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter never incremented: %+v", s.ex.Stats()["big"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerEndpoints: liveness.
 func TestServerEndpoints(t *testing.T) {
 	_, ts := testServer(t, 100, time.Millisecond)
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -164,19 +438,107 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("healthz: %v %v", resp, err)
 	}
 	resp.Body.Close()
+}
 
-	if _, body := postQuery(t, ts.URL, `<out> { for $b in /bib/book return {$b/title} } </out>`); body == "" {
-		t.Fatal("empty query result")
+// TestBuildConfigValidation: bad flag values fail startup with clear
+// errors instead of silent defaults.
+func TestBuildConfigValidation(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	dtdPath := filepath.Join(dir, "bib.dtd")
+
+	cases := []struct {
+		name     string
+		dtd, doc string
+		docroot  string
+		window   time.Duration
+		maxBatch int
+		cacheCap int
+		wantErr  string
+	}{
+		{"negative window", dtdPath, docPath, "", -time.Second, 16, 0, "-window"},
+		{"zero window", dtdPath, docPath, "", 0, 16, 0, "-window"},
+		{"absurd window", dtdPath, docPath, "", 2 * time.Hour, 16, 0, "absurd"},
+		{"zero batch", dtdPath, docPath, "", time.Millisecond, 0, 0, "-max-batch"},
+		{"negative batch", dtdPath, docPath, "", time.Millisecond, -3, 0, "-max-batch"},
+		{"absurd batch", dtdPath, docPath, "", time.Millisecond, 1 << 20, 0, "absurd"},
+		{"negative cache", dtdPath, docPath, "", time.Millisecond, 16, -1, "-query-cache"},
+		{"no documents", "", "", "", time.Millisecond, 16, 0, "no documents"},
+		{"dtd without doc", dtdPath, "", "", time.Millisecond, 16, 0, "together"},
+		{"missing doc file", dtdPath, filepath.Join(dir, "nope.xml"), "", time.Millisecond, 16, 0, "-doc"},
+		{"missing docroot", "", "", filepath.Join(dir, "nodir"), time.Millisecond, 16, 0, "-docroot"},
+		{"ok", dtdPath, docPath, "", time.Millisecond, 16, 0, ""},
+		{"ok docroot", "", "", dir, time.Millisecond, 16, 0, ""},
 	}
-	resp, err = http.Get(ts.URL + "/stats")
-	if err != nil || resp.StatusCode != http.StatusOK {
-		t.Fatalf("stats: %v %v", resp, err)
-	}
-	stats, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	for _, key := range []string{"queries", "scans", "peak_batch_size"} {
-		if !strings.Contains(string(stats), key) {
-			t.Errorf("stats missing %q: %s", key, stats)
+	for _, tc := range cases {
+		_, err := buildConfig(tc.dtd, tc.doc, tc.docroot, tc.window, tc.maxBatch, tc.cacheCap, false, false)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
 		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestScanDocrootValidation: an .xml without its .dtd, and an empty
+// docroot, are startup errors.
+func TestScanDocrootValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "orphan.xml"), []byte(serverDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scanDocroot(dir); err == nil || !strings.Contains(err.Error(), "needs a DTD") {
+		t.Errorf("orphan xml: err = %v", err)
+	}
+	empty := t.TempDir()
+	if _, err := scanDocroot(empty); err == nil || !strings.Contains(err.Error(), "no <name>.xml") {
+		t.Errorf("empty docroot: err = %v", err)
+	}
+}
+
+// TestServerDuplicateDocName: the same name from -doc and -docroot is
+// rejected at config build time.
+func TestServerDuplicateDocName(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	_, err := buildConfig(dtdPath, docPath, dir, time.Millisecond, 16, 0, false, false)
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate-name error", err)
+	}
+}
+
+// TestServerAdminDisabledByDefault: without -admin, /admin/* is 403 and
+// no swap happens.
+func TestServerAdminDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	s, err := newServer(config{
+		docs:     []docSpec{{name: "bib", docPath: docPath, dtdPath: dtdPath}},
+		window:   time.Millisecond,
+		maxBatch: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/admin/swap?doc=bib&path="+docPath, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("admin without -admin: status %d, want 403", resp.StatusCode)
+	}
+	if info, _ := s.cat.Info("bib"); info.Swaps != 0 {
+		t.Fatalf("swap happened despite disabled admin: %+v", info)
 	}
 }

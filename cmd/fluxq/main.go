@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"flux"
 )
@@ -72,8 +76,16 @@ func main() {
 		in = f
 	}
 
-	st, err := prepared.Run(in, os.Stdout, opt)
+	// An interrupt stops the scan mid-stream via the context path
+	// instead of killing the process with output half-flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	st, err := prepared.RunContext(ctx, in, os.Stdout, opt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fatal(fmt.Errorf("interrupted after %d tokens", st.Tokens))
+		}
 		fatal(err)
 	}
 	if *stats {

@@ -1,0 +1,155 @@
+package flux
+
+// Cancellation tests: a done context must stop an in-progress scan at
+// the next event batch — observable as tokens processed < document
+// tokens — instead of burning through the rest of the document.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const cancelDTD = `
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title,year)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+// cancelDoc builds a document with n books and returns it plus its
+// total token count (measured by a full run).
+func cancelDoc(t testing.TB, n int) (string, int64) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < n; i++ {
+		sb.WriteString("<book><title>streaming systems volume ")
+		sb.WriteString(strings.Repeat("x", 20))
+		sb.WriteString("</title><year>2004</year></book>")
+	}
+	sb.WriteString("</bib>")
+	doc := sb.String()
+	q, err := Prepare(`<out> { for $b in /bib/book return {$b/title} } </out>`, cancelDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Run(strings.NewReader(doc), io.Discard, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, st.Tokens
+}
+
+// triggerReader serves from r and runs fire exactly once after the
+// first read past the byte offset at.
+type triggerReader struct {
+	r    io.Reader
+	at   int64
+	n    int64
+	once sync.Once
+	fire func()
+}
+
+func (tr *triggerReader) Read(p []byte) (int, error) {
+	// Dole out small reads so cancellation lands mid-document even
+	// against a 64 KB buffered scanner.
+	if len(p) > 512 {
+		p = p[:512]
+	}
+	n, err := tr.r.Read(p)
+	tr.n += int64(n)
+	if tr.n > tr.at {
+		tr.once.Do(tr.fire)
+	}
+	return n, err
+}
+
+// TestRunContextCancelsMidStream: cancel while the scan is in flight;
+// the run must stop early with ctx.Err() and partial stats.
+func TestRunContextCancelsMidStream(t *testing.T) {
+	doc, total := cancelDoc(t, 5000)
+	q, err := Prepare(`<out> { for $b in /bib/book return {$b/title} } </out>`, cancelDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := &triggerReader{r: strings.NewReader(doc), at: int64(len(doc)) / 10, fire: cancel}
+	st, err := q.RunContext(ctx, tr, io.Discard, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Tokens == 0 || st.Tokens >= total {
+		t.Fatalf("tokens processed = %d, want 0 < tokens < %d (scan must stop mid-stream)", st.Tokens, total)
+	}
+}
+
+// TestRunContextCompletesUncanceled: a live context changes nothing.
+func TestRunContextCompletesUncanceled(t *testing.T) {
+	doc, total := cancelDoc(t, 50)
+	q, err := Prepare(`<out> { for $b in /bib/book return {$b/title} } </out>`, cancelDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.RunContext(context.Background(), strings.NewReader(doc), io.Discard, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tokens != total {
+		t.Fatalf("tokens = %d, want %d", st.Tokens, total)
+	}
+}
+
+// TestRunContextBaselinesCancel: the DOM baselines observe cancellation
+// at read granularity.
+func TestRunContextBaselinesCancel(t *testing.T) {
+	doc, _ := cancelDoc(t, 5000)
+	for _, eng := range []Engine{Naive, Projection} {
+		q, err := Prepare(`<out> { for $b in /bib/book return {$b/title} } </out>`, cancelDTD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		tr := &triggerReader{r: strings.NewReader(doc), at: int64(len(doc)) / 10, fire: cancel}
+		_, err = q.RunContext(ctx, tr, io.Discard, Options{Engine: eng})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", eng, err)
+		}
+	}
+}
+
+// TestRunAllContextCancelsSharedScan: a canceled scan context ends every
+// query in the batch early, each Result carrying ctx.Err().
+func TestRunAllContextCancelsSharedScan(t *testing.T) {
+	doc, total := cancelDoc(t, 5000)
+	var queries []*Query
+	var ws []io.Writer
+	for i := 0; i < 3; i++ {
+		q, err := Prepare(`<out> { for $b in /bib/book return {$b/title} } </out>`, cancelDTD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+		ws = append(ws, io.Discard)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := &triggerReader{r: strings.NewReader(doc), at: int64(len(doc)) / 10, fire: cancel}
+	results, err := RunAllContext(ctx, queries, tr, Options{}, ws...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("query %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Stats.Tokens == 0 || r.Stats.Tokens >= total {
+			t.Errorf("query %d: tokens = %d, want mid-stream stop (< %d)", i, r.Stats.Tokens, total)
+		}
+	}
+}

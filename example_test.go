@@ -1,8 +1,12 @@
 package flux_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"flux"
 )
@@ -84,4 +88,80 @@ func ExampleOptions() {
 	fmt.Println(outF == outN, stF.PeakBufferBytes < stN.PeakBufferBytes)
 	// Output:
 	// true true
+}
+
+// A Catalog manages a corpus of named documents, each bound to a DTD,
+// with hot-swap and a compiled-query cache: repeated Prepare calls for
+// the same (schema, query text) are free.
+func ExampleCatalog() {
+	dir, err := os.MkdirTemp("", "flux-catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	docPath := filepath.Join(dir, "bib.xml")
+	if err := os.WriteFile(docPath, []byte(docText), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	cat := flux.NewCatalog(flux.CatalogOptions{})
+	if err := cat.Add("bib", docPath, dtdText); err != nil {
+		log.Fatal(err)
+	}
+
+	const query = `{ for $b in /bib/book return { $b/title } }`
+	q, err := cat.Prepare("bib", query) // compiles: cache miss
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cat.Prepare("bib", query); err != nil { // free: cache hit
+		log.Fatal(err)
+	}
+
+	out, _, err := q.RunString(docText, flux.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := cat.CacheStats()
+	fmt.Println(out)
+	fmt.Printf("docs=%v cache: %d hit, %d miss\n", cat.Docs(), st.Hits, st.Misses)
+	// Output:
+	// <title>Data on the Web</title><title>TCP/IP Illustrated</title>
+	// docs=[bib] cache: 1 hit, 1 miss
+}
+
+// An Executor batches concurrent executions onto shared scans per
+// document; ExecuteContext blocks while the result streams to w and
+// detaches the query mid-scan if ctx dies.
+func ExampleExecutor() {
+	dir, err := os.MkdirTemp("", "flux-executor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	docPath := filepath.Join(dir, "bib.xml")
+	if err := os.WriteFile(docPath, []byte(docText), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	cat := flux.NewCatalog(flux.CatalogOptions{})
+	if err := cat.Add("bib", docPath, dtdText); err != nil {
+		log.Fatal(err)
+	}
+	ex, err := flux.NewExecutor(cat, flux.ExecutorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var out strings.Builder
+	res, err := ex.ExecuteContext(context.Background(), "bib",
+		`{ for $b in /bib/book where $b/price > 50 return { $b/title } }`, &out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out.String())
+	fmt.Println("batch size:", res.BatchSize)
+	// Output:
+	// <title>TCP/IP Illustrated</title>
+	// batch size: 1
 }

@@ -1,0 +1,352 @@
+package flux
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flux/internal/mux"
+	"flux/internal/sax"
+)
+
+// Executor batches concurrent query executions onto shared scans of
+// catalog documents. It is the serving core behind fluxd, usable by any
+// embedder: callers submit (document, query) pairs and block while the
+// result streams to their writer; executions against the same document
+// that arrive within one batch window (or until MaxBatch fills) run in
+// a single pass of that document — the scan is tokenized once and every
+// SAX event fans out to the whole batch.
+//
+// Each document gets its own batch window, so a burst against one
+// document never delays queries against another. Scanners and engine
+// shells are pooled (sync.Pool) underneath, so a resident Executor does
+// not churn allocations per batch.
+//
+// Cancellation is per caller: when an ExecuteContext context ends — a
+// dead client, an expired deadline — that caller unblocks immediately
+// and its query is detached from the in-flight scan at the next event
+// batch, while sibling queries keep streaming.
+type Executor struct {
+	cat *Catalog
+	opt ExecutorOptions
+
+	mu      sync.Mutex
+	pending map[string]*docBatch // open batch per document name
+
+	stats sync.Map // doc name -> *docCounters
+}
+
+// ExecutorOptions configures batching.
+type ExecutorOptions struct {
+	// Window is how long the first query of a batch waits for
+	// companions; 0 means DefaultWindow. Batching trades that latency
+	// for shared scans under concurrency.
+	Window time.Duration
+	// MaxBatch dispatches a batch immediately once this many queries
+	// have joined; 0 means DefaultMaxBatch.
+	MaxBatch int
+	// AttrsToSubelements applies the XSAX attribute conversion to every
+	// scan.
+	AttrsToSubelements bool
+}
+
+// Defaults for ExecutorOptions zero values.
+const (
+	DefaultWindow   = 2 * time.Millisecond
+	DefaultMaxBatch = 16
+)
+
+// NewExecutor returns an executor serving documents from cat.
+func NewExecutor(cat *Catalog, opt ExecutorOptions) (*Executor, error) {
+	if cat == nil {
+		return nil, errors.New("flux: NewExecutor needs a catalog")
+	}
+	if opt.Window < 0 {
+		return nil, fmt.Errorf("flux: negative batch window %s", opt.Window)
+	}
+	if opt.MaxBatch < 0 {
+		return nil, fmt.Errorf("flux: negative max batch %d", opt.MaxBatch)
+	}
+	if opt.Window == 0 {
+		opt.Window = DefaultWindow
+	}
+	if opt.MaxBatch == 0 {
+		opt.MaxBatch = DefaultMaxBatch
+	}
+	return &Executor{
+		cat:     cat,
+		opt:     opt,
+		pending: make(map[string]*docBatch),
+	}, nil
+}
+
+// Catalog returns the catalog this executor serves from.
+func (e *Executor) Catalog() *Catalog { return e.cat }
+
+// ExecResult reports one completed execution.
+type ExecResult struct {
+	// Stats are the query's execution statistics.
+	Stats Stats
+	// BatchSize is how many queries shared the execution's scan.
+	BatchSize int
+}
+
+// execRequest is one enqueued execution.
+type execRequest struct {
+	ctx  context.Context
+	q    *Query
+	w    *guardWriter
+	done chan execOutcome
+}
+
+type execOutcome struct {
+	res ExecResult
+	err error
+}
+
+// docBatch is the open (not yet dispatched) batch for one document.
+type docBatch struct {
+	doc   string
+	reqs  []*execRequest
+	timer *time.Timer // window timer, stopped on early MaxBatch dispatch
+}
+
+// ExecuteContext compiles queryText against doc's schema (cache-backed
+// via the catalog), joins doc's open batch, and blocks until the
+// result has streamed to w or ctx is done. On cancellation it returns
+// ctx.Err() immediately; the in-flight scan detaches the query at the
+// next event batch (after which w is never written again) and sibling
+// queries keep streaming.
+func (e *Executor) ExecuteContext(ctx context.Context, doc, queryText string, w io.Writer) (ExecResult, error) {
+	q, err := e.cat.Prepare(doc, queryText)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return e.ExecuteQueryContext(ctx, doc, q, w)
+}
+
+// ExecuteQueryContext is ExecuteContext for an already compiled query.
+func (e *Executor) ExecuteQueryContext(ctx context.Context, doc string, q *Query, w io.Writer) (ExecResult, error) {
+	if _, err := e.cat.Info(doc); err != nil {
+		return ExecResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return ExecResult{}, err
+	}
+	req := &execRequest{
+		ctx:  ctx,
+		q:    q,
+		w:    &guardWriter{w: w},
+		done: make(chan execOutcome, 1),
+	}
+	e.enqueue(doc, req)
+	select {
+	case out := <-req.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The context and the result can be ready simultaneously (a
+		// deadline expiring as the batch finishes); prefer the completed
+		// result — it has already streamed to w in full.
+		select {
+		case out := <-req.done:
+			return out.res, out.err
+		default:
+		}
+		// Unblock the caller now; the batch runner detaches the plan at
+		// its next event batch. Closing the guard first guarantees w is
+		// never touched after this return.
+		req.w.close()
+		return ExecResult{}, ctx.Err()
+	}
+}
+
+// enqueue adds req to doc's open batch. The first request of a batch
+// arms the dispatch timer; a full batch dispatches at once.
+func (e *Executor) enqueue(doc string, req *execRequest) {
+	e.mu.Lock()
+	b := e.pending[doc]
+	if b == nil {
+		b = &docBatch{doc: doc}
+		e.pending[doc] = b
+		b.timer = time.AfterFunc(e.opt.Window, func() { e.dispatch(b) })
+	}
+	b.reqs = append(b.reqs, req)
+	if len(b.reqs) >= e.opt.MaxBatch {
+		delete(e.pending, doc)
+		e.mu.Unlock()
+		// Stop the now-useless window timer so it does not pin the
+		// dispatched batch (and its requests) until the window elapses.
+		b.timer.Stop()
+		// Dispatch on a fresh goroutine: the filling caller must fall
+		// through to its ctx select like everyone else, or its own
+		// cancellation could not unblock it mid-scan.
+		go e.runBatch(b)
+		return
+	}
+	e.mu.Unlock()
+}
+
+// dispatch runs a batch when its window closes. A batch that already
+// dispatched on MaxBatch is no longer in pending, making the timer a
+// no-op rather than a premature flush of the next batch's window.
+func (e *Executor) dispatch(b *docBatch) {
+	e.mu.Lock()
+	if e.pending[b.doc] != b {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.pending, b.doc)
+	e.mu.Unlock()
+	e.runBatch(b)
+}
+
+// runBatch executes one shared scan of the batch's document and
+// delivers each request its result.
+func (e *Executor) runBatch(b *docBatch) {
+	n := len(b.reqs)
+	c := e.counters(b.doc)
+	c.scans.Add(1)
+	c.queries.Add(int64(n))
+	if n > 1 {
+		c.shared.Add(int64(n))
+	}
+	for {
+		peak := c.peakBatch.Load()
+		if int64(n) <= peak || c.peakBatch.CompareAndSwap(peak, int64(n)) {
+			break
+		}
+	}
+
+	fail := func(err error) {
+		for _, req := range b.reqs {
+			req.done <- execOutcome{res: ExecResult{BatchSize: n}, err: err}
+		}
+	}
+	f, err := e.cat.Open(b.doc)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer f.Close()
+
+	m := mux.New()
+	for _, req := range b.reqs {
+		m.AddContext(req.ctx, req.q.plan, req.w)
+	}
+	results, err := m.Run(nil, f, sax.Options{
+		SkipWhitespaceText: true,
+		AttrsToSubelements: e.opt.AttrsToSubelements,
+	})
+	if results == nil {
+		fail(err)
+		return
+	}
+	for i, req := range b.reqs {
+		r := results[i]
+		// A failed slot whose caller context is done counts as canceled,
+		// whatever surfaced first: the mux ctx poll (context.Canceled),
+		// the closed guard (errWriterClosed), or a write error on the
+		// caller's dying transport racing ahead of both.
+		if r.Err != nil && (req.ctx.Err() != nil || errors.Is(r.Err, errWriterClosed)) {
+			c.canceled.Add(1)
+		}
+		req.done <- execOutcome{
+			res: ExecResult{
+				Stats: Stats{
+					PeakBufferBytes: r.Stats.PeakBufferBytes,
+					OutputBytes:     r.Stats.OutputBytes,
+					Tokens:          r.Stats.Tokens,
+				},
+				BatchSize: n,
+			},
+			err: r.Err,
+		}
+	}
+}
+
+// --- per-document counters ----------------------------------------------
+
+// DocStats are one document's serving counters.
+type DocStats struct {
+	// Queries counts executions; Scans counts shared input passes. A
+	// Queries/Scans ratio above 1 is the shared-scan amortization.
+	Queries int64 `json:"queries"`
+	Scans   int64 `json:"scans"`
+	// Shared counts queries that shared their pass with a sibling.
+	Shared int64 `json:"queries_shared"`
+	// PeakBatch is the largest batch dispatched so far.
+	PeakBatch int64 `json:"peak_batch_size"`
+	// Canceled counts queries detached mid-scan by cancellation.
+	Canceled int64 `json:"canceled"`
+}
+
+type docCounters struct {
+	queries   atomic.Int64
+	scans     atomic.Int64
+	shared    atomic.Int64
+	peakBatch atomic.Int64
+	canceled  atomic.Int64
+}
+
+func (e *Executor) counters(doc string) *docCounters {
+	if c, ok := e.stats.Load(doc); ok {
+		return c.(*docCounters)
+	}
+	c, _ := e.stats.LoadOrStore(doc, &docCounters{})
+	return c.(*docCounters)
+}
+
+// Stats reports per-document serving counters for every document the
+// executor has served.
+func (e *Executor) Stats() map[string]DocStats {
+	out := make(map[string]DocStats)
+	e.stats.Range(func(k, v any) bool {
+		c := v.(*docCounters)
+		out[k.(string)] = DocStats{
+			Queries:   c.queries.Load(),
+			Scans:     c.scans.Load(),
+			Shared:    c.shared.Load(),
+			PeakBatch: c.peakBatch.Load(),
+			Canceled:  c.canceled.Load(),
+		}
+		return true
+	})
+	return out
+}
+
+// --- guarded writer ------------------------------------------------------
+
+// errWriterClosed is the write error a detached (canceled) request's
+// session observes; it fails the session, detaching the plan from the
+// shared scan.
+var errWriterClosed = errors.New("flux: output writer closed by cancellation")
+
+// guardWriter serializes the batch runner's writes against the caller's
+// cancellation: once close is called (just before ExecuteQueryContext
+// returns on a done context), no later write reaches the underlying
+// writer — essential when w is an http.ResponseWriter that dies with
+// its handler.
+type guardWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closed bool
+}
+
+func (g *guardWriter) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return 0, errWriterClosed
+	}
+	return g.w.Write(p)
+}
+
+func (g *guardWriter) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+}

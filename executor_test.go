@@ -1,0 +1,320 @@
+package flux
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestExecutor builds a catalog with one document and an executor
+// with a deterministic batching setup.
+func newTestExecutor(t *testing.T, maxBatch int, window time.Duration) (*Catalog, *Executor, string) {
+	t.Helper()
+	cat := NewCatalog(CatalogOptions{})
+	docPath := writeTemp(t, "bib.xml", catDoc)
+	if err := cat.Add("bib", docPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{Window: window, MaxBatch: maxBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, ex, docPath
+}
+
+// TestExecutorSingle: one query, window-driven dispatch, correct output
+// and stats.
+func TestExecutorSingle(t *testing.T) {
+	_, ex, _ := newTestExecutor(t, 100, time.Millisecond)
+	const q = `<out> { for $b in /bib/book return {$b/title} } </out>`
+	want, _, err := mustPrepare(t, q).RunString(catDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res, err := ex.ExecuteContext(context.Background(), "bib", q, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Fatalf("output = %q, want %q", sb.String(), want)
+	}
+	if res.BatchSize != 1 || res.Stats.Tokens == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	st := ex.Stats()["bib"]
+	if st.Queries != 1 || st.Scans != 1 || st.Shared != 0 {
+		t.Fatalf("doc stats = %+v", st)
+	}
+}
+
+func mustPrepare(t *testing.T, q string) *Query {
+	t.Helper()
+	p, err := Prepare(q, catDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestExecutorBatches: concurrent executions against one document share
+// a single scan when they fill MaxBatch.
+func TestExecutorBatches(t *testing.T) {
+	queries := []string{
+		`<out> { for $b in /bib/book return {$b/title} } </out>`,
+		`<out> { for $b in /bib/book where $b/year = '2004' return {$b} } </out>`,
+		`<out> { for $b in /bib/book return <y> {$b/year} </y> } </out>`,
+	}
+	_, ex, _ := newTestExecutor(t, len(queries), 30*time.Second)
+
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		out, _, err := mustPrepare(t, q).RunString(catDoc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			res, err := ex.ExecuteContext(context.Background(), "bib", q, &outs[i])
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			if res.BatchSize != len(queries) {
+				t.Errorf("query %d: batch size %d, want %d", i, res.BatchSize, len(queries))
+			}
+		}(i, q)
+	}
+	wg.Wait()
+	for i := range queries {
+		if outs[i].String() != want[i] {
+			t.Errorf("query %d: output %q, want %q", i, outs[i].String(), want[i])
+		}
+	}
+	st := ex.Stats()["bib"]
+	if st.Scans != 1 || st.Queries != int64(len(queries)) || st.PeakBatch != int64(len(queries)) {
+		t.Fatalf("doc stats = %+v, want one shared scan", st)
+	}
+}
+
+// TestExecutorPerDocumentBatching: documents batch independently — two
+// documents, two scans, even within one window.
+func TestExecutorPerDocumentBatching(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	if err := cat.Add("a", writeTemp(t, "a.xml", catDoc), catDTD); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("b", writeTemp(t, "b.xml", catDoc2), catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{Window: time.Millisecond, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `<out> { for $b in /bib/book return {$b/title} } </out>`
+	var a, b strings.Builder
+	if _, err := ex.ExecuteContext(context.Background(), "a", q, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.ExecuteContext(context.Background(), "b", q, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.String(), "FluX") || !strings.Contains(b.String(), "Galax") {
+		t.Fatalf("outputs: a=%q b=%q", a.String(), b.String())
+	}
+	st := ex.Stats()
+	if st["a"].Scans != 1 || st["b"].Scans != 1 {
+		t.Fatalf("per-doc stats = %+v", st)
+	}
+}
+
+// TestExecutorCancelDetachesSibling: two queries share a scan over a
+// large document; one caller's context dies mid-stream. The canceled
+// caller returns promptly with ctx.Err(), its writer is never touched
+// again, and the surviving sibling still streams the full, correct
+// result. This is the client-disconnect regression test.
+func TestExecutorCancelDetachesSibling(t *testing.T) {
+	// A document large enough that the scan is still in flight when the
+	// cancellation lands.
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&sb, "<book><title>vol %06d</title><year>2004</year></book>", i)
+	}
+	sb.WriteString("</bib>")
+	bigDoc := sb.String()
+
+	cat := NewCatalog(CatalogOptions{})
+	docPath := filepath.Join(t.TempDir(), "big.xml")
+	if err := os.WriteFile(docPath, []byte(bigDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("big", docPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{Window: 30 * time.Second, MaxBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `<out> { for $b in /bib/book return {$b/title} } </out>`
+	want, wantStats, err := mustPrepare(t, q).RunString(bigDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The hanging client: its context dies once its output starts
+	// flowing, which guarantees the shared scan is mid-stream.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hw := &cancelOnWrite{cancel: cancel}
+
+	var wg sync.WaitGroup
+	var survivor strings.Builder
+	var survivorRes ExecResult
+	var survivorErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		survivorRes, survivorErr = ex.ExecuteContext(context.Background(), "big", q, &survivor)
+	}()
+
+	var canceledErr error
+	var writesAtReturn int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, canceledErr = ex.ExecuteContext(ctx, "big", q, hw)
+		// Contract: once ExecuteContext returns, w is never written
+		// again, even though the batch is still scanning.
+		writesAtReturn = hw.writes.Load()
+	}()
+	wg.Wait()
+
+	if !errors.Is(canceledErr, context.Canceled) {
+		t.Fatalf("canceled caller: err = %v, want context.Canceled", canceledErr)
+	}
+	if got := hw.writes.Load(); got != writesAtReturn {
+		t.Fatalf("canceled caller's writer written after return: %d writes at return, %d after batch end",
+			writesAtReturn, got)
+	}
+	if survivorErr != nil {
+		t.Fatalf("surviving caller: %v", survivorErr)
+	}
+	if survivor.String() != want {
+		t.Fatalf("surviving caller's output corrupted: got %d bytes, want %d",
+			survivor.Len(), len(want))
+	}
+	if survivorRes.Stats.Tokens != wantStats.Tokens {
+		t.Fatalf("survivor tokens = %d, want %d (must scan the whole document)",
+			survivorRes.Stats.Tokens, wantStats.Tokens)
+	}
+	st := ex.Stats()["big"]
+	if st.Canceled != 1 {
+		t.Fatalf("canceled counter = %d, want 1 (stats %+v)", st.Canceled, st)
+	}
+}
+
+// TestExecutorCancelBeforeDispatch: a context already done at submit
+// time never joins a batch.
+func TestExecutorCancelBeforeDispatch(t *testing.T) {
+	_, ex, _ := newTestExecutor(t, 100, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ex.ExecuteContext(ctx, "bib", `<out> { for $b in /bib/book return {$b/title} } </out>`, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := ex.Stats()["bib"]; st.Scans != 0 {
+		t.Fatalf("pre-canceled request must not scan: %+v", st)
+	}
+}
+
+// TestExecutorUnknownDoc: executing against an unregistered document is
+// an immediate error.
+func TestExecutorUnknownDoc(t *testing.T) {
+	_, ex, _ := newTestExecutor(t, 100, time.Millisecond)
+	_, err := ex.ExecuteContext(context.Background(), "nope", `<out>x</out>`, io.Discard)
+	if !errors.Is(err, ErrDocNotFound) {
+		t.Fatalf("err = %v, want ErrDocNotFound", err)
+	}
+}
+
+// TestExecutorOptionValidation: nonsense options are rejected.
+func TestExecutorOptionValidation(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	if _, err := NewExecutor(nil, ExecutorOptions{}); err == nil {
+		t.Error("nil catalog must be rejected")
+	}
+	if _, err := NewExecutor(cat, ExecutorOptions{Window: -time.Second}); err == nil {
+		t.Error("negative window must be rejected")
+	}
+	if _, err := NewExecutor(cat, ExecutorOptions{MaxBatch: -1}); err == nil {
+		t.Error("negative max batch must be rejected")
+	}
+}
+
+// cancelOnWrite fires its cancel func on the first write and counts
+// every write it receives.
+type cancelOnWrite struct {
+	cancel context.CancelFunc
+	once   sync.Once
+	writes atomic.Int64
+}
+
+func (c *cancelOnWrite) Write(p []byte) (int, error) {
+	c.writes.Add(1)
+	c.once.Do(c.cancel)
+	return len(p), nil
+}
+
+// TestExecutorFillingCallerCancels: the request that fills a batch to
+// MaxBatch must not run the scan on its own goroutine's critical path —
+// its context must still be able to unblock it mid-scan. With
+// MaxBatch=1 every request is the filling request, making this the
+// regression test for inline dispatch.
+func TestExecutorFillingCallerCancels(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&sb, "<book><title>vol %06d</title><year>2004</year></book>", i)
+	}
+	sb.WriteString("</bib>")
+	bigDoc := sb.String()
+
+	cat := NewCatalog(CatalogOptions{})
+	docPath := filepath.Join(t.TempDir(), "big.xml")
+	if err := os.WriteFile(docPath, []byte(bigDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("big", docPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{Window: 30 * time.Second, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hw := &cancelOnWrite{cancel: cancel}
+	_, err = ex.ExecuteContext(ctx, "big", `<out> { for $b in /bib/book return {$b/title} } </out>`, hw)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (filling caller must observe its ctx mid-scan)", err)
+	}
+}

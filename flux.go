@@ -20,6 +20,7 @@
 package flux
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -226,6 +227,16 @@ func prepareFromFlux(schema *dtd.Schema, src, norm xq.Expr, f core.Flux) (*Query
 // Run evaluates the query over the XML document read from r, writing the
 // result to w.
 func (q *Query) Run(r io.Reader, w io.Writer, opt Options) (Stats, error) {
+	return q.RunContext(context.Background(), r, w, opt)
+}
+
+// RunContext is Run with cancellation: once ctx is done, the streaming
+// engine stops at the next event batch — a dead client or an expired
+// deadline ends the scan mid-stream instead of burning through the rest
+// of the document — and the error is ctx.Err(). The returned Stats cover
+// the stream prefix processed before the cancellation. The in-memory
+// baseline engines observe ctx at read-buffer granularity.
+func (q *Query) RunContext(ctx context.Context, r io.Reader, w io.Writer, opt Options) (Stats, error) {
 	saxOpt := sax.Options{
 		SkipWhitespaceText: true,
 		AttrsToSubelements: opt.AttrsToSubelements,
@@ -235,18 +246,40 @@ func (q *Query) Run(r io.Reader, w io.Writer, opt Options) (Stats, error) {
 		if q.source == nil {
 			return Stats{}, errors.New("flux: baseline engines need an XQuery⁻ source; this query was prepared from FluX syntax")
 		}
-		st, err := dom.RunNaive(q.source, r, w, saxOpt)
+		st, err := dom.RunNaive(q.source, ctxReader(ctx, r), w, saxOpt)
 		return Stats{PeakBufferBytes: st.BufferBytes, OutputBytes: st.OutputBytes}, err
 	case Projection:
 		if q.source == nil {
 			return Stats{}, errors.New("flux: baseline engines need an XQuery⁻ source; this query was prepared from FluX syntax")
 		}
-		st, err := dom.RunProjection(q.source, r, w, saxOpt)
+		st, err := dom.RunProjection(q.source, ctxReader(ctx, r), w, saxOpt)
 		return Stats{PeakBufferBytes: st.BufferBytes, OutputBytes: st.OutputBytes}, err
 	default:
-		st, err := engine.Run(q.plan, r, w, saxOpt)
+		st, err := engine.RunContext(ctx, q.plan, r, w, saxOpt)
 		return Stats{PeakBufferBytes: st.PeakBufferBytes, OutputBytes: st.OutputBytes, Tokens: st.Tokens}, err
 	}
+}
+
+// ctxReader makes r observe ctx: each Read first checks whether ctx is
+// done. This gives the DOM baselines (whose evaluation is not
+// event-driven) cancellation at read-buffer granularity.
+func ctxReader(ctx context.Context, r io.Reader) io.Reader {
+	if ctx == nil || ctx == context.Background() {
+		return r
+	}
+	return &cancelableReader{ctx: ctx, r: r}
+}
+
+type cancelableReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *cancelableReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
 }
 
 // Result is the outcome of one query in a shared-scan batch.
@@ -271,6 +304,15 @@ type Result struct {
 // are still returned alongside it. All queries run on the FluX streaming
 // engine — the in-memory baselines cannot share a scan.
 func RunAll(queries []*Query, r io.Reader, opt Options, ws ...io.Writer) ([]Result, error) {
+	return RunAllContext(context.Background(), queries, r, opt, ws...)
+}
+
+// RunAllContext is RunAll with cancellation: once ctx is done the shared
+// scan stops at the next event batch and every still-live query's Result
+// records ctx.Err() alongside the stats for the prefix it processed.
+// Per-query cancellation — detaching one caller's query while its batch
+// siblings keep streaming — is provided by Executor.
+func RunAllContext(ctx context.Context, queries []*Query, r io.Reader, opt Options, ws ...io.Writer) ([]Result, error) {
 	if opt.Engine != FluX {
 		return nil, errors.New("flux: RunAll shares one stream pass and requires the FluX engine")
 	}
@@ -281,7 +323,7 @@ func RunAll(queries []*Query, r io.Reader, opt Options, ws ...io.Writer) ([]Resu
 	for i, q := range queries {
 		m.Add(q.plan, ws[i])
 	}
-	rs, err := m.Run(r, sax.Options{
+	rs, err := m.Run(ctx, r, sax.Options{
 		SkipWhitespaceText: true,
 		AttrsToSubelements: opt.AttrsToSubelements,
 	})

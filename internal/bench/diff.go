@@ -1,0 +1,126 @@
+package bench
+
+// Snapshot diffing: the perf-trajectory gate. CI regenerates a fresh
+// snapshot each run and compares it against the last checked-in
+// BENCH_<n>.json; a regression beyond the threshold in shared-scan
+// elapsed time or any row's peak buffer bytes fails the build.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadSnapshot loads a BENCH_<n>.json file.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// Regression is one metric that got worse than the threshold allows.
+type Regression struct {
+	Query  string
+	SizeMB int
+	Mode   Mode
+	Metric string // "elapsed_ns" or "buffer_bytes"
+	Old    int64  // calibration-scaled for elapsed_ns
+	New    int64
+}
+
+// String renders the regression for CI logs.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %dMB %s: %s %d -> %d (%+.1f%%)",
+		r.Query, r.SizeMB, r.Mode, r.Metric, r.Old, r.New, pctChange(r.Old, r.New))
+}
+
+func pctChange(old, new int64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * float64(new-old) / float64(old)
+}
+
+// DiffResult summarizes a snapshot comparison.
+type DiffResult struct {
+	// Compared counts rows present in both snapshots (matched on
+	// query, size and mode, skipped rows excluded).
+	Compared int
+	// Scale is the machine-speed factor applied to the old snapshot's
+	// elapsed times (new calibration / old calibration); 1 when either
+	// snapshot predates calibration.
+	Scale float64
+	// Regressions are the metrics that exceeded the threshold.
+	Regressions []Regression
+}
+
+// Diff compares two snapshots row by row. A row regresses when the new
+// value exceeds the old by more than maxRegressPct percent:
+//
+//   - elapsed_ns, compared only for ModeShared rows (the serving-path
+//     metric the trajectory tracks; per-query wall times on shared CI
+//     runners are too noisy to gate on) and scaled by the snapshots'
+//     calibration ratio so a slower machine does not read as a
+//     regression;
+//   - buffer_bytes, compared for every row — buffering is deterministic,
+//     so any growth is a real behavior change.
+//
+// Rows present in only one snapshot are ignored, which lets a snapshot
+// that adds new modes (e.g. shared-scan) diff cleanly against an older
+// one.
+func Diff(old, new *Snapshot, maxRegressPct float64) DiffResult {
+	type key struct {
+		query  string
+		sizeMB int
+		mode   Mode
+	}
+	oldRows := make(map[key]SnapshotRow, len(old.Rows))
+	for _, r := range old.Rows {
+		if !r.Skipped {
+			oldRows[key{r.Query, r.SizeMB, r.Mode}] = r
+		}
+	}
+	res := DiffResult{Scale: 1}
+	if old.CalibNS > 0 && new.CalibNS > 0 {
+		res.Scale = float64(new.CalibNS) / float64(old.CalibNS)
+	}
+	allowed := 1 + maxRegressPct/100
+	for _, nr := range new.Rows {
+		if nr.Skipped {
+			continue
+		}
+		or, ok := oldRows[key{nr.Query, nr.SizeMB, nr.Mode}]
+		if !ok {
+			continue
+		}
+		res.Compared++
+		if nr.Mode == ModeShared {
+			scaledOld := int64(float64(or.ElapsedNS) * res.Scale)
+			if float64(nr.ElapsedNS) > float64(scaledOld)*allowed {
+				res.Regressions = append(res.Regressions, Regression{
+					Query: nr.Query, SizeMB: nr.SizeMB, Mode: nr.Mode,
+					Metric: "elapsed_ns", Old: scaledOld, New: nr.ElapsedNS,
+				})
+			}
+		}
+		if float64(nr.BufferBytes) > float64(or.BufferBytes)*allowed &&
+			nr.BufferBytes-or.BufferBytes > bufferSlackBytes {
+			res.Regressions = append(res.Regressions, Regression{
+				Query: nr.Query, SizeMB: nr.SizeMB, Mode: nr.Mode,
+				Metric: "buffer_bytes", Old: or.BufferBytes, New: nr.BufferBytes,
+			})
+		}
+	}
+	return res
+}
+
+// bufferSlackBytes ignores absolute buffer growth below this size, so a
+// query that buffered 0 bytes and now buffers a handful (or a generator
+// tweak shifting a small document) does not trip the percentage gate.
+const bufferSlackBytes = 4096

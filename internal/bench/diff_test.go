@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func snap(calib int64, rows ...SnapshotRow) *Snapshot {
+	return &Snapshot{Schema: "flux-bench/v1", CalibNS: calib, Rows: rows}
+}
+
+func row(query string, size int, mode Mode, elapsed, buffer int64) SnapshotRow {
+	return SnapshotRow{Query: query, SizeMB: size, Mode: mode, ElapsedNS: elapsed, BufferBytes: buffer}
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	old := snap(100,
+		row("q1", 1, ModeFluX, 1000, 0),
+		row(SharedQueryName, 1, ModeShared, 5000, 140000),
+	)
+	new := snap(100,
+		row("q1", 1, ModeFluX, 5000, 0), // per-query elapsed is NOT gated
+		row(SharedQueryName, 1, ModeShared, 5500, 140000),
+	)
+	res := Diff(old, new, 20)
+	if res.Compared != 2 || len(res.Regressions) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDiffSharedElapsedRegression(t *testing.T) {
+	old := snap(100, row(SharedQueryName, 1, ModeShared, 5000, 140000))
+	new := snap(100, row(SharedQueryName, 1, ModeShared, 6500, 140000))
+	res := Diff(old, new, 20)
+	if len(res.Regressions) != 1 || res.Regressions[0].Metric != "elapsed_ns" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDiffCalibrationScaling(t *testing.T) {
+	// The new machine is 2x slower (calibration 100 -> 200); a 2x wall
+	// time is therefore NOT a regression...
+	old := snap(100, row(SharedQueryName, 1, ModeShared, 5000, 140000))
+	new := snap(200, row(SharedQueryName, 1, ModeShared, 10000, 140000))
+	if res := Diff(old, new, 20); len(res.Regressions) != 0 {
+		t.Fatalf("scaled comparison must pass: %+v", res)
+	}
+	// ...but 3x is, even after scaling.
+	new = snap(200, row(SharedQueryName, 1, ModeShared, 15000, 140000))
+	if res := Diff(old, new, 20); len(res.Regressions) != 1 {
+		t.Fatalf("scaled regression must fail: %+v", res)
+	}
+}
+
+func TestDiffBufferRegression(t *testing.T) {
+	old := snap(100, row("q8", 1, ModeFluX, 1000, 100000))
+	new := snap(100, row("q8", 1, ModeFluX, 1000, 160000))
+	res := Diff(old, new, 20)
+	if len(res.Regressions) != 1 || res.Regressions[0].Metric != "buffer_bytes" {
+		t.Fatalf("res = %+v", res)
+	}
+	// Small absolute growth under the slack is ignored even when the
+	// percentage is huge (0 -> a handful of bytes).
+	old = snap(100, row("q1", 1, ModeFluX, 1000, 0))
+	new = snap(100, row("q1", 1, ModeFluX, 1000, 128))
+	if res := Diff(old, new, 20); len(res.Regressions) != 0 {
+		t.Fatalf("slack must absorb tiny growth: %+v", res)
+	}
+}
+
+func TestDiffIgnoresUnmatchedAndSkipped(t *testing.T) {
+	old := snap(100, row("q1", 1, ModeFluX, 1000, 0))
+	skipped := row("q1", 1, ModeNaive, 0, 0)
+	skipped.Skipped = true
+	new := snap(100,
+		row("q1", 1, ModeFluX, 1000, 0),
+		row(SharedQueryName, 1, ModeShared, 5000, 140000), // new mode, no baseline
+		skipped,
+	)
+	res := Diff(old, new, 20)
+	if res.Compared != 1 || len(res.Regressions) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rows := []Row{
+		{Query: "q1", SizeMB: 1, Bytes: 100, Mode: ModeFluX, Buffer: 0, Output: 5},
+		{Query: SharedQueryName, SizeMB: 1, Bytes: 100, Mode: ModeShared, Buffer: 7, Output: 9},
+	}
+	if err := WriteJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Rows) != 2 || snap.CalibNS <= 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Rows[1].Mode != ModeShared || snap.Rows[1].BufferBytes != 7 {
+		t.Fatalf("rows = %+v", snap.Rows)
+	}
+}

@@ -18,9 +18,32 @@ type Snapshot struct {
 	// GoVersion and NumCPU describe the machine that produced the rows.
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
+	// CalibNS is the duration of a fixed CPU-bound reference loop on the
+	// machine that produced the rows; Diff uses the ratio of two
+	// snapshots' calibrations to compare elapsed times across machines
+	// of different speeds. 0 in snapshots predating calibration.
+	CalibNS int64 `json:"calib_ns,omitempty"`
 	// Rows are the raw measurements.
 	Rows []SnapshotRow `json:"rows"`
 }
+
+// Calibrate times the fixed reference loop that makes elapsed
+// comparisons across machines meaningful.
+func Calibrate() int64 {
+	start := time.Now()
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 1<<25; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	calibSink = x
+	return time.Since(start).Nanoseconds()
+}
+
+// calibSink keeps the calibration loop observable so the compiler
+// cannot elide it.
+var calibSink uint64
 
 // SnapshotRow is one Row with the duration flattened to nanoseconds so
 // the JSON is toolable without Go's duration syntax.
@@ -42,6 +65,7 @@ func WriteJSON(path string, rows []Row) error {
 		CreatedAt: time.Now().UTC(),
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
+		CalibNS:   Calibrate(),
 	}
 	for _, r := range rows {
 		snap.Rows = append(snap.Rows, SnapshotRow{

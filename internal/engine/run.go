@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -36,14 +37,19 @@ func (e *RunError) Error() string { return "engine: run: " + e.Msg }
 // the query result to w. It is the single-query convenience around
 // Session; multi-query shared scans build on Session directly.
 func Run(plan *Plan, r io.Reader, w io.Writer, opt sax.Options) (Stats, error) {
+	return RunContext(context.Background(), plan, r, w, opt)
+}
+
+// RunContext is Run with cancellation: once ctx is done the scan stops
+// at the next event batch and the error is ctx.Err(). On any failure the
+// returned Stats cover the stream prefix processed before the failure.
+func RunContext(ctx context.Context, plan *Plan, r io.Reader, w io.Writer, opt sax.Options) (Stats, error) {
 	s := NewSession(plan, w)
 	if err := s.Begin(); err != nil {
-		s.Abort()
-		return Stats{}, err
+		return s.Abort(), err
 	}
-	if err := sax.Scan(r, s, opt); err != nil {
-		s.Abort()
-		return Stats{}, err
+	if err := sax.ScanContext(ctx, r, s, opt); err != nil {
+		return s.Abort(), err
 	}
 	return s.Finish()
 }

@@ -1,0 +1,26 @@
+// Package fsutil holds the one filesystem probe shared by the catalog
+// and the fluxd startup gate, so their validation semantics cannot
+// drift apart.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// CheckRegularFile verifies path names a regular file that can actually
+// be opened, surfacing misconfiguration eagerly instead of on first use.
+func CheckRegularFile(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !fi.Mode().IsRegular() {
+		return fmt.Errorf("%s: not a regular file", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

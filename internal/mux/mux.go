@@ -11,6 +11,7 @@
 package mux
 
 import (
+	"context"
 	"errors"
 	"io"
 
@@ -31,12 +32,14 @@ type Result struct {
 
 // Mux fans one stream's SAX events to any number of engine sessions.
 // Zero value is not ready; use New. A Mux is single-use: register plans
-// with Add, then call Run once.
+// with Add or AddContext, then call Run once.
 type Mux struct {
 	sessions []*engine.Session
+	ctxs     []context.Context // per-slot cancellation, nil = never canceled
 	results  []Result
 	live     []bool
 	nlive    int
+	nctx     int // slots with a non-nil context
 	events   int64
 	ran      bool
 }
@@ -47,7 +50,20 @@ func New() *Mux { return &Mux{} }
 // Add registers a compiled plan whose output is written to w, returning
 // the slot index of its Result in the slice Run returns.
 func (m *Mux) Add(plan *engine.Plan, w io.Writer) int {
+	return m.AddContext(nil, plan, w)
+}
+
+// AddContext registers a plan with its own cancellation context. When
+// ctx is done the plan is detached from the event flow mid-stream — its
+// Result records ctx.Err() and the stats accumulated so far — while its
+// siblings keep streaming. A nil ctx means the slot is never canceled
+// individually. Cancellation is observed at event-batch granularity.
+func (m *Mux) AddContext(ctx context.Context, plan *engine.Plan, w io.Writer) int {
 	m.sessions = append(m.sessions, engine.NewSession(plan, w))
+	m.ctxs = append(m.ctxs, ctx)
+	if ctx != nil {
+		m.nctx++
+	}
 	m.results = append(m.results, Result{})
 	m.live = append(m.live, true)
 	m.nlive++
@@ -73,9 +89,31 @@ func (m *Mux) fail(i int, err error) {
 	m.nlive--
 }
 
+// ctxPollMask batches per-slot cancellation polls: contexts are checked
+// once every 256 fanned events, bounding a canceled query's extra work
+// to one small event batch without a per-event ctx.Err() in the hot loop.
+const ctxPollMask = 255
+
+// pollCtxs detaches every live slot whose context is done. Called at
+// event-batch granularity from the fan-out handlers.
+func (m *Mux) pollCtxs() {
+	if m.nctx == 0 || m.events&ctxPollMask != 0 {
+		return
+	}
+	for i, ctx := range m.ctxs {
+		if ctx == nil || !m.live[i] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			m.fail(i, err)
+		}
+	}
+}
+
 // StartElement implements sax.Handler.
 func (m *Mux) StartElement(name string) error {
 	m.events++
+	m.pollCtxs()
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -93,6 +131,7 @@ func (m *Mux) StartElement(name string) error {
 // Text implements sax.Handler.
 func (m *Mux) Text(data string) error {
 	m.events++
+	m.pollCtxs()
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -110,6 +149,7 @@ func (m *Mux) Text(data string) error {
 // EndElement implements sax.Handler.
 func (m *Mux) EndElement(name string) error {
 	m.events++
+	m.pollCtxs()
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -128,14 +168,19 @@ func (m *Mux) EndElement(name string) error {
 // registered plans, and returns one Result per plan in Add order.
 //
 // Per-query failures (schema violations under a plan's DTD, write errors
-// on a query's output) are isolated in that query's Result. The returned
-// error is reserved for stream-level failures that necessarily end every
-// query: malformed XML, a read error, or all queries having failed.
-func (m *Mux) Run(r io.Reader, opt sax.Options) ([]Result, error) {
+// on a query's output, a done AddContext context) are isolated in that
+// query's Result. The returned error is reserved for stream-level
+// failures that necessarily end every query: malformed XML, a read
+// error, a done scan context, or all queries having failed. A nil ctx
+// means the scan itself is never canceled.
+func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, error) {
 	if m.ran {
 		return nil, errors.New("mux: Run called twice")
 	}
 	m.ran = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -145,7 +190,7 @@ func (m *Mux) Run(r io.Reader, opt sax.Options) ([]Result, error) {
 		}
 	}
 	if m.nlive > 0 {
-		if err := sax.Scan(r, m, opt); err != nil {
+		if err := sax.ScanContext(ctx, r, m, opt); err != nil {
 			if errors.Is(err, errAllFailed) {
 				return m.results, err
 			}

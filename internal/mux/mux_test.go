@@ -1,6 +1,9 @@
 package mux_test
 
 import (
+	"context"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -62,7 +65,7 @@ func TestSharedScanMatchesSingleRun(t *testing.T) {
 			t.Fatalf("Add returned slot %d, want %d", got, i)
 		}
 	}
-	results, err := m.Run(strings.NewReader(testDoc), scanOpt)
+	results, err := m.Run(nil, strings.NewReader(testDoc), scanOpt)
 	if err != nil {
 		t.Fatalf("shared run: %v", err)
 	}
@@ -98,7 +101,7 @@ func TestErrorIsolation(t *testing.T) {
 	var goodOut, badOut strings.Builder
 	gi := m.Add(good, &goodOut)
 	bi := m.Add(bad, &badOut)
-	results, err := m.Run(strings.NewReader(testDoc), scanOpt)
+	results, err := m.Run(nil, strings.NewReader(testDoc), scanOpt)
 	if err != nil {
 		t.Fatalf("shared run: %v", err)
 	}
@@ -123,7 +126,7 @@ func TestAllFailed(t *testing.T) {
 	m := mux.New()
 	m.Add(compile(t, badDTD, `{ ps $ROOT: on r as $x return { $x } }`), &strings.Builder{})
 	m.Add(compile(t, badDTD, `{ ps $ROOT: on-first past(*) return done }`), &strings.Builder{})
-	results, err := m.Run(strings.NewReader(testDoc), scanOpt)
+	results, err := m.Run(nil, strings.NewReader(testDoc), scanOpt)
 	if err == nil {
 		t.Fatal("want an all-queries-failed error, got nil")
 	}
@@ -140,7 +143,7 @@ func TestMalformedInput(t *testing.T) {
 	m := mux.New()
 	m.Add(compile(t, testDTD, `{ ps $ROOT: on r as $x return { $x } }`), &strings.Builder{})
 	m.Add(compile(t, testDTD, `{ ps $ROOT: on-first past(*) return done }`), &strings.Builder{})
-	results, err := m.Run(strings.NewReader(`<r><a>1</a>`), scanOpt)
+	results, err := m.Run(nil, strings.NewReader(`<r><a>1</a>`), scanOpt)
 	if err == nil {
 		t.Fatal("want a syntax error for truncated input, got nil")
 	}
@@ -155,10 +158,77 @@ func TestMalformedInput(t *testing.T) {
 func TestRunTwice(t *testing.T) {
 	m := mux.New()
 	m.Add(compile(t, testDTD, `{ ps $ROOT: on-first past(*) return done }`), &strings.Builder{})
-	if _, err := m.Run(strings.NewReader(testDoc), scanOpt); err != nil {
+	if _, err := m.Run(nil, strings.NewReader(testDoc), scanOpt); err != nil {
 		t.Fatalf("first run: %v", err)
 	}
-	if _, err := m.Run(strings.NewReader(testDoc), scanOpt); err == nil {
+	if _, err := m.Run(nil, strings.NewReader(testDoc), scanOpt); err == nil {
 		t.Fatal("second Run: want an error, got nil")
+	}
+}
+
+// TestAddContextDetachesCanceledSlot: a slot registered with an
+// already-canceled context is detached at the first poll boundary while
+// its sibling completes; its Result records ctx.Err() and the prefix
+// stats.
+func TestAddContextDetachesCanceledSlot(t *testing.T) {
+	// A document long enough to cross the 256-event poll granularity.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 400; i++ {
+		sb.WriteString("<a>1</a>")
+	}
+	sb.WriteString("</r>")
+	doc := sb.String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	m := mux.New()
+	var canceledOut, liveOut strings.Builder
+	m.AddContext(ctx, compile(t, testDTD, `{ ps $ROOT: on r as $x return { $x } }`), &canceledOut)
+	m.Add(compile(t, testDTD, `{ ps $ROOT: on r as $x return { $x } }`), &liveOut)
+
+	results, err := m.Run(nil, strings.NewReader(doc), scanOpt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("canceled slot err = %v, want context.Canceled", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("live slot err = %v", results[1].Err)
+	}
+	// The live plan copies the whole document.
+	if liveOut.String() != doc {
+		t.Fatalf("live slot output %d bytes, want %d", liveOut.Len(), len(doc))
+	}
+	if results[0].Stats.Tokens >= results[1].Stats.Tokens {
+		t.Fatalf("canceled slot processed %d tokens, live %d; want an early detach",
+			results[0].Stats.Tokens, results[1].Stats.Tokens)
+	}
+}
+
+// TestRunCanceledScanContext: a canceled scan context fails every slot
+// with ctx.Err().
+func TestRunCanceledScanContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A document over 64 KB so the scanner reaches its input-batch
+	// cancellation poll boundary.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 12000; i++ {
+		sb.WriteString("<a>1</a>")
+	}
+	sb.WriteString("</r>")
+
+	m := mux.New()
+	m.Add(compile(t, testDTD, `{ ps $ROOT: on r as $x return { $x } }`), io.Discard)
+	results, err := m.Run(ctx, strings.NewReader(sb.String()), scanOpt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("slot err = %v, want context.Canceled", results[0].Err)
 	}
 }

@@ -2,6 +2,7 @@ package sax
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -53,6 +54,23 @@ const maxPooledScratch = 64 << 10
 // but not any schema. Processing instructions, comments, and the DOCTYPE
 // declaration are skipped.
 func Scan(r io.Reader, h Handler, opt Options) error {
+	return ScanContext(context.Background(), r, h, opt)
+}
+
+// ctxPollByteMask batches cancellation polls: the context is checked
+// once every 64 KB of consumed input. Byte granularity (rather than
+// per-event) bounds the extra work after a cancellation even for
+// documents dominated by huge text nodes, where events are rare.
+const ctxPollByteMask = 1<<16 - 1
+
+// ScanContext is Scan with cancellation: the scan loop polls ctx at
+// input-batch granularity (every 64 KB consumed) and stops mid-stream
+// with ctx.Err() once the context is done, instead of burning through
+// the rest of the document. A nil ctx means the scan is never canceled.
+func ScanContext(ctx context.Context, r io.Reader, h Handler, opt Options) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s, _ := scannerPool.Get().(*scanner)
 	if s == nil {
 		s = &scanner{
@@ -63,6 +81,7 @@ func Scan(r io.Reader, h Handler, opt Options) error {
 	s.r.Reset(r)
 	s.h = h
 	s.opt = opt
+	s.ctx = ctx
 	err := s.run()
 	s.recycle()
 	return err
@@ -74,8 +93,10 @@ func Scan(r io.Reader, h Handler, opt Options) error {
 func (s *scanner) recycle() {
 	s.r.Reset(nil)
 	s.h = nil
+	s.ctx = nil
 	s.opt = Options{}
 	s.off = 0
+	s.readErr = nil
 	clear(s.stack[:cap(s.stack)])
 	s.stack = s.stack[:0]
 	s.text.Reset()
@@ -96,17 +117,26 @@ func ScanString(doc string, h Handler, opt Options) error {
 }
 
 type scanner struct {
-	r     *bufio.Reader
-	h     Handler
-	opt   Options
-	off   int64
-	stack []string
-	text  strings.Builder
-	names map[string]string // interning table for element names
-	buf   []byte            // scratch
+	r       *bufio.Reader
+	h       Handler
+	ctx     context.Context
+	opt     Options
+	off     int64
+	readErr error // sticky non-EOF read failure (I/O error, cancellation)
+	stack   []string
+	text    strings.Builder
+	names   map[string]string // interning table for element names
+	buf     []byte            // scratch
 }
 
+// errf builds a SyntaxError — unless the reader itself failed, in which
+// case that failure is the root cause and must not be masked as
+// "unexpected EOF": a canceled context or an I/O error mid-name is a
+// read failure, not malformed XML.
 func (s *scanner) errf(format string, args ...any) error {
+	if s.readErr != nil {
+		return s.readErr
+	}
 	return &SyntaxError{Offset: s.off, Msg: fmt.Sprintf(format, args...)}
 }
 
@@ -114,8 +144,18 @@ func (s *scanner) readByte() (byte, error) {
 	b, err := s.r.ReadByte()
 	if err == nil {
 		s.off++
+		if s.off&ctxPollByteMask == 0 {
+			if cerr := s.ctx.Err(); cerr != nil {
+				s.readErr = cerr
+				return 0, cerr
+			}
+		}
+		return b, nil
 	}
-	return b, err
+	if err != io.EOF {
+		s.readErr = err
+	}
+	return 0, err
 }
 
 func (s *scanner) unreadByte() {

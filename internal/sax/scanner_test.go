@@ -2,6 +2,7 @@ package sax
 
 import (
 	"errors"
+	"io"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -308,5 +309,57 @@ func TestScanPropertySerializeRescan(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// failAfterReader serves n bytes of r, then fails every Read with err.
+type failAfterReader struct {
+	r   io.Reader
+	n   int
+	err error
+}
+
+func (f *failAfterReader) Read(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.err
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	n, err := f.r.Read(p)
+	f.n -= n
+	return n, err
+}
+
+// TestReadErrorNotMaskedAsSyntaxError: a reader failure mid-construct
+// (mid-name here) must surface as itself — a canceled context or I/O
+// error is a read failure, not malformed XML.
+func TestReadErrorNotMaskedAsSyntaxError(t *testing.T) {
+	boom := errors.New("boom: transport died")
+	doc := `<root><child>text</child></root>`
+	// Fail inside "<child": offsets 0..len pick various mid-construct
+	// positions; every one must return the raw error.
+	for cut := 1; cut < len(doc); cut++ {
+		r := &failAfterReader{r: strings.NewReader(doc), n: cut, err: boom}
+		err := Scan(r, HandlerFuncs{}, Options{})
+		if !errors.Is(err, boom) {
+			t.Fatalf("cut at %d: err = %v, want the reader's own error", cut, err)
+		}
+	}
+}
+
+// TestScanContextNilCtx: a nil context means "never canceled", matching
+// mux.Run, and must not panic at the poll boundary — the document must
+// therefore exceed the 64 KB input-poll granularity so the poll site
+// actually executes.
+func TestScanContextNilCtx(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for sb.Len() <= 2*(ctxPollByteMask+1) {
+		sb.WriteString("<a>x</a>")
+	}
+	sb.WriteString("</r>")
+	if err := ScanContext(nil, strings.NewReader(sb.String()), HandlerFuncs{}, Options{}); err != nil {
+		t.Fatal(err)
 	}
 }
