@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check fuzz bench clean
+.PHONY: build test race vet fmt-check lint-docs fuzz bench clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ vet:
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Documentation gate: every exported identifier in the public (root)
+# package needs a doc comment, and every relative link in the top-level
+# markdown documents must resolve. go vet's comment checks run as part
+# of `make vet`; doclint covers what vet does not.
+lint-docs:
+	$(GO) run ./cmd/doclint -pkg . -md README.md -md ARCHITECTURE.md
 
 # Short-mode fuzz smoke: drives the native scanner fuzz target for a few
 # seconds on top of its checked-in seeds.

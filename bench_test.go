@@ -14,6 +14,7 @@ import (
 
 	"flux/internal/core"
 	"flux/internal/dtd"
+	"flux/internal/mux"
 	"flux/internal/sax"
 	"flux/internal/xmark"
 	"flux/internal/xq"
@@ -245,4 +246,45 @@ func BenchmarkCompile(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSelectiveFanout measures event routing for a wide batch of
+// narrow, disjoint-path queries: every event fanned to every query
+// (all) versus signature-routed delivery (selective). events-per-query
+// is the average number of SAX events delivered to each query — the
+// quantity selective routing shrinks; outputs are identical either way.
+func BenchmarkSelectiveFanout(b *testing.B) {
+	doc := benchDocument(b)
+	queries := make([]*Query, len(xmark.FanoutQueries))
+	for i, qt := range xmark.FanoutQueries {
+		q, err := Prepare(qt, xmark.DTD)
+		if err != nil {
+			b.Fatalf("query %d: %v", i, err)
+		}
+		queries[i] = q
+	}
+	run := func(b *testing.B, newMux func() *mux.Mux) {
+		b.SetBytes(int64(len(doc)))
+		var delivered int64
+		for i := 0; i < b.N; i++ {
+			m := newMux()
+			for _, q := range queries {
+				m.Add(q.plan, io.Discard)
+			}
+			results, err := m.Run(nil, strings.NewReader(doc), sax.Options{SkipWhitespaceText: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			delivered = 0
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+				delivered += r.Stats.Tokens
+			}
+		}
+		b.ReportMetric(float64(delivered)/float64(len(queries)), "events-per-query")
+	}
+	b.Run("all", func(b *testing.B) { run(b, mux.New) })
+	b.Run("selective", func(b *testing.B) { run(b, mux.NewSelective) })
 }

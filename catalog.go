@@ -28,12 +28,20 @@ import (
 // Swap atomically repoints a document at a new file: batches already
 // scanning the old file complete against it (they hold an open file
 // handle), while every later request opens the new one.
+//
+// The catalog is also the admission controller for scans over its
+// documents: AdmitScan enforces the CatalogOptions bounds on concurrent
+// scans per document and total resident predicted buffer bytes, queueing
+// (not rejecting) work that exceeds them. The Executor admits every
+// shared scan through it; embedders running their own scans may do the
+// same.
 type Catalog struct {
 	mu      sync.RWMutex
 	docs    map[string]*catalogDoc
 	schemas map[string]*schemaEntry // keyed by exact DTD text
 
 	cache *queryCache
+	adm   *admission
 }
 
 // catalogDoc is the registry entry for one named document. The path is
@@ -70,6 +78,19 @@ type CatalogOptions struct {
 	// QueryCacheCap bounds the compiled-query LRU cache; 0 means
 	// DefaultQueryCacheCap, negative disables caching.
 	QueryCacheCap int
+	// MaxScansPerDoc bounds the number of concurrently admitted scans
+	// per document; further scans queue in AdmitScan until a running
+	// scan releases. Values <= 0 mean unlimited.
+	MaxScansPerDoc int
+	// MaxResidentBufferBytes bounds the summed predicted peak buffer
+	// bytes (see engine.BufferReport.PredictedPeakBytes) of all admitted
+	// scans across every document; a scan that would push the total over
+	// the limit queues until capacity frees. Fully streaming scans
+	// (predicted 0) are never byte-blocked. A single scan predicting
+	// more than the whole limit is admitted only when nothing else is
+	// resident, so oversized work degrades to serial execution instead
+	// of deadlocking. Values <= 0 mean unlimited.
+	MaxResidentBufferBytes int64
 }
 
 // NewCatalog returns an empty catalog.
@@ -82,6 +103,11 @@ func NewCatalog(opt CatalogOptions) *Catalog {
 		docs:    make(map[string]*catalogDoc),
 		schemas: make(map[string]*schemaEntry),
 		cache:   newQueryCache(cap),
+		adm: &admission{
+			maxPerDoc: opt.MaxScansPerDoc,
+			maxBytes:  opt.MaxResidentBufferBytes,
+			perDoc:    make(map[string]int),
+		},
 	}
 }
 
@@ -253,10 +279,14 @@ func (c *Catalog) CacheStats() CacheStats { return c.cache.stats() }
 // Catalog: hits and misses measure how often Prepare was free, evictions
 // how often the LRU bound displaced a compiled query.
 type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
+	// Hits counts Prepare calls served from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts Prepare calls that had to compile.
+	Misses int64 `json:"misses"`
+	// Evictions counts compiled queries displaced by the LRU bound.
 	Evictions int64 `json:"evictions"`
-	Size      int   `json:"size"`
+	// Size is the number of compiled queries currently cached.
+	Size int `json:"size"`
 }
 
 // cacheKey identifies a compiled query: the schema pointer (schemas are
@@ -344,4 +374,190 @@ func (qc *queryCache) stats() CacheStats {
 		qc.mu.Unlock()
 	}
 	return st
+}
+
+// --- scan admission ------------------------------------------------------
+
+// admission tracks the catalog's resource bounds for scans — concurrent
+// scans per document and total predicted resident buffer bytes — with a
+// FIFO wait queue. Admission is starvation-free: a new scan may not
+// barge past an older waiter it conflicts with (same document, or both
+// consuming the byte budget), so capacity an oversized waiter needs
+// eventually drains to it, while scans over unrelated documents that
+// fit still pass freely.
+type admission struct {
+	mu        sync.Mutex
+	maxPerDoc int
+	maxBytes  int64
+
+	perDoc map[string]int
+	bytes  int64
+	active int64
+	queue  []*admitWaiter // FIFO; only unadmitted waiters
+
+	queued   int64 // cumulative scans that had to wait
+	admitted int64 // cumulative admitted scans
+}
+
+// admitWaiter is one scan waiting for admission.
+type admitWaiter struct {
+	doc       string
+	predicted int64
+	ready     chan struct{} // closed when capacity has been reserved
+}
+
+// fits reports whether a scan over doc predicting predictedBytes can be
+// admitted with the current capacity, and — when it cannot — whether
+// the byte budget was (one of) the blockers, which decides how far the
+// block shadows younger waiters in drain. A scan predicting more than
+// the whole byte budget fits only when nothing is resident: it runs
+// alone rather than never.
+func (a *admission) fits(doc string, predictedBytes int64) (ok, byteBlocked bool) {
+	ok = true
+	if a.maxPerDoc > 0 && a.perDoc[doc] >= a.maxPerDoc {
+		ok = false
+	}
+	// A zero-predicted (fully streaming) scan adds nothing to the
+	// resident total, so the byte budget never blocks it — even while an
+	// oversized scan has pushed the total over the limit.
+	if a.maxBytes > 0 && predictedBytes > 0 && a.bytes+predictedBytes > a.maxBytes &&
+		!(predictedBytes > a.maxBytes && a.bytes == 0) {
+		ok = false
+		byteBlocked = true
+	}
+	return ok, byteBlocked
+}
+
+// reserve takes capacity for an admitted scan. Caller holds a.mu.
+func (a *admission) reserve(doc string, predictedBytes int64) {
+	a.perDoc[doc]++
+	a.bytes += predictedBytes
+	a.active++
+	a.admitted++
+}
+
+// drain admits queued waiters in FIFO order: each head-most waiter that
+// fits (and does not conflict with a still-blocked older waiter) gets
+// its capacity reserved and its ready channel closed. A blocked waiter
+// shadows younger waiters for the same document, and a waiter blocked
+// on the byte budget shadows every younger byte-consuming waiter — that
+// is what rules out starvation. A waiter blocked only by its document's
+// scan limit does not shadow other documents' byte use, so one hot
+// document never serializes the rest of the catalog. Caller holds a.mu.
+func (a *admission) drain() {
+	if len(a.queue) == 0 {
+		return
+	}
+	// Per-document shadowing only matters when document slots are a
+	// bounded resource a younger scan could steal; with no per-doc limit
+	// a zero-cost scan may pass a byte-blocked waiter for the same
+	// document, honoring the never-byte-blocked guarantee.
+	var blockedDocs map[string]bool
+	if a.maxPerDoc > 0 {
+		blockedDocs = make(map[string]bool)
+	}
+	bytesBlocked := false
+	rest := a.queue[:0]
+	for _, w := range a.queue {
+		conflict := blockedDocs[w.doc] || (bytesBlocked && w.predicted > 0)
+		if !conflict {
+			if ok, byteBlocked := a.fits(w.doc, w.predicted); ok {
+				a.reserve(w.doc, w.predicted)
+				close(w.ready)
+				continue
+			} else if byteBlocked {
+				bytesBlocked = true
+			}
+		}
+		if blockedDocs != nil {
+			blockedDocs[w.doc] = true
+		}
+		rest = append(rest, w)
+	}
+	a.queue = rest
+}
+
+// AdmitScan blocks until a scan over the named document, predicted to
+// hold predictedBytes of buffer at peak (sum the batch's
+// BufferReport.PredictedPeakBytes values), is within the catalog's
+// admission bounds, then reserves the capacity and returns the release
+// function that frees it. Waiters are served in FIFO order and new
+// scans cannot barge past a conflicting older waiter, so every scan —
+// including one predicting more than the whole byte budget, which runs
+// alone — is admitted eventually. Release must be called exactly when
+// the scan ends; calling it more than once is safe. With no bounds
+// configured AdmitScan admits immediately and only maintains counters.
+func (c *Catalog) AdmitScan(doc string, predictedBytes int64) (release func()) {
+	a := c.adm
+	a.mu.Lock()
+	if a.maxPerDoc <= 0 && a.maxBytes <= 0 {
+		// No bounds configured: counters only, no queue machinery.
+		a.reserve(doc, predictedBytes)
+		a.mu.Unlock()
+		return a.releaseFunc(doc, predictedBytes)
+	}
+	w := &admitWaiter{doc: doc, predicted: predictedBytes, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.drain()
+	admittedNow := false
+	select {
+	case <-w.ready:
+		admittedNow = true
+	default:
+		a.queued++
+	}
+	a.mu.Unlock()
+	if !admittedNow {
+		<-w.ready // capacity is reserved on our behalf before the close
+	}
+	return a.releaseFunc(doc, predictedBytes)
+}
+
+// releaseFunc builds the idempotent release closure for one admitted
+// scan: it returns the scan's capacity and drains the wait queue.
+func (a *admission) releaseFunc(doc string, predictedBytes int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.perDoc[doc]--
+			if a.perDoc[doc] == 0 {
+				delete(a.perDoc, doc)
+			}
+			a.bytes -= predictedBytes
+			a.active--
+			a.drain()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// AdmissionStats are the catalog's scan-admission counters.
+type AdmissionStats struct {
+	// ActiveScans is the number of currently admitted scans.
+	ActiveScans int64 `json:"active_scans"`
+	// ResidentBufferBytes is the summed predicted peak buffer bytes of
+	// the currently admitted scans.
+	ResidentBufferBytes int64 `json:"resident_buffer_bytes"`
+	// Waiting is the number of scans currently queued for admission.
+	Waiting int64 `json:"waiting"`
+	// Queued is the cumulative number of scans that had to wait before
+	// being admitted.
+	Queued int64 `json:"queued"`
+	// Admitted is the cumulative number of admitted scans.
+	Admitted int64 `json:"admitted"`
+}
+
+// AdmissionStats reports the catalog's scan-admission counters.
+func (c *Catalog) AdmissionStats() AdmissionStats {
+	a := c.adm
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		ActiveScans:         a.active,
+		ResidentBufferBytes: a.bytes,
+		Waiting:             int64(len(a.queue)),
+		Queued:              a.queued,
+		Admitted:            a.admitted,
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const catDTD = `
@@ -218,4 +219,160 @@ func TestCatalogSwap(t *testing.T) {
 	if err := cat.Swap("nope", newPath); !errors.Is(err, ErrDocNotFound) {
 		t.Fatalf("Swap of unknown doc: err = %v, want ErrDocNotFound", err)
 	}
+}
+
+// TestAdmitScanByteBudget: the resident-bytes bound queues a scan that
+// would overflow it and admits it once capacity frees; an oversized
+// scan is admitted only when nothing else is resident.
+func TestAdmitScanByteBudget(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{MaxResidentBufferBytes: 100})
+
+	relA := cat.AdmitScan("a", 60)
+	admitted := make(chan func(), 1)
+	go func() { admitted <- cat.AdmitScan("b", 60) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for cat.AdmissionStats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second scan never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-admitted:
+		t.Fatal("second scan admitted while over the byte budget")
+	default:
+	}
+
+	relA()
+	relB := <-admitted
+	st := cat.AdmissionStats()
+	if st.ActiveScans != 1 || st.ResidentBufferBytes != 60 || st.Queued != 1 {
+		t.Fatalf("admission stats = %+v, want one active 60-byte scan after one queued wait", st)
+	}
+	relB()
+	relB() // double release must be safe (sync.Once)
+
+	// Oversized: predicted > the whole budget still admits when idle.
+	relBig := cat.AdmitScan("a", 1000)
+	if st := cat.AdmissionStats(); st.ActiveScans != 1 || st.ResidentBufferBytes != 1000 {
+		t.Fatalf("oversized scan not admitted when idle: %+v", st)
+	}
+	relBig()
+	if st := cat.AdmissionStats(); st.ActiveScans != 0 || st.ResidentBufferBytes != 0 {
+		t.Fatalf("release did not drain: %+v", st)
+	}
+}
+
+// TestAdmitScanUnlimited: with no bounds configured, AdmitScan never
+// blocks and only maintains counters.
+func TestAdmitScanUnlimited(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	var releases []func()
+	for i := 0; i < 8; i++ {
+		releases = append(releases, cat.AdmitScan("doc", 1<<40))
+	}
+	st := cat.AdmissionStats()
+	if st.ActiveScans != 8 || st.Queued != 0 {
+		t.Fatalf("admission stats = %+v, want 8 active, none queued", st)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if st := cat.AdmissionStats(); st.ActiveScans != 0 || st.Admitted != 8 {
+		t.Fatalf("admission stats = %+v, want drained with 8 admitted", st)
+	}
+}
+
+// TestAdmitScanNoBargeFIFO: a scan predicting more than the whole byte
+// budget cannot be starved — byte-consuming newcomers queue behind it
+// instead of barging, so capacity drains to the oversized waiter; a
+// zero-cost scan for another document still passes freely.
+func TestAdmitScanNoBargeFIFO(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{MaxResidentBufferBytes: 100})
+
+	relA := cat.AdmitScan("a", 60)
+
+	order := make(chan string, 2)
+	go func() {
+		rel := cat.AdmitScan("big", 1000) // oversized: needs bytes == 0
+		order <- "big"
+		rel()
+	}()
+	waitFor := func(n int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for cat.AdmissionStats().Waiting != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiting never reached %d: %+v", n, cat.AdmissionStats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(1)
+
+	// A byte-consuming newcomer must queue behind the oversized waiter
+	// even though it would fit right now (60+30 <= 100): no barging.
+	go func() {
+		rel := cat.AdmitScan("c", 30)
+		order <- "c"
+		rel()
+	}()
+	waitFor(2)
+
+	// A zero-cost scan for another document does not conflict and is
+	// admitted immediately.
+	relZero := cat.AdmitScan("d", 0)
+	relZero()
+
+	// Releasing the first scan drains the queue in FIFO order: the
+	// oversized scan runs (alone), then the 30-byte scan.
+	relA()
+	if got := <-order; got != "big" {
+		t.Fatalf("first admitted after release = %q, want the oversized waiter", got)
+	}
+	if got := <-order; got != "c" {
+		t.Fatalf("second admitted = %q, want the queued 30-byte scan", got)
+	}
+}
+
+// TestAdmitScanZeroCostNeverByteBlocked: a fully streaming scan
+// (predicted 0) adds nothing to the resident total, so the byte budget
+// never queues it — even while an oversized scan holds the whole budget.
+func TestAdmitScanZeroCostNeverByteBlocked(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{MaxResidentBufferBytes: 100})
+	relBig := cat.AdmitScan("big", 1000) // oversized, admitted while idle
+	relZero := cat.AdmitScan("other", 0) // must not wait behind it
+	st := cat.AdmissionStats()
+	if st.ActiveScans != 2 || st.Queued != 0 {
+		t.Fatalf("admission stats = %+v, want both active with none queued", st)
+	}
+	relZero()
+	relBig()
+}
+
+// TestAdmitScanZeroCostSameDocPassesByteWaiter: with only a byte budget
+// configured, a zero-cost scan is admitted immediately even when an
+// older byte-blocked waiter for the same document is queued — document
+// slots are unbounded, so passing steals nothing.
+func TestAdmitScanZeroCostSameDocPassesByteWaiter(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{MaxResidentBufferBytes: 100})
+	relA := cat.AdmitScan("a", 60)
+	blocked := make(chan func(), 1)
+	go func() { blocked <- cat.AdmitScan("a", 60) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for cat.AdmissionStats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("byte-blocked scan never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	relZero := cat.AdmitScan("a", 0) // must not queue behind the byte waiter
+	if st := cat.AdmissionStats(); st.ActiveScans != 2 || st.Waiting != 1 {
+		t.Fatalf("admission stats = %+v, want zero-cost admitted past the byte waiter", st)
+	}
+	relZero()
+	relA()
+	rel := <-blocked
+	rel()
 }

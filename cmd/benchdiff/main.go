@@ -2,6 +2,12 @@
 // benchmark snapshot against a checked-in baseline and fails (exit 1)
 // on regressions beyond the threshold — shared-scan elapsed time
 // (calibration-scaled across machines) or any row's peak buffer bytes.
+// Each regression is reported with the exact row (query/size/mode), its
+// baseline and observed values, and the allowed maximum.
+//
+// It also enforces the selective fan-out invariant on the fresh
+// snapshot: wherever both fanout-all and fanout-selective rows exist,
+// the selective row must have delivered strictly fewer events.
 //
 // Usage:
 //
@@ -43,14 +49,19 @@ func main() {
 	}
 	fmt.Printf("benchdiff: %d rows compared (%s -> %s), machine scale %.2f, threshold %.0f%%\n",
 		res.Compared, *oldPath, *newPath, res.Scale, *pct)
-	if len(res.Regressions) == 0 {
-		fmt.Println("benchdiff: no regressions")
-		return
+	failed := false
+	if err := bench.CheckFanout(newSnap); err != nil {
+		fmt.Println("benchdiff: FANOUT INVARIANT VIOLATED:", err)
+		failed = true
 	}
 	for _, r := range res.Regressions {
 		fmt.Println("benchdiff: REGRESSION", r)
+		failed = true
 	}
-	os.Exit(1)
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
 }
 
 func fatal(err error) {

@@ -1,0 +1,233 @@
+// Command doclint is the documentation gate run by CI (make lint-docs).
+// It enforces two invariants that go vet does not:
+//
+//   - every exported identifier in the given packages — types, funcs,
+//     methods, package-level vars/consts, and exported struct fields —
+//     carries a doc comment, so the public API reads completely on
+//     pkg.go.dev;
+//   - every relative markdown link in the given documents points at a
+//     file or directory that actually exists in the repository (http(s)
+//     links are not fetched: CI must pass offline).
+//
+// Usage:
+//
+//	doclint [-pkg dir]... [-md file.md]...
+//
+// Exit status 1 lists every violation; nothing is fixed automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+// String implements flag.Value.
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set implements flag.Value.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var pkgs, docs multiFlag
+	flag.Var(&pkgs, "pkg", "package directory whose exported identifiers must all be documented (repeatable)")
+	flag.Var(&docs, "md", "markdown file whose relative links must resolve (repeatable)")
+	flag.Parse()
+	if len(pkgs) == 0 && len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "doclint: nothing to check; give -pkg and/or -md")
+		os.Exit(2)
+	}
+
+	var violations []string
+	for _, dir := range pkgs {
+		v, err := lintPackage(dir)
+		if err != nil {
+			fatal(err)
+		}
+		violations = append(violations, v...)
+	}
+	for _, path := range docs {
+		v, err := lintLinks(path)
+		if err != nil {
+			fatal(err)
+		}
+		violations = append(violations, v...)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println("doclint:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("doclint: ok (%d packages, %d documents)\n", len(pkgs), len(docs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doclint:", err)
+	os.Exit(1)
+}
+
+// lintPackage reports every exported identifier in dir's non-test files
+// that lacks a doc comment.
+func lintPackage(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgMap, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgMap {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+						report(d.Pos(), "function", funcName(d))
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+	}
+	return out, nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported (a
+// method on an unexported type is not part of the public API).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// lintGenDecl checks type/var/const declarations and, for structs,
+// every exported field. A value spec inside a documented const/var
+// block passes if either the block or the spec is documented.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && st.Fields != nil {
+				for _, f := range st.Fields.List {
+					if f.Doc != nil || f.Comment != nil {
+						continue
+					}
+					for _, n := range f.Names {
+						if n.IsExported() {
+							report(n.Pos(), "field", s.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			}
+			if it, ok := s.Type.(*ast.InterfaceType); ok && it.Methods != nil {
+				for _, m := range it.Methods.List {
+					if m.Doc != nil || m.Comment != nil {
+						continue
+					}
+					for _, n := range m.Names {
+						if n.IsExported() {
+							report(n.Pos(), "interface method", s.Name.Name+"."+n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), "value", n.Name)
+				}
+			}
+		}
+	}
+}
+
+// mdLink matches markdown links and images; group 2 is the target.
+var mdLink = regexp.MustCompile(`!?\[([^\]]*)\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// lintLinks reports every relative link in the markdown file whose
+// target does not exist on disk (resolved against the file's directory;
+// #fragments and absolute URLs are skipped).
+func lintLinks(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := filepath.Dir(path)
+	var out []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[2]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[2]))
+			}
+		}
+	}
+	return out, nil
+}

@@ -34,6 +34,7 @@ func main() {
 		ablation    = flag.Bool("ablation", false, "compare FluX against FluX with scheduling disabled")
 		jsonPath    = flag.String("json", "", "also write the rows as a JSON snapshot to this path")
 		shared      = flag.Bool("shared", true, "add a shared-scan row per size (all queries, one pass)")
+		fanout      = flag.Bool("fanout", true, "add fan-out rows per size (disjoint-path batch, all vs selective event routing)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,7 @@ func main() {
 	}
 	cfg.Modes = modes
 	cfg.SharedScan = *shared
+	cfg.Fanout = *fanout
 
 	// An interrupt abandons the sweep mid-document via the context path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

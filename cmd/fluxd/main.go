@@ -9,7 +9,9 @@
 //	fluxd -dtd schema.dtd -doc data.xml [flags]     # single document
 //	fluxd -docroot corpus/ [flags]                  # every corpus/<name>.xml + <name>.dtd pair
 //
-// Flags: [-addr :8700] [-window 2ms] [-max-batch 16] [-attrs] [-query-cache 256] [-admin]
+// Flags: [-addr :8700] [-window 2ms] [-max-batch 16] [-attrs] [-query-cache 256]
+// [-admin] [-batch-buffer-budget 0] [-max-scans-per-doc 0]
+// [-max-resident-buffer 0] [-all-fanout]
 //
 // Endpoints:
 //
@@ -25,13 +27,21 @@
 //	                       Disabled unless fluxd runs with -admin: the
 //	                       endpoint takes server-side file paths, so it
 //	                       belongs on trusted networks only
-//	GET  /stats            per-document serving counters plus
-//	                       compiled-query cache hit/miss/eviction counters
+//	GET  /stats            per-document serving counters (shared scans,
+//	                       batch splits, deferred and canceled queries,
+//	                       events skipped by selective fan-out),
+//	                       compiled-query cache counters, and scan
+//	                       admission counters; schema in README
 //	GET  /healthz          liveness probe
 //
 // Concurrent requests for the same document that arrive within -window
 // of each other (or up to -max-batch of them) execute in a single pass
-// of that document. A client that disconnects mid-result is detached
+// of that document; events are routed so each query is delivered only
+// the subtrees its projected paths can match (disable with -all-fanout).
+// A batch whose summed predicted peak buffer bytes exceed
+// -batch-buffer-budget is split into sequential scans, and every scan is
+// admitted against -max-scans-per-doc / -max-resident-buffer, queueing
+// when over the limit. A client that disconnects mid-result is detached
 // from its shared scan at the next event batch; sibling queries keep
 // streaming.
 package main
@@ -60,12 +70,16 @@ type docSpec struct {
 
 // config is the validated server configuration.
 type config struct {
-	docs     []docSpec
-	window   time.Duration
-	maxBatch int
-	attrs    bool
-	cacheCap int
-	admin    bool // expose the mutating /admin/* endpoints
+	docs        []docSpec
+	window      time.Duration
+	maxBatch    int
+	attrs       bool
+	cacheCap    int
+	admin       bool  // expose the mutating /admin/* endpoints
+	batchBudget int64 // cap on a scan's summed predicted buffer bytes (0 = unlimited)
+	maxScansDoc int   // admission: concurrent scans per document (0 = unlimited)
+	maxResident int64 // admission: total resident predicted buffer bytes (0 = unlimited)
+	allFanout   bool  // disable selective fan-out
 }
 
 // maxSaneBatch bounds -max-batch: beyond this, a single scan fanning to
@@ -80,8 +94,21 @@ const maxSaneWindow = time.Minute
 // buildConfig validates the flag values and resolves the document set.
 // It is the startup gate: bad values produce errors here, not silent
 // defaults at serving time.
-func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatch, cacheCap int, attrs, admin bool) (config, error) {
-	cfg := config{window: window, maxBatch: maxBatch, attrs: attrs, cacheCap: cacheCap, admin: admin}
+func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatch, cacheCap int, attrs, admin bool, sched schedConfig) (config, error) {
+	cfg := config{
+		window: window, maxBatch: maxBatch, attrs: attrs, cacheCap: cacheCap, admin: admin,
+		batchBudget: sched.batchBudget, maxScansDoc: sched.maxScansDoc,
+		maxResident: sched.maxResident, allFanout: sched.allFanout,
+	}
+	if sched.batchBudget < 0 {
+		return cfg, fmt.Errorf("-batch-buffer-budget must be non-negative (0 = unlimited), got %d", sched.batchBudget)
+	}
+	if sched.maxScansDoc < 0 {
+		return cfg, fmt.Errorf("-max-scans-per-doc must be non-negative (0 = unlimited), got %d", sched.maxScansDoc)
+	}
+	if sched.maxResident < 0 {
+		return cfg, fmt.Errorf("-max-resident-buffer must be non-negative (0 = unlimited), got %d", sched.maxResident)
+	}
 	if window <= 0 {
 		// ExecutorOptions treats 0 as "use the default", so accepting 0
 		// here would silently re-introduce the 2ms default the user was
@@ -173,6 +200,14 @@ func docName(path string) string {
 	return strings.TrimSuffix(base, filepath.Ext(base))
 }
 
+// schedConfig bundles the scheduling and admission flag values.
+type schedConfig struct {
+	batchBudget int64
+	maxScansDoc int
+	maxResident int64
+	allFanout   bool
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8700", "listen address")
@@ -184,10 +219,20 @@ func main() {
 		cacheCap = flag.Int("query-cache", flux.DefaultQueryCacheCap, "compiled-query cache capacity (0 disables)")
 		attrs    = flag.Bool("attrs", false, "convert attributes to subelements (XSAX)")
 		admin    = flag.Bool("admin", false, "expose the mutating /admin/* endpoints (hot-swap); they accept server-side file paths, so enable only on trusted networks")
+
+		batchBudget = flag.Int64("batch-buffer-budget", 0, "cap on one scan's summed predicted peak buffer bytes; over-budget batches split into sequential scans (0 = unlimited)")
+		maxScansDoc = flag.Int("max-scans-per-doc", 0, "admission control: concurrent scans per document; excess scans queue (0 = unlimited)")
+		maxResident = flag.Int64("max-resident-buffer", 0, "admission control: total predicted resident buffer bytes across all scans; excess scans queue (0 = unlimited)")
+		allFanout   = flag.Bool("all-fanout", false, "deliver every scan event to every query instead of routing by projected-path signature (restores full per-query DTD validation)")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*dtdFile, *docFile, *docroot, *window, *maxBatch, *cacheCap, *attrs, *admin)
+	cfg, err := buildConfig(*dtdFile, *docFile, *docroot, *window, *maxBatch, *cacheCap, *attrs, *admin, schedConfig{
+		batchBudget: *batchBudget,
+		maxScansDoc: *maxScansDoc,
+		maxResident: *maxResident,
+		allFanout:   *allFanout,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -27,7 +27,11 @@ type server struct {
 }
 
 func newServer(cfg config) (*server, error) {
-	cat := flux.NewCatalog(flux.CatalogOptions{QueryCacheCap: cfg.cacheCap})
+	cat := flux.NewCatalog(flux.CatalogOptions{
+		QueryCacheCap:          cfg.cacheCap,
+		MaxScansPerDoc:         cfg.maxScansDoc,
+		MaxResidentBufferBytes: cfg.maxResident,
+	})
 	for _, d := range cfg.docs {
 		dtdText, err := os.ReadFile(d.dtdPath)
 		if err != nil {
@@ -38,9 +42,11 @@ func newServer(cfg config) (*server, error) {
 		}
 	}
 	ex, err := flux.NewExecutor(cat, flux.ExecutorOptions{
-		Window:             cfg.window,
-		MaxBatch:           cfg.maxBatch,
-		AttrsToSubelements: cfg.attrs,
+		Window:                 cfg.window,
+		MaxBatch:               cfg.maxBatch,
+		AttrsToSubelements:     cfg.attrs,
+		BatchBufferBudget:      cfg.batchBudget,
+		DisableSelectiveFanout: cfg.allFanout,
 	})
 	if err != nil {
 		return nil, err
@@ -198,11 +204,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsReply is the /stats payload: per-document serving counters (the
-// queries/scans ratio is the shared-scan amortization) plus the
-// compiled-query cache counters.
+// queries/scans ratio is the shared-scan amortization), the
+// compiled-query cache counters, and the catalog's scan-admission
+// counters. The full schema is documented in README's fluxd section.
 type statsReply struct {
-	Docs  map[string]flux.DocStats `json:"docs"`
-	Cache flux.CacheStats          `json:"cache"`
+	Docs      map[string]flux.DocStats `json:"docs"`
+	Cache     flux.CacheStats          `json:"cache"`
+	Admission flux.AdmissionStats      `json:"admission"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -214,7 +222,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			docs[name] = flux.DocStats{}
 		}
 	}
-	writeJSON(w, statsReply{Docs: docs, Cache: s.cat.CacheStats()})
+	writeJSON(w, statsReply{
+		Docs:      docs,
+		Cache:     s.cat.CacheStats(),
+		Admission: s.cat.AdmissionStats(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -471,7 +471,7 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"ok docroot", "", "", dir, time.Millisecond, 16, 0, ""},
 	}
 	for _, tc := range cases {
-		_, err := buildConfig(tc.dtd, tc.doc, tc.docroot, tc.window, tc.maxBatch, tc.cacheCap, false, false)
+		_, err := buildConfig(tc.dtd, tc.doc, tc.docroot, tc.window, tc.maxBatch, tc.cacheCap, false, false, schedConfig{})
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -506,7 +506,7 @@ func TestServerDuplicateDocName(t *testing.T) {
 	dir := t.TempDir()
 	docPath := writeDocPair(t, dir, "bib", serverDoc)
 	dtdPath := filepath.Join(dir, "bib.dtd")
-	_, err := buildConfig(dtdPath, docPath, dir, time.Millisecond, 16, 0, false, false)
+	_, err := buildConfig(dtdPath, docPath, dir, time.Millisecond, 16, 0, false, false, schedConfig{})
 	if err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("err = %v, want duplicate-name error", err)
 	}
@@ -540,5 +540,139 @@ func TestServerAdminDisabledByDefault(t *testing.T) {
 	}
 	if info, _ := s.cat.Info("bib"); info.Swaps != 0 {
 		t.Fatalf("swap happened despite disabled admin: %+v", info)
+	}
+}
+
+// TestServerSchedulingStats: the scheduling knobs surface in /stats —
+// a split batch shows batch_splits/queries_deferred, selective fan-out
+// shows events_skipped, and the admission section counts every scan.
+func TestServerSchedulingStats(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	// Budget below the buffering query's prediction (4096): it cannot
+	// share a scan with anything, so the batch of two splits in two.
+	budget := int64(4000)
+	s, err := newServer(config{
+		docs:        []docSpec{{name: "bib", docPath: docPath, dtdPath: filepath.Join(dir, "bib.dtd")}},
+		window:      30 * time.Second,
+		maxBatch:    2,
+		batchBudget: budget,
+		maxScansDoc: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Both queries buffer (predicted > 4000 each, so neither can share a
+	// scan under the budget); the second one projects only titles, so
+	// selective fan-out skips the year subtrees for it.
+	queries := []string{
+		`<out> { for $b in /bib/book where $b/year = '2004' return {$b} } </out>`,
+		`<out> { for $b in /bib/book where $b/title = 'XMark' return {$b/title} } </out>`,
+	}
+	var wg sync.WaitGroup
+	for _, q := range queries {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			resp, _ := postQuery(t, ts.URL+"/query", q)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("query status = %d", resp.StatusCode)
+			}
+		}(q)
+	}
+	wg.Wait()
+
+	resp, body := func() (*http.Response, string) {
+		r, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, string(b)
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats status = %d", resp.StatusCode)
+	}
+	var reply statsReply
+	if err := json.Unmarshal([]byte(body), &reply); err != nil {
+		t.Fatalf("decoding /stats: %v\n%s", err, body)
+	}
+	st := reply.Docs["bib"]
+	if st.Queries != 2 || st.Scans != 2 {
+		t.Errorf("docs.bib = %+v, want 2 queries over 2 scans (budget split)", st)
+	}
+	if st.BatchSplits != 1 || st.Deferred != 1 {
+		t.Errorf("docs.bib = %+v, want batch_splits 1, queries_deferred 1", st)
+	}
+	if st.EventsSkipped == 0 {
+		t.Errorf("docs.bib events_skipped = 0, want > 0 (selective fan-out is the default)")
+	}
+	adm := reply.Admission
+	if adm.Admitted != 2 || adm.ActiveScans != 0 || adm.Waiting != 0 {
+		t.Errorf("admission = %+v, want 2 admitted, none active or waiting", adm)
+	}
+}
+
+// TestServerAllFanoutFlag: with allFanout set, every query sees every
+// event and events_skipped stays zero.
+func TestServerAllFanoutFlag(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	s, err := newServer(config{
+		docs:      []docSpec{{name: "bib", docPath: docPath, dtdPath: filepath.Join(dir, "bib.dtd")}},
+		window:    time.Millisecond,
+		maxBatch:  16,
+		allFanout: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, _ := postQuery(t, ts.URL+"/query",
+		`<out> { for $b in /bib/book return <t> {$b/title} </t> } </out>`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	if st := s.ex.Stats()["bib"]; st.EventsSkipped != 0 {
+		t.Fatalf("events_skipped = %d with all-fanout, want 0", st.EventsSkipped)
+	}
+}
+
+// TestSchedulingFlagValidation: the scheduling and admission flags are
+// validated at startup like everything else.
+func TestSchedulingFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	cases := []struct {
+		name    string
+		sched   schedConfig
+		wantErr string
+	}{
+		{"negative budget", schedConfig{batchBudget: -1}, "-batch-buffer-budget"},
+		{"negative scans per doc", schedConfig{maxScansDoc: -1}, "-max-scans-per-doc"},
+		{"negative resident", schedConfig{maxResident: -1}, "-max-resident-buffer"},
+		{"ok limits", schedConfig{batchBudget: 1 << 20, maxScansDoc: 4, maxResident: 1 << 24, allFanout: true}, ""},
+	}
+	for _, tc := range cases {
+		_, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false, tc.sched)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,8 +19,27 @@ import (
 // embedder: callers submit (document, query) pairs and block while the
 // result streams to their writer; executions against the same document
 // that arrive within one batch window (or until MaxBatch fills) run in
-// a single pass of that document — the scan is tokenized once and every
-// SAX event fans out to the whole batch.
+// a single pass of that document — the scan is tokenized once and its
+// SAX events fan out to the whole batch.
+//
+// Fan-out is selective by default: plans are partitioned by their
+// projected-path signature into event-routing groups, and a subtree no
+// path of a group's signature can match is skipped for that group in a
+// single step, so each query of a wide batch is delivered only the
+// events its projection can reach (DocStats.EventsSkipped counts the
+// rest). Set ExecutorOptions.DisableSelectiveFanout to deliver every
+// event to every query, which also restores full per-query DTD
+// validation of subtrees a query ignores.
+//
+// Dispatch is cost-based: each compiled plan carries a static predicted
+// peak buffer size (BufferReport.PredictedPeakBytes); when a batch's
+// sum exceeds ExecutorOptions.BatchBufferBudget the batch is split —
+// plans are grouped by buffer profile and the overflow runs as deferred
+// sub-batches after the first scan completes, bounding the resident
+// footprint of any single scan. Every scan is additionally admitted
+// through the catalog's admission control (Catalog.AdmitScan), which
+// bounds concurrent scans per document and total resident predicted
+// bytes across the process.
 //
 // Each document gets its own batch window, so a burst against one
 // document never delays queries against another. Scanners and engine
@@ -40,7 +60,7 @@ type Executor struct {
 	stats sync.Map // doc name -> *docCounters
 }
 
-// ExecutorOptions configures batching.
+// ExecutorOptions configures batching and scheduling.
 type ExecutorOptions struct {
 	// Window is how long the first query of a batch waits for
 	// companions; 0 means DefaultWindow. Batching trades that latency
@@ -52,6 +72,19 @@ type ExecutorOptions struct {
 	// AttrsToSubelements applies the XSAX attribute conversion to every
 	// scan.
 	AttrsToSubelements bool
+	// BatchBufferBudget caps the summed predicted peak buffer bytes
+	// (BufferReport.PredictedPeakBytes) of the queries sharing one scan.
+	// A batch over budget is split deterministically: queries are
+	// grouped by buffer profile and packed in order, and overflow
+	// sub-batches run one after another (deferred), each its own scan.
+	// A single query predicting more than the whole budget still runs,
+	// alone. 0 means unlimited.
+	BatchBufferBudget int64
+	// DisableSelectiveFanout delivers every scan event to every query
+	// of a batch instead of routing events by projected-path signature.
+	// This restores full per-query DTD validation of subtrees a query
+	// ignores, at the cost of fanning the whole document to every query.
+	DisableSelectiveFanout bool
 }
 
 // Defaults for ExecutorOptions zero values.
@@ -70,6 +103,9 @@ func NewExecutor(cat *Catalog, opt ExecutorOptions) (*Executor, error) {
 	}
 	if opt.MaxBatch < 0 {
 		return nil, fmt.Errorf("flux: negative max batch %d", opt.MaxBatch)
+	}
+	if opt.BatchBufferBudget < 0 {
+		return nil, fmt.Errorf("flux: negative batch buffer budget %d", opt.BatchBufferBudget)
 	}
 	if opt.Window == 0 {
 		opt.Window = DefaultWindow
@@ -204,11 +240,113 @@ func (e *Executor) dispatch(b *docBatch) {
 	e.runBatch(b)
 }
 
-// runBatch executes one shared scan of the batch's document and
-// delivers each request its result.
+// runBatch schedules one collected batch: it splits the requests into
+// budget-respecting sub-batches by buffer profile and runs each as its
+// own admitted shared scan, in order — overflow work is deferred behind
+// the first scan rather than inflating its resident footprint.
 func (e *Executor) runBatch(b *docBatch) {
-	n := len(b.reqs)
-	c := e.counters(b.doc)
+	subs := splitByBudget(b.reqs, e.opt.BatchBufferBudget)
+	if len(subs) > 1 {
+		c := e.counters(b.doc)
+		c.splits.Add(int64(len(subs) - 1))
+		deferred := 0
+		for _, sub := range subs[1:] {
+			deferred += len(sub)
+		}
+		c.deferred.Add(int64(deferred))
+	}
+	for _, sub := range subs {
+		e.runScan(b.doc, sub)
+	}
+}
+
+// splitByBudget partitions a batch into sub-batches whose summed
+// predicted peak buffer bytes stay within budget (0 = no limit). The
+// split is deterministic for a given arrival order: requests are
+// stable-sorted by buffer profile (signature key), so plans with equal
+// routing behavior share a scan, then packed greedily in order. A
+// single request over the whole budget gets a sub-batch of its own,
+// and zero-predicted (fully streaming) queries never trigger a split —
+// they add nothing to a scan's resident footprint, so deferring them
+// would cost a document pass for free (the admission layer exempts
+// them from the byte budget for the same reason).
+func splitByBudget(reqs []*execRequest, budget int64) [][]*execRequest {
+	if budget <= 0 || len(reqs) <= 1 {
+		return [][]*execRequest{reqs}
+	}
+	sorted := make([]*execRequest, len(reqs))
+	copy(sorted, reqs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].q.plan.SigKey() < sorted[j].q.plan.SigKey()
+	})
+	// Zero-predicted queries ride the first scan unconditionally — they
+	// add nothing to any scan's resident footprint, so deferring one
+	// behind a split would cost its caller a document pass for free.
+	var subs [][]*execRequest
+	var cur, riders []*execRequest
+	var sum int64
+	for _, req := range sorted {
+		p := req.q.plan.PredictedPeakBytes()
+		if p == 0 {
+			riders = append(riders, req)
+			continue
+		}
+		if len(cur) > 0 && sum+p > budget {
+			subs = append(subs, cur)
+			cur, sum = nil, 0
+		}
+		cur = append(cur, req)
+		sum += p
+	}
+	if len(cur) > 0 {
+		subs = append(subs, cur)
+	}
+	if len(subs) == 0 {
+		return [][]*execRequest{riders}
+	}
+	subs[0] = append(subs[0], riders...)
+	return subs
+}
+
+// runScan executes one shared scan over sub and delivers each request
+// its result. The scan is admitted through the catalog's admission
+// control before the document is opened. Requests whose context is
+// already done — common for deferred sub-batches whose callers timed
+// out behind an earlier scan — are dropped up front, and a fully dead
+// sub-batch never takes an admission slot or touches the document.
+func (e *Executor) runScan(doc string, reqs []*execRequest) {
+	c := e.counters(doc)
+	// dropDead removes requests whose caller is already gone, counting
+	// them as canceled queries that never scanned.
+	dropDead := func(rs []*execRequest) []*execRequest {
+		live := rs[:0]
+		for _, req := range rs {
+			if err := req.ctx.Err(); err != nil {
+				c.queries.Add(1)
+				c.canceled.Add(1)
+				req.done <- execOutcome{err: err}
+				continue
+			}
+			live = append(live, req)
+		}
+		return live
+	}
+	if reqs = dropDead(reqs); len(reqs) == 0 {
+		return
+	}
+	var predicted int64
+	for _, req := range reqs {
+		predicted += req.q.plan.PredictedPeakBytes()
+	}
+	release := e.cat.AdmitScan(doc, predicted)
+	defer release()
+	// Admission may have queued for a while; callers that died waiting
+	// must not cost a scan.
+	if reqs = dropDead(reqs); len(reqs) == 0 {
+		return
+	}
+
+	n := len(reqs)
 	c.scans.Add(1)
 	c.queries.Add(int64(n))
 	if n > 1 {
@@ -222,19 +360,22 @@ func (e *Executor) runBatch(b *docBatch) {
 	}
 
 	fail := func(err error) {
-		for _, req := range b.reqs {
+		for _, req := range reqs {
 			req.done <- execOutcome{res: ExecResult{BatchSize: n}, err: err}
 		}
 	}
-	f, err := e.cat.Open(b.doc)
+	f, err := e.cat.Open(doc)
 	if err != nil {
 		fail(err)
 		return
 	}
 	defer f.Close()
 
-	m := mux.New()
-	for _, req := range b.reqs {
+	m := mux.NewSelective()
+	if e.opt.DisableSelectiveFanout {
+		m = mux.New()
+	}
+	for _, req := range reqs {
 		m.AddContext(req.ctx, req.q.plan, req.w)
 	}
 	results, err := m.Run(nil, f, sax.Options{
@@ -245,7 +386,7 @@ func (e *Executor) runBatch(b *docBatch) {
 		fail(err)
 		return
 	}
-	for i, req := range b.reqs {
+	for i, req := range reqs {
 		r := results[i]
 		// A failed slot whose caller context is done counts as canceled,
 		// whatever surfaced first: the mux ctx poll (context.Canceled),
@@ -254,6 +395,7 @@ func (e *Executor) runBatch(b *docBatch) {
 		if r.Err != nil && (req.ctx.Err() != nil || errors.Is(r.Err, errWriterClosed)) {
 			c.canceled.Add(1)
 		}
+		c.eventsSkipped.Add(r.SkippedEvents)
 		req.done <- execOutcome{
 			res: ExecResult{
 				Stats: Stats{
@@ -272,24 +414,38 @@ func (e *Executor) runBatch(b *docBatch) {
 
 // DocStats are one document's serving counters.
 type DocStats struct {
-	// Queries counts executions; Scans counts shared input passes. A
-	// Queries/Scans ratio above 1 is the shared-scan amortization.
+	// Queries counts executions against the document.
 	Queries int64 `json:"queries"`
-	Scans   int64 `json:"scans"`
+	// Scans counts input passes; a Queries/Scans ratio above 1 is the
+	// shared-scan amortization.
+	Scans int64 `json:"scans"`
 	// Shared counts queries that shared their pass with a sibling.
 	Shared int64 `json:"queries_shared"`
 	// PeakBatch is the largest batch dispatched so far.
 	PeakBatch int64 `json:"peak_batch_size"`
 	// Canceled counts queries detached mid-scan by cancellation.
 	Canceled int64 `json:"canceled"`
+	// EventsSkipped counts scan events selective fan-out withheld from
+	// queries whose projection could not match them, summed over all
+	// queries; always 0 with DisableSelectiveFanout.
+	EventsSkipped int64 `json:"events_skipped"`
+	// BatchSplits counts the extra scans forced by BatchBufferBudget
+	// (each split batch contributes its sub-batch count minus one).
+	BatchSplits int64 `json:"batch_splits"`
+	// Deferred counts queries moved behind another scan by a budget
+	// split instead of running in their batch's first scan.
+	Deferred int64 `json:"queries_deferred"`
 }
 
 type docCounters struct {
-	queries   atomic.Int64
-	scans     atomic.Int64
-	shared    atomic.Int64
-	peakBatch atomic.Int64
-	canceled  atomic.Int64
+	queries       atomic.Int64
+	scans         atomic.Int64
+	shared        atomic.Int64
+	peakBatch     atomic.Int64
+	canceled      atomic.Int64
+	eventsSkipped atomic.Int64
+	splits        atomic.Int64
+	deferred      atomic.Int64
 }
 
 func (e *Executor) counters(doc string) *docCounters {
@@ -307,11 +463,14 @@ func (e *Executor) Stats() map[string]DocStats {
 	e.stats.Range(func(k, v any) bool {
 		c := v.(*docCounters)
 		out[k.(string)] = DocStats{
-			Queries:   c.queries.Load(),
-			Scans:     c.scans.Load(),
-			Shared:    c.shared.Load(),
-			PeakBatch: c.peakBatch.Load(),
-			Canceled:  c.canceled.Load(),
+			Queries:       c.queries.Load(),
+			Scans:         c.scans.Load(),
+			Shared:        c.shared.Load(),
+			PeakBatch:     c.peakBatch.Load(),
+			Canceled:      c.canceled.Load(),
+			EventsSkipped: c.eventsSkipped.Load(),
+			BatchSplits:   c.splits.Load(),
+			Deferred:      c.deferred.Load(),
 		}
 		return true
 	})

@@ -173,7 +173,18 @@ func TestExecutorCancelDetachesSibling(t *testing.T) {
 	}
 
 	const q = `<out> { for $b in /bib/book return {$b/title} } </out>`
-	want, wantStats, err := mustPrepare(t, q).RunString(bigDoc, Options{})
+	want, _, err := mustPrepare(t, q).RunString(bigDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference token count under the executor's own delivery policy
+	// (selective fan-out): a solo, uncanceled execution of the same query
+	// through an immediate-dispatch executor on the same catalog.
+	exRef, err := NewExecutor(cat, ExecutorOptions{Window: time.Millisecond, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := exRef.ExecuteContext(context.Background(), "big", q, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,9 +231,9 @@ func TestExecutorCancelDetachesSibling(t *testing.T) {
 		t.Fatalf("surviving caller's output corrupted: got %d bytes, want %d",
 			survivor.Len(), len(want))
 	}
-	if survivorRes.Stats.Tokens != wantStats.Tokens {
-		t.Fatalf("survivor tokens = %d, want %d (must scan the whole document)",
-			survivorRes.Stats.Tokens, wantStats.Tokens)
+	if survivorRes.Stats.Tokens != refRes.Stats.Tokens {
+		t.Fatalf("survivor tokens = %d, want %d (must be delivered the whole document's relevant events)",
+			survivorRes.Stats.Tokens, refRes.Stats.Tokens)
 	}
 	st := ex.Stats()["big"]
 	if st.Canceled != 1 {
@@ -316,5 +327,287 @@ func TestExecutorFillingCallerCancels(t *testing.T) {
 	_, err = ex.ExecuteContext(ctx, "big", `<out> { for $b in /bib/book return {$b/title} } </out>`, hw)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled (filling caller must observe its ctx mid-scan)", err)
+	}
+}
+
+// --- cost-based scheduling ----------------------------------------------
+
+// bufferingQuery buffers each book subtree (predicted peak > 0); the
+// where-clause forces a marked buffer node under the book scope.
+const bufferingQuery = `<out> { for $b in /bib/book where $b/year = '2004' return {$b} } </out>`
+
+// streamingQuery stream-copies each book (predicted peak 0).
+const streamingQuery = `<out> { for $b in /bib/book return {$b} } </out>`
+
+// TestPredictedPeakBytes: the static cost model orders plans sensibly —
+// streaming plans predict zero, buffering plans predict more.
+func TestPredictedPeakBytes(t *testing.T) {
+	s := mustPrepare(t, streamingQuery).BufferReport()
+	b := mustPrepare(t, bufferingQuery).BufferReport()
+	if !s.Streaming || s.PredictedPeakBytes != 0 {
+		t.Errorf("streaming query: report %+v, want Streaming with 0 predicted bytes", s)
+	}
+	if b.Streaming || b.PredictedPeakBytes <= 0 {
+		t.Errorf("buffering query: report %+v, want buffering with positive predicted bytes", b)
+	}
+	if len(s.Signature) == 0 || len(b.Signature) == 0 {
+		t.Errorf("signatures must be non-empty: %v / %v", s.Signature, b.Signature)
+	}
+}
+
+// TestExecutorBatchSplit: a batch whose summed predicted peak bytes
+// exceed the budget splits deterministically into sequential scans, and
+// every query still gets its full, correct result.
+func TestExecutorBatchSplit(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	docPath := writeTemp(t, "bib.xml", catDoc)
+	if err := cat.Add("bib", docPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+	budget := mustPrepare(t, bufferingQuery).BufferReport().PredictedPeakBytes
+	ex, err := NewExecutor(cat, ExecutorOptions{
+		Window:            30 * time.Second,
+		MaxBatch:          2,
+		BatchBufferBudget: budget, // two buffering queries cannot share a scan
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, err := mustPrepare(t, bufferingQuery).RunString(catDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, 2)
+	sizes := make([]int, 2)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ex.ExecuteContext(context.Background(), "bib", bufferingQuery, &outs[i])
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			sizes[i] = res.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].String() != want {
+			t.Errorf("query %d output = %q, want %q", i, outs[i].String(), want)
+		}
+		if sizes[i] != 1 {
+			t.Errorf("query %d batch size = %d, want 1 (budget split)", i, sizes[i])
+		}
+	}
+	st := ex.Stats()["bib"]
+	if st.Scans != 2 || st.BatchSplits != 1 || st.Deferred != 1 {
+		t.Fatalf("doc stats = %+v, want 2 scans, 1 split, 1 deferred", st)
+	}
+}
+
+// TestExecutorBudgetKeepsStreamingTogether: streaming queries predict
+// zero bytes, so even a tight budget never splits their batch.
+func TestExecutorBudgetKeepsStreamingTogether(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	if err := cat.Add("bib", writeTemp(t, "bib.xml", catDoc), catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{
+		Window:            30 * time.Second,
+		MaxBatch:          2,
+		BatchBufferBudget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := ex.ExecuteContext(context.Background(), "bib", streamingQuery, io.Discard)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.BatchSize != 2 {
+				t.Errorf("batch size = %d, want 2 (streaming queries share)", res.BatchSize)
+			}
+		}()
+	}
+	wg.Wait()
+	st := ex.Stats()["bib"]
+	if st.Scans != 1 || st.BatchSplits != 0 {
+		t.Fatalf("doc stats = %+v, want one unsplit scan", st)
+	}
+}
+
+// TestSplitByBudget: the split is deterministic and packs by buffer
+// profile — a zero-cost plan rides along with a buffering one, the
+// second buffering plan overflows into its own sub-batch.
+func TestSplitByBudget(t *testing.T) {
+	buf1 := mustPrepare(t, bufferingQuery)
+	buf2 := mustPrepare(t, bufferingQuery)
+	stream := mustPrepare(t, streamingQuery)
+	budget := buf1.plan.PredictedPeakBytes()
+
+	reqs := []*execRequest{{q: buf1}, {q: buf2}, {q: stream}}
+	subs := splitByBudget(reqs, budget)
+	if len(subs) != 2 {
+		t.Fatalf("split into %d sub-batches, want 2", len(subs))
+	}
+	total := 0
+	for _, sub := range subs {
+		total += len(sub)
+		var sum int64
+		for _, r := range sub {
+			sum += r.q.plan.PredictedPeakBytes()
+		}
+		if sum > budget && len(sub) > 1 {
+			t.Errorf("sub-batch over budget: %d > %d with %d members", sum, budget, len(sub))
+		}
+	}
+	if total != len(reqs) {
+		t.Fatalf("split lost requests: %d of %d", total, len(reqs))
+	}
+	// A zero-cost rider never forces a split, whatever the pack order:
+	// pairing it with a plan that alone exceeds the budget still shares
+	// one scan — deferring either side would cost a pass for free.
+	pair := splitByBudget([]*execRequest{{q: stream}, {q: buf1}}, budget-1)
+	if len(pair) != 1 || len(pair[0]) != 2 {
+		t.Fatalf("zero-cost rider split off: %d sub-batches", len(pair))
+	}
+
+	// Determinism: same input, same split.
+	again := splitByBudget(reqs, budget)
+	if len(again) != len(subs) {
+		t.Fatalf("second split into %d sub-batches, first %d", len(again), len(subs))
+	}
+	for i := range subs {
+		if len(again[i]) != len(subs[i]) {
+			t.Fatalf("sub-batch %d sizes differ: %d vs %d", i, len(again[i]), len(subs[i]))
+		}
+		for j := range subs[i] {
+			if again[i][j] != subs[i][j] {
+				t.Fatalf("sub-batch %d member %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+// TestExecutorSelectiveSkipsEvents: a narrow query against a document
+// with irrelevant regions is delivered fewer events than all-fanout,
+// and the skip shows up in DocStats.EventsSkipped.
+func TestExecutorSelectiveSkipsEvents(t *testing.T) {
+	const q = `<out> { for $b in /bib/book return <t> {$b/title} </t> } </out>`
+	run := func(disable bool) (ExecResult, DocStats) {
+		cat := NewCatalog(CatalogOptions{})
+		if err := cat.Add("bib", writeTemp(t, "bib.xml", catDoc), catDTD); err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExecutor(cat, ExecutorOptions{
+			Window: time.Millisecond, MaxBatch: 1,
+			DisableSelectiveFanout: disable,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		res, err := ex.ExecuteContext(context.Background(), "bib", q, &sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := mustPrepare(t, q).RunString(catDoc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != want {
+			t.Fatalf("output = %q, want %q", sb.String(), want)
+		}
+		return res, ex.Stats()["bib"]
+	}
+	selRes, selSt := run(false)
+	allRes, allSt := run(true)
+	if selRes.Stats.Tokens >= allRes.Stats.Tokens {
+		t.Errorf("selective delivered %d events, all-fanout %d; want strictly fewer",
+			selRes.Stats.Tokens, allRes.Stats.Tokens)
+	}
+	if selSt.EventsSkipped == 0 {
+		t.Errorf("selective EventsSkipped = 0, want > 0 (stats %+v)", selSt)
+	}
+	if allSt.EventsSkipped != 0 {
+		t.Errorf("all-fanout EventsSkipped = %d, want 0", allSt.EventsSkipped)
+	}
+}
+
+// TestExecutorAdmissionQueues: with MaxScansPerDoc 1, a scan submitted
+// while the document's admission slot is held queues — observable via
+// AdmissionStats — and starts only once the slot is released.
+func TestExecutorAdmissionQueues(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{MaxScansPerDoc: 1})
+	if err := cat.Add("bib", writeTemp(t, "bib.xml", catDoc), catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{Window: time.Millisecond, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the document's only scan slot.
+	release := cat.AdmitScan("bib", 0)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ex.ExecuteContext(context.Background(), "bib", streamingQuery, io.Discard)
+		done <- err
+	}()
+
+	// The scan must queue, not start.
+	deadline := time.Now().Add(5 * time.Second)
+	for cat.AdmissionStats().Waiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("scan never queued for admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("scan ran while over the per-doc limit (err=%v)", err)
+	default:
+	}
+
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := cat.AdmissionStats()
+	if st.Queued != 1 || st.Waiting != 0 || st.ActiveScans != 0 {
+		t.Fatalf("admission stats = %+v, want 1 queued, none waiting or active", st)
+	}
+}
+
+// TestSplitByBudgetRidersJoinFirstScan: wherever a zero-predicted query
+// sorts, it rides the first sub-batch — never deferred behind a split.
+func TestSplitByBudgetRidersJoinFirstScan(t *testing.T) {
+	buf1 := mustPrepare(t, bufferingQuery)
+	buf2 := mustPrepare(t, bufferingQuery)
+	stream := mustPrepare(t, streamingQuery)
+	budget := buf1.plan.PredictedPeakBytes()
+	subs := splitByBudget([]*execRequest{{q: buf1}, {q: buf2}, {q: stream}}, budget)
+	if len(subs) != 2 {
+		t.Fatalf("split into %d sub-batches, want 2", len(subs))
+	}
+	found := false
+	for _, r := range subs[0] {
+		if r.q == stream {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("streaming query not in the first sub-batch: %d/%d members", len(subs[0]), len(subs[1]))
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"flux"
@@ -36,10 +37,23 @@ const (
 	// the whole batch and Buffer the summed per-query peaks — the
 	// actual resident footprint of the batch.
 	ModeShared Mode = "shared-scan"
+	// ModeFanoutAll and ModeFanoutSelective measure event routing on the
+	// serving path: the disjoint-path FanoutQueries executed as one
+	// Executor batch with every event fanned to every query (all) versus
+	// signature-routed selective fan-out (selective). Their rows use the
+	// synthetic query name "fanout"; Tokens is the summed events
+	// delivered across the batch — the quantity selective fan-out
+	// shrinks, gated by CheckFanout.
+	ModeFanoutAll       Mode = "fanout-all"
+	ModeFanoutSelective Mode = "fanout-selective"
 )
 
 // SharedQueryName is the Row.Query value of ModeShared rows.
 const SharedQueryName = "shared"
+
+// FanoutQueryName is the Row.Query value of fan-out rows; the queries
+// themselves are xmark.FanoutQueries.
+const FanoutQueryName = "fanout"
 
 // AllModes lists the standard Figure 4 columns (FluX, Galax stand-in,
 // AnonX stand-in).
@@ -68,6 +82,10 @@ type Config struct {
 	// sweep in a single shared pass, the serving-path measurement the
 	// perf trajectory tracks.
 	SharedScan bool
+	// Fanout adds one ModeFanoutAll and one ModeFanoutSelective row per
+	// size: the disjoint-path FanoutQueries as one Executor batch, with
+	// and without selective event routing.
+	Fanout bool
 }
 
 // Row is one table cell: a (query, size, mode) measurement.
@@ -79,7 +97,8 @@ type Row struct {
 	Elapsed time.Duration
 	Buffer  int64 // peak buffered/materialized bytes
 	Output  int64
-	Skipped bool // baseline skipped at this size
+	Tokens  int64 // events delivered to queries (fan-out rows)
+	Skipped bool  // baseline skipped at this size
 }
 
 // Run executes the configured sweep.
@@ -154,6 +173,19 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 					row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), FormatBytes(row.Buffer))
 			}
 		}
+		if cfg.Fanout {
+			for _, selective := range []bool{false, true} {
+				row, err := runFanout(ctx, path, sizeMB, docBytes, selective)
+				if err != nil {
+					return nil, fmt.Errorf("bench: fanout %dMB: %w", sizeMB, err)
+				}
+				rows = append(rows, row)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12d events delivered\n",
+						row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), row.Tokens)
+				}
+			}
+		}
 	}
 	return rows, nil
 }
@@ -200,6 +232,64 @@ func runShared(ctx context.Context, qnames []string, docPath string, sizeMB int,
 				if r.Err != nil {
 					return row, r.Err
 				}
+				row.Buffer += r.Stats.PeakBufferBytes
+				row.Output += r.Stats.OutputBytes
+			}
+		}
+	}
+	return row, nil
+}
+
+// runFanout measures event routing on the serving path: the disjoint
+// FanoutQueries submitted concurrently to one Executor batch (MaxBatch
+// equal to the query count, so exactly one dispatch decision), with
+// selective fan-out on or off. Elapsed is the best of sharedRepeats
+// batch wall-clocks; Tokens (summed events delivered) and Buffer
+// (summed per-query peaks) are deterministic and recorded once.
+func runFanout(ctx context.Context, docPath string, sizeMB int, docBytes int64, selective bool) (Row, error) {
+	mode := ModeFanoutAll
+	if selective {
+		mode = ModeFanoutSelective
+	}
+	row := Row{Query: FanoutQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: mode}
+
+	cat := flux.NewCatalog(flux.CatalogOptions{})
+	if err := cat.Add("doc", docPath, xmark.DTD); err != nil {
+		return row, err
+	}
+	ex, err := flux.NewExecutor(cat, flux.ExecutorOptions{
+		Window:                 30 * time.Second, // dispatch on MaxBatch, not the window
+		MaxBatch:               len(xmark.FanoutQueries),
+		DisableSelectiveFanout: !selective,
+	})
+	if err != nil {
+		return row, err
+	}
+	for rep := 0; rep < sharedRepeats; rep++ {
+		results := make([]flux.ExecResult, len(xmark.FanoutQueries))
+		errs := make([]error, len(xmark.FanoutQueries))
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i, q := range xmark.FanoutQueries {
+			wg.Add(1)
+			go func(i int, q string) {
+				defer wg.Done()
+				results[i], errs[i] = ex.ExecuteContext(ctx, "doc", q, io.Discard)
+			}(i, q)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return row, err
+			}
+		}
+		if rep == 0 || elapsed < row.Elapsed {
+			row.Elapsed = elapsed
+		}
+		if rep == 0 {
+			for _, r := range results {
+				row.Tokens += r.Stats.Tokens
 				row.Buffer += r.Stats.PeakBufferBytes
 				row.Output += r.Stats.OutputBytes
 			}

@@ -32,12 +32,25 @@ type Regression struct {
 	Metric string // "elapsed_ns" or "buffer_bytes"
 	Old    int64  // calibration-scaled for elapsed_ns
 	New    int64
+	// LimitPct is the threshold the row exceeded, and Allowed the
+	// largest New value that would have passed it, so a CI log names the
+	// offending row with its before/after values and the line it crossed
+	// without the reader re-deriving the math.
+	LimitPct float64
+	Allowed  int64
 }
 
-// String renders the regression for CI logs.
+// String renders the regression for CI logs: the exact row (query, size,
+// mode), the metric, the baseline and observed values, and the allowed
+// maximum under the threshold.
 func (r Regression) String() string {
-	return fmt.Sprintf("%s %dMB %s: %s %d -> %d (%+.1f%%)",
-		r.Query, r.SizeMB, r.Mode, r.Metric, r.Old, r.New, pctChange(r.Old, r.New))
+	note := ""
+	if r.Metric == "elapsed_ns" {
+		note = " [baseline calibration-scaled]"
+	}
+	return fmt.Sprintf("row %s/%dMB/%s: %s was %d, now %d (%+.1f%%; limit +%.0f%% = %d)%s",
+		r.Query, r.SizeMB, r.Mode, r.Metric, r.Old, r.New,
+		pctChange(r.Old, r.New), r.LimitPct, r.Allowed, note)
 }
 
 func pctChange(old, new int64) float64 {
@@ -106,18 +119,58 @@ func Diff(old, new *Snapshot, maxRegressPct float64) DiffResult {
 				res.Regressions = append(res.Regressions, Regression{
 					Query: nr.Query, SizeMB: nr.SizeMB, Mode: nr.Mode,
 					Metric: "elapsed_ns", Old: scaledOld, New: nr.ElapsedNS,
+					LimitPct: maxRegressPct, Allowed: int64(float64(scaledOld) * allowed),
 				})
 			}
 		}
 		if float64(nr.BufferBytes) > float64(or.BufferBytes)*allowed &&
 			nr.BufferBytes-or.BufferBytes > bufferSlackBytes {
+			// The pass ceiling is the larger of the percentage bound and
+			// the absolute slack, matching the gate condition above.
+			allowedBytes := int64(float64(or.BufferBytes) * allowed)
+			if slackCeil := or.BufferBytes + bufferSlackBytes; slackCeil > allowedBytes {
+				allowedBytes = slackCeil
+			}
 			res.Regressions = append(res.Regressions, Regression{
 				Query: nr.Query, SizeMB: nr.SizeMB, Mode: nr.Mode,
 				Metric: "buffer_bytes", Old: or.BufferBytes, New: nr.BufferBytes,
+				LimitPct: maxRegressPct, Allowed: allowedBytes,
 			})
 		}
 	}
 	return res
+}
+
+// CheckFanout verifies the selective fan-out invariant within one
+// snapshot: wherever both fan-out rows exist for a size, the selective
+// row must have delivered strictly fewer events than the all-fanout
+// baseline — the disjoint-path batch's defining win. It returns an
+// error naming the offending size and both values, or nil when the
+// invariant holds (vacuously for snapshots without fan-out rows).
+func CheckFanout(snap *Snapshot) error {
+	all := make(map[int]int64)
+	sel := make(map[int]int64)
+	for _, r := range snap.Rows {
+		if r.Query != FanoutQueryName || r.Skipped {
+			continue
+		}
+		switch r.Mode {
+		case ModeFanoutAll:
+			all[r.SizeMB] = r.TokensDelivered
+		case ModeFanoutSelective:
+			sel[r.SizeMB] = r.TokensDelivered
+		}
+	}
+	for size, a := range all {
+		s, ok := sel[size]
+		if !ok {
+			continue
+		}
+		if s >= a {
+			return fmt.Errorf("fanout %dMB: selective delivered %d events, all-fanout %d; selective must be strictly lower", size, s, a)
+		}
+	}
+	return nil
 }
 
 // bufferSlackBytes ignores absolute buffer growth below this size, so a

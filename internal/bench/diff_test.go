@@ -2,6 +2,7 @@ package bench
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -101,5 +102,55 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	if snap.Rows[1].Mode != ModeShared || snap.Rows[1].BufferBytes != 7 {
 		t.Fatalf("rows = %+v", snap.Rows)
+	}
+}
+
+func TestCheckFanout(t *testing.T) {
+	fan := func(mode Mode, size int, tokens int64) SnapshotRow {
+		return SnapshotRow{Query: FanoutQueryName, SizeMB: size, Mode: mode, TokensDelivered: tokens}
+	}
+	// Selective strictly below all-fanout: invariant holds.
+	if err := CheckFanout(snap(100, fan(ModeFanoutAll, 1, 1000), fan(ModeFanoutSelective, 1, 100))); err != nil {
+		t.Fatalf("invariant must hold: %v", err)
+	}
+	// Equal counts: violated (selective must be strictly lower).
+	if err := CheckFanout(snap(100, fan(ModeFanoutAll, 1, 1000), fan(ModeFanoutSelective, 1, 1000))); err == nil {
+		t.Fatal("equal event counts must violate the invariant")
+	}
+	// Snapshots without fan-out rows pass vacuously.
+	if err := CheckFanout(snap(100, row("q1", 1, ModeFluX, 1000, 0))); err != nil {
+		t.Fatalf("vacuous snapshot must pass: %v", err)
+	}
+	// A lone mode (old snapshots) passes too.
+	if err := CheckFanout(snap(100, fan(ModeFanoutSelective, 1, 100))); err != nil {
+		t.Fatalf("lone selective row must pass: %v", err)
+	}
+}
+
+func TestRegressionString(t *testing.T) {
+	r := Regression{
+		Query: "shared", SizeMB: 1, Mode: ModeShared, Metric: "elapsed_ns",
+		Old: 1000, New: 1500, LimitPct: 20, Allowed: 1200,
+	}
+	s := r.String()
+	for _, want := range []string{"shared/1MB/shared-scan", "1000", "1500", "+50.0%", "limit +20%", "1200"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("regression message %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRegressionAllowedIncludesSlack(t *testing.T) {
+	// Old 1000 at 10%: the percentage bound (1100) is under the absolute
+	// slack ceiling (1000+4096), so Allowed must report the slack value —
+	// the number a fix actually has to get under.
+	old := snap(100, row("q8", 1, ModeFluX, 1000, 1000))
+	new := snap(100, row("q8", 1, ModeFluX, 1000, 6000))
+	res := Diff(old, new, 10)
+	if len(res.Regressions) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if got := res.Regressions[0].Allowed; got != 1000+bufferSlackBytes {
+		t.Fatalf("Allowed = %d, want %d (percentage bound alone understates the gate)", got, 1000+bufferSlackBytes)
 	}
 }

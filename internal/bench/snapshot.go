@@ -55,7 +55,10 @@ type SnapshotRow struct {
 	ElapsedNS   int64  `json:"elapsed_ns"`
 	BufferBytes int64  `json:"buffer_bytes"`
 	OutputBytes int64  `json:"output_bytes"`
-	Skipped     bool   `json:"skipped,omitempty"`
+	// TokensDelivered is the summed events delivered to the row's
+	// queries (fan-out rows only; see ModeFanoutAll/ModeFanoutSelective).
+	TokensDelivered int64 `json:"tokens_delivered,omitempty"`
+	Skipped         bool  `json:"skipped,omitempty"`
 }
 
 // WriteJSON writes rows as a Snapshot to path.
@@ -69,14 +72,15 @@ func WriteJSON(path string, rows []Row) error {
 	}
 	for _, r := range rows {
 		snap.Rows = append(snap.Rows, SnapshotRow{
-			Query:       r.Query,
-			SizeMB:      r.SizeMB,
-			Bytes:       r.Bytes,
-			Mode:        r.Mode,
-			ElapsedNS:   r.Elapsed.Nanoseconds(),
-			BufferBytes: r.Buffer,
-			OutputBytes: r.Output,
-			Skipped:     r.Skipped,
+			Query:           r.Query,
+			SizeMB:          r.SizeMB,
+			Bytes:           r.Bytes,
+			Mode:            r.Mode,
+			ElapsedNS:       r.Elapsed.Nanoseconds(),
+			BufferBytes:     r.Buffer,
+			OutputBytes:     r.Output,
+			TokensDelivered: r.Tokens,
+			Skipped:         r.Skipped,
 		})
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")

@@ -16,6 +16,21 @@ type BufferReport struct {
 	Streaming bool
 	// Scopes lists the buffering scopes.
 	Scopes []ScopeBuffers
+	// Signature lists the plan's projected paths, rooted at the
+	// document: every stream position the compiled plan observes. A
+	// trailing " •" marks a position whose whole subtree is consumed
+	// (stream copies, fully buffered nodes, value-comparison watcher
+	// targets); other entries are tags-only spine positions. Subtrees
+	// no listed path can match are skipped by selective fan-out.
+	Signature []string
+	// PredictedPeakBytes is a static, deterministic estimate of the
+	// plan's peak buffer consumption in nominal bytes: 0 for fully
+	// streaming plans, small for tags-only per-instance buffers, large
+	// for document-lifetime full-subtree buffers. It is comparable
+	// across plans — the Executor's batch budget and the Catalog's
+	// admission control sum it — but is not a promise about any
+	// particular document.
+	PredictedPeakBytes int64
 }
 
 // ScopeBuffers describes one buffering scope.
@@ -57,6 +72,8 @@ func (p *Plan) Report() BufferReport {
 	}
 	walk(p.root)
 	rep.Streaming = len(rep.Scopes) == 0
+	rep.Signature = p.sig.paths()
+	rep.PredictedPeakBytes = p.predicted
 	return rep
 }
 

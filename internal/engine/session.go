@@ -63,6 +63,22 @@ func (s *Session) EndElement(name string) error {
 	return s.eng.EndElement(name)
 }
 
+// SkipSubtree consumes a complete element named name — start tag,
+// entire content, end tag — in a single step, without delivering its
+// interior events. It is the selective fan-out fast path: the caller
+// (a router such as internal/mux) guarantees, from the plan's
+// Signature, that nothing under the element can match the query. The
+// parent content model still validates the element and punctuation
+// events still fire; the element's interior is not validated. Calling
+// it for a subtree the plan consumes is a routing bug and returns a
+// RunError.
+func (s *Session) SkipSubtree(name string) error {
+	if s.done {
+		return errClosed
+	}
+	return s.eng.skipSubtree(name)
+}
+
 // Finish signals end of stream: the document scope closes (running any
 // remaining on-first handlers), output is flushed, and the execution
 // statistics are returned. The session is dead afterwards.

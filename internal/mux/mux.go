@@ -8,11 +8,25 @@
 // runs in its own engine.Session, so per-query state, output, statistics,
 // and failures stay fully isolated — a plan that errors mid-stream is
 // detached from the event flow without disturbing its siblings.
+//
+// A multiplexer created with NewSelective additionally routes events by
+// each plan's projected-path signature (engine.SigNode): plans with equal
+// signatures form one event-routing group, and a subtree no path of a
+// group's signature can match is delivered to that group as a single
+// Session.SkipSubtree step instead of event by event. A wide batch of
+// narrow queries then costs each query only the events its projection can
+// match, not the whole document. The trade: a plan no longer validates
+// the interior of subtrees its query provably ignores (the parent content
+// model still validates every skipped element's tag; events at observed
+// positions, including character data, are always delivered, so
+// validation there is unchanged). New preserves the deliver-everything
+// behavior, including full per-plan DTD validation.
 package mux
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 
 	"flux/internal/engine"
@@ -28,13 +42,18 @@ type Result struct {
 	// failure (malformed XML, read error) is recorded on every query that
 	// was still live when it happened and also returned from Run.
 	Err error
+	// SkippedEvents counts the scan events selective fan-out withheld
+	// from this plan (the interior of subtrees its signature cannot
+	// match). Always 0 for a Mux created with New.
+	SkippedEvents int64
 }
 
 // Mux fans one stream's SAX events to any number of engine sessions.
-// Zero value is not ready; use New. A Mux is single-use: register plans
-// with Add or AddContext, then call Run once.
+// Zero value is not ready; use New or NewSelective. A Mux is single-use:
+// register plans with Add or AddContext, then call Run once.
 type Mux struct {
 	sessions []*engine.Session
+	plans    []*engine.Plan
 	ctxs     []context.Context // per-slot cancellation, nil = never canceled
 	results  []Result
 	live     []bool
@@ -42,10 +61,39 @@ type Mux struct {
 	nctx     int // slots with a non-nil context
 	events   int64
 	ran      bool
+
+	// Selective fan-out state (selective Muxes only).
+	selective bool
+	groups    []*fanGroup
+	slotGroup []int // slot index -> group index
+	depth     int   // open elements in the scan
 }
 
-// New returns an empty multiplexer.
+// fanGroup is one event-routing group: the plans sharing a signature,
+// their trie cursor into it, and the skip bookkeeping.
+type fanGroup struct {
+	members []int
+	stack   []*engine.SigNode
+	// skipUntil, when non-zero, is the depth of the element currently
+	// being skipped for this group; every event at a greater depth (and
+	// the element's own end tag) is withheld.
+	skipUntil int
+	skipped   int64
+}
+
+// New returns an empty multiplexer that delivers every event to every
+// registered plan (all-fanout).
 func New() *Mux { return &Mux{} }
+
+// NewSelective returns an empty multiplexer with selective fan-out:
+// events are routed by each plan's projected-path signature, and
+// subtrees a plan provably cannot match are skipped for it (see the
+// package comment for the validation trade-off).
+func NewSelective() *Mux { return &Mux{selective: true} }
+
+// Selective reports whether this multiplexer routes events by plan
+// signature rather than delivering everything to everyone.
+func (m *Mux) Selective() bool { return m.selective }
 
 // Add registers a compiled plan whose output is written to w, returning
 // the slot index of its Result in the slice Run returns.
@@ -60,6 +108,7 @@ func (m *Mux) Add(plan *engine.Plan, w io.Writer) int {
 // individually. Cancellation is observed at event-batch granularity.
 func (m *Mux) AddContext(ctx context.Context, plan *engine.Plan, w io.Writer) int {
 	m.sessions = append(m.sessions, engine.NewSession(plan, w))
+	m.plans = append(m.plans, plan)
 	m.ctxs = append(m.ctxs, ctx)
 	if ctx != nil {
 		m.nctx++
@@ -73,9 +122,51 @@ func (m *Mux) AddContext(ctx context.Context, plan *engine.Plan, w io.Writer) in
 // Len reports the number of registered plans.
 func (m *Mux) Len() int { return len(m.sessions) }
 
-// Events reports the number of SAX events the shared scan delivered —
-// the per-pass token cost that N independent runs would each pay again.
+// Events reports the number of SAX events the shared scan tokenized —
+// the per-pass cost that N independent runs would each pay again. Under
+// selective fan-out individual plans may have been delivered fewer.
 func (m *Mux) Events() int64 { return m.events }
+
+// GroupStats describes one event-routing group of a selective scan.
+type GroupStats struct {
+	// Queries is the number of plans routed as this group.
+	Queries int
+	// SkippedEvents counts the scan events withheld from the group.
+	SkippedEvents int64
+}
+
+// Groups reports the event-routing groups of a selective Mux in
+// formation order, nil for an all-fanout Mux. Call it after Run.
+func (m *Mux) Groups() []GroupStats {
+	if !m.selective {
+		return nil
+	}
+	out := make([]GroupStats, len(m.groups))
+	for i, g := range m.groups {
+		out[i] = GroupStats{Queries: len(g.members), SkippedEvents: g.skipped}
+	}
+	return out
+}
+
+// buildGroups partitions the registered plans into event-routing groups
+// by (schema, signature key): plans in one group make identical skip
+// decisions at every stream position, so routing is evaluated once per
+// group, not once per plan.
+func (m *Mux) buildGroups() {
+	byKey := make(map[string]int)
+	m.slotGroup = make([]int, len(m.plans))
+	for i, p := range m.plans {
+		key := fmt.Sprintf("%p|%s", p.Schema(), p.SigKey())
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(m.groups)
+			byKey[key] = gi
+			m.groups = append(m.groups, &fanGroup{stack: []*engine.SigNode{p.Signature()}})
+		}
+		m.groups[gi].members = append(m.groups[gi].members, i)
+		m.slotGroup[i] = gi
+	}
+}
 
 // errAllFailed aborts the scan early once no session is listening.
 var errAllFailed = errors.New("mux: all queries failed")
@@ -114,6 +205,9 @@ func (m *Mux) pollCtxs() {
 func (m *Mux) StartElement(name string) error {
 	m.events++
 	m.pollCtxs()
+	if m.selective {
+		return m.routeStart(name)
+	}
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -128,10 +222,57 @@ func (m *Mux) StartElement(name string) error {
 	return nil
 }
 
+// routeStart is StartElement under selective fan-out: each group either
+// descends its signature trie and receives the event, or — when no
+// signature path can match the subtree — collapses it into one
+// SkipSubtree step and withholds everything until the matching end tag.
+func (m *Mux) routeStart(name string) error {
+	m.depth++
+	for _, g := range m.groups {
+		if g.skipUntil != 0 {
+			g.skipped++
+			continue
+		}
+		cur := g.stack[len(g.stack)-1]
+		next := cur
+		if !cur.All {
+			next = cur.Kids[name]
+		}
+		if next == nil {
+			for _, i := range g.members {
+				if !m.live[i] {
+					continue
+				}
+				if err := m.sessions[i].SkipSubtree(name); err != nil {
+					m.fail(i, err)
+				}
+			}
+			g.skipUntil = m.depth
+			continue
+		}
+		g.stack = append(g.stack, next)
+		for _, i := range g.members {
+			if !m.live[i] {
+				continue
+			}
+			if err := m.sessions[i].StartElement(name); err != nil {
+				m.fail(i, err)
+			}
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
 // Text implements sax.Handler.
 func (m *Mux) Text(data string) error {
 	m.events++
 	m.pollCtxs()
+	if m.selective {
+		return m.routeText(data)
+	}
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -146,10 +287,40 @@ func (m *Mux) Text(data string) error {
 	return nil
 }
 
+// routeText delivers character data to every group not inside a
+// skipped subtree. Spine positions get their text too, not just All
+// positions: in a valid document a non-mixed spine element holds only
+// whitespace (already dropped by the scanner), so this costs nothing —
+// and an invalid document with stray character data at an observed
+// element fails validation exactly as it does under all-fanout.
+func (m *Mux) routeText(data string) error {
+	for _, g := range m.groups {
+		if g.skipUntil != 0 {
+			g.skipped++
+			continue
+		}
+		for _, i := range g.members {
+			if !m.live[i] {
+				continue
+			}
+			if err := m.sessions[i].Text(data); err != nil {
+				m.fail(i, err)
+			}
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
 // EndElement implements sax.Handler.
 func (m *Mux) EndElement(name string) error {
 	m.events++
 	m.pollCtxs()
+	if m.selective {
+		return m.routeEnd(name)
+	}
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -164,8 +335,38 @@ func (m *Mux) EndElement(name string) error {
 	return nil
 }
 
+// routeEnd is EndElement under selective fan-out: a skipping group
+// resumes routing when the skipped element's own end tag goes by (the
+// SkipSubtree step already accounted for the whole element).
+func (m *Mux) routeEnd(name string) error {
+	for _, g := range m.groups {
+		if g.skipUntil != 0 {
+			g.skipped++
+			if m.depth == g.skipUntil {
+				g.skipUntil = 0
+			}
+			continue
+		}
+		g.stack = g.stack[:len(g.stack)-1]
+		for _, i := range g.members {
+			if !m.live[i] {
+				continue
+			}
+			if err := m.sessions[i].EndElement(name); err != nil {
+				m.fail(i, err)
+			}
+		}
+	}
+	m.depth--
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
 // Run scans the XML document from r once, delivering every event to all
-// registered plans, and returns one Result per plan in Add order.
+// registered plans (or, under selective fan-out, to the plans whose
+// signature can match it), and returns one Result per plan in Add order.
 //
 // Per-query failures (schema violations under a plan's DTD, write errors
 // on a query's output, a done AddContext context) are isolated in that
@@ -181,6 +382,9 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if m.selective {
+		m.buildGroups()
+	}
 	for i, s := range m.sessions {
 		if !m.live[i] {
 			continue
@@ -191,6 +395,7 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 	}
 	if m.nlive > 0 {
 		if err := sax.ScanContext(ctx, r, m, opt); err != nil {
+			m.fillSkipped()
 			if errors.Is(err, errAllFailed) {
 				return m.results, err
 			}
@@ -215,5 +420,17 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 		m.live[i] = false
 	}
 	m.nlive = 0
+	m.fillSkipped()
 	return m.results, nil
+}
+
+// fillSkipped copies each routing group's skip counter onto its
+// members' Results.
+func (m *Mux) fillSkipped() {
+	if !m.selective {
+		return
+	}
+	for i := range m.results {
+		m.results[i].SkippedEvents = m.groups[m.slotGroup[i]].skipped
+	}
 }

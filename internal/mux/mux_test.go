@@ -232,3 +232,222 @@ func TestRunCanceledScanContext(t *testing.T) {
 		t.Fatalf("slot err = %v, want context.Canceled", results[0].Err)
 	}
 }
+
+// --- selective fan-out ---------------------------------------------------
+
+// selDTD has three disjoint top-level regions so narrow queries can be
+// routed selectively.
+const selDTD = `
+<!ELEMENT r (a*,b*,c*)>
+<!ELEMENT a (x,y)>
+<!ELEMENT b (x)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+<!ELEMENT y (#PCDATA)>
+`
+
+const selDoc = `<r>` +
+	`<a><x>ax1</x><y>ay1</y></a><a><x>ax2</x><y>ay2</y></a>` +
+	`<b><x>bx1</x></b><b><x>bx2</x></b>` +
+	`<c>c1</c><c>c2</c>` +
+	`</r>`
+
+// selPlans compiles three narrow queries (one per region) plus one
+// whole-document copy.
+func selPlans(t *testing.T) []*engine.Plan {
+	t.Helper()
+	return []*engine.Plan{
+		compile(t, selDTD, `{ ps $ROOT: on r as $r return { ps $r: on a as $a return { $a } } }`),
+		compile(t, selDTD, `{ ps $ROOT: on r as $r return { ps $r: on b as $b return { $b } } }`),
+		compile(t, selDTD, `{ ps $ROOT: on r as $r return { ps $r: on c as $c return { $c } } }`),
+		compile(t, selDTD, `{ ps $ROOT: on r as $r return { $r } }`),
+	}
+}
+
+// TestSelectiveMatchesAllFanout: selective routing must change only the
+// event counts — every plan's output and peak buffer bytes are identical
+// to the all-fanout scan, and narrow plans see strictly fewer events.
+func TestSelectiveMatchesAllFanout(t *testing.T) {
+	plans := selPlans(t)
+
+	runWith := func(m *mux.Mux) ([]mux.Result, []string) {
+		t.Helper()
+		outs := make([]*strings.Builder, len(plans))
+		for i, p := range plans {
+			outs[i] = &strings.Builder{}
+			m.Add(p, outs[i])
+		}
+		results, err := m.Run(nil, strings.NewReader(selDoc), scanOpt)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		texts := make([]string, len(outs))
+		for i, o := range outs {
+			texts[i] = o.String()
+		}
+		return results, texts
+	}
+
+	allRes, allOut := runWith(mux.New())
+	selRes, selOut := runWith(mux.NewSelective())
+
+	for i := range plans {
+		if selRes[i].Err != nil {
+			t.Fatalf("plan %d: %v", i, selRes[i].Err)
+		}
+		if selOut[i] != allOut[i] {
+			t.Errorf("plan %d output: selective %q, all-fanout %q", i, selOut[i], allOut[i])
+		}
+		if selRes[i].Stats.PeakBufferBytes != allRes[i].Stats.PeakBufferBytes {
+			t.Errorf("plan %d peak buffer: selective %d, all-fanout %d",
+				i, selRes[i].Stats.PeakBufferBytes, allRes[i].Stats.PeakBufferBytes)
+		}
+		if selRes[i].Stats.Tokens > allRes[i].Stats.Tokens {
+			t.Errorf("plan %d tokens: selective %d > all-fanout %d",
+				i, selRes[i].Stats.Tokens, allRes[i].Stats.Tokens)
+		}
+	}
+	// The narrow plans must have been delivered strictly fewer events and
+	// their skip counters must say so; the whole-document copy sees all.
+	for i := 0; i < 3; i++ {
+		if selRes[i].Stats.Tokens >= allRes[i].Stats.Tokens {
+			t.Errorf("narrow plan %d: %d events delivered selectively, want < %d",
+				i, selRes[i].Stats.Tokens, allRes[i].Stats.Tokens)
+		}
+		if selRes[i].SkippedEvents == 0 {
+			t.Errorf("narrow plan %d: SkippedEvents = 0, want > 0", i)
+		}
+	}
+	if selRes[3].Stats.Tokens != allRes[3].Stats.Tokens {
+		t.Errorf("copy plan tokens: selective %d, all-fanout %d",
+			selRes[3].Stats.Tokens, allRes[3].Stats.Tokens)
+	}
+	if selRes[3].SkippedEvents != 0 {
+		t.Errorf("copy plan SkippedEvents = %d, want 0", selRes[3].SkippedEvents)
+	}
+}
+
+// TestSelectiveGroups: plans with equal signatures route as one group;
+// Groups reports formation order and skip counters.
+func TestSelectiveGroups(t *testing.T) {
+	// One parsed schema for all plans: grouping keys on schema identity
+	// (as the Catalog provides it — one schema per distinct DTD text).
+	schema := dtd.MustParse(selDTD)
+	compileWith := func(fluxText string) *engine.Plan {
+		f, err := core.ParseFlux(fluxText)
+		if err != nil {
+			t.Fatalf("parse %q: %v", fluxText, err)
+		}
+		plan, err := engine.Compile(schema, f)
+		if err != nil {
+			t.Fatalf("compile %q: %v", fluxText, err)
+		}
+		return plan
+	}
+	a1 := compileWith(`{ ps $ROOT: on r as $r return { ps $r: on a as $a return { $a } } }`)
+	a2 := compileWith(`{ ps $ROOT: on r as $r return { ps $r: on a as $a return { $a } } }`)
+	c := compileWith(`{ ps $ROOT: on r as $r return { ps $r: on c as $x return { $x } } }`)
+
+	m := mux.NewSelective()
+	m.Add(a1, io.Discard)
+	m.Add(a2, io.Discard)
+	m.Add(c, io.Discard)
+	results, err := m.Run(nil, strings.NewReader(selDoc), scanOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := m.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (two identical signatures share one)", len(groups))
+	}
+	if groups[0].Queries != 2 || groups[1].Queries != 1 {
+		t.Fatalf("group sizes = %+v, want [2 1]", groups)
+	}
+	for _, g := range groups {
+		if g.SkippedEvents == 0 {
+			t.Errorf("group skipped 0 events, want > 0: %+v", groups)
+		}
+	}
+	if results[0].Stats.Tokens != results[1].Stats.Tokens {
+		t.Errorf("same-group plans delivered different event counts: %d vs %d",
+			results[0].Stats.Tokens, results[1].Stats.Tokens)
+	}
+}
+
+// TestSelectiveErrorIsolation: a plan that consumes the whole document
+// still validates it under selective routing, and its failure does not
+// disturb narrow siblings.
+func TestSelectiveErrorIsolation(t *testing.T) {
+	narrow := compile(t, selDTD, `{ ps $ROOT: on r as $r return { ps $r: on c as $x return { $x } } }`)
+	// This plan's DTD does not allow <a> inside <r>, and it copies <r>,
+	// so every event reaches it and its validating automaton fails.
+	bad := compile(t, `
+<!ELEMENT r (b*,c*)>
+<!ELEMENT b (x)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+`, `{ ps $ROOT: on r as $x return { $x } }`)
+
+	m := mux.NewSelective()
+	var narrowOut strings.Builder
+	ni := m.Add(narrow, &narrowOut)
+	bi := m.Add(bad, io.Discard)
+	results, err := m.Run(nil, strings.NewReader(selDoc), scanOpt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if results[bi].Err == nil {
+		t.Error("bad plan: want a validation error, got nil")
+	}
+	if results[ni].Err != nil {
+		t.Errorf("narrow plan poisoned by sibling: %v", results[ni].Err)
+	}
+	if narrowOut.String() != "<c>c1</c><c>c2</c>" {
+		t.Errorf("narrow plan output = %q", narrowOut.String())
+	}
+}
+
+// TestSelectiveConstantQuery: a plan that consumes nothing from the
+// stream skips the whole document in one step per top-level subtree and
+// still produces its constant output.
+func TestSelectiveConstantQuery(t *testing.T) {
+	p := compile(t, selDTD, `{ ps $ROOT: on-first past(*) return done }`)
+	m := mux.NewSelective()
+	var out strings.Builder
+	m.Add(p, &out)
+	results, err := m.Run(nil, strings.NewReader(selDoc), scanOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if out.String() != "done" {
+		t.Errorf("output = %q, want %q", out.String(), "done")
+	}
+	if results[0].Stats.Tokens != 1 {
+		t.Errorf("tokens = %d, want 1 (the whole document collapses to one skip)",
+			results[0].Stats.Tokens)
+	}
+}
+
+// TestSelectiveSpineTextValidation: stray character data at an observed
+// (spine) element fails DTD validation under selective routing exactly
+// as it does under all-fanout — only the interior of skipped subtrees
+// loses validation.
+func TestSelectiveSpineTextValidation(t *testing.T) {
+	// <r> is a spine position for this narrow query (only <b> matters).
+	p := compile(t, selDTD, `{ ps $ROOT: on r as $r return { ps $r: on b as $b return { $b } } }`)
+	const badDoc = `<r>stray<b><x>bx1</x></b></r>`
+	for _, selective := range []bool{false, true} {
+		m := mux.New()
+		if selective {
+			m = mux.NewSelective()
+		}
+		m.Add(p, io.Discard)
+		results, _ := m.Run(nil, strings.NewReader(badDoc), scanOpt)
+		if results[0].Err == nil {
+			t.Errorf("selective=%v: stray text at spine element must fail validation", selective)
+		}
+	}
+}

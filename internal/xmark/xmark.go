@@ -158,6 +158,20 @@ var Queries = map[string]string{
 // QueryNames lists the benchmark queries in Figure 4 order.
 var QueryNames = []string{"q1", "q8", "q11", "q13", "q20"}
 
+// FanoutQueries are narrow queries with pairwise-disjoint projected
+// paths — one per top-level branch of the site — so selective fan-out
+// can route each to a different slice of the document. They drive
+// BenchmarkSelectiveFanout and the fanout-all/fanout-selective
+// snapshot rows (internal/bench).
+var FanoutQueries = []string{
+	`<q> { for $i in /site/regions/australia/item return {$i/item_id} } </q>`,
+	`<q> { for $c in /site/categories/category return {$c/category_id} } </q>`,
+	`<q> { for $e in /site/catgraph/edge return {$e/edge_from} } </q>`,
+	`<q> { for $p in /site/people/person return {$p/person_id} } </q>`,
+	`<q> { for $o in /site/open_auctions/open_auction return {$o/open_auction_id} } </q>`,
+	`<q> { for $t in /site/closed_auctions/closed_auction return {$t/price} } </q>`,
+}
+
 // GenOptions configures document generation.
 type GenOptions struct {
 	// Scale follows xmlgen's knob: Figure 4's document sizes are obtained

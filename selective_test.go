@@ -1,0 +1,112 @@
+package flux
+
+// Selective fan-out equivalence at workload scale: for the paper's five
+// XMark queries (overlapping projections, buffering and streaming plans
+// mixed) plus the disjoint fan-out set, routing events by signature must
+// change nothing observable except the number of events delivered.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"flux/internal/mux"
+	"flux/internal/sax"
+	"flux/internal/xmark"
+)
+
+// TestSelectiveEquivalenceXMark: every XMark query run in one selective
+// shared scan produces byte-identical output and identical peak buffer
+// bytes to its solo all-events run, while being delivered no more — and
+// for the narrow queries strictly fewer — events.
+func TestSelectiveEquivalenceXMark(t *testing.T) {
+	doc := xmarkTestDoc(t, 96<<10)
+
+	names := append([]string{}, xmark.QueryNames...)
+	queries := make([]*Query, 0, len(names)+len(xmark.FanoutQueries))
+	for _, name := range names {
+		q, err := Prepare(xmark.Queries[name], xmark.DTD)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		queries = append(queries, q)
+	}
+	for i, qt := range xmark.FanoutQueries {
+		q, err := Prepare(qt, xmark.DTD)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", i, err)
+		}
+		queries = append(queries, q)
+		names = append(names, qt)
+	}
+
+	solo := make([]string, len(queries))
+	soloStats := make([]Stats, len(queries))
+	for i, q := range queries {
+		var sb strings.Builder
+		st, err := q.Run(strings.NewReader(doc), &sb, Options{})
+		if err != nil {
+			t.Fatalf("solo %s: %v", names[i], err)
+		}
+		solo[i], soloStats[i] = sb.String(), st
+	}
+
+	m := mux.NewSelective()
+	outs := make([]*strings.Builder, len(queries))
+	for i, q := range queries {
+		outs[i] = &strings.Builder{}
+		m.Add(q.plan, outs[i])
+	}
+	results, err := m.Run(nil, strings.NewReader(doc), sax.Options{SkipWhitespaceText: true})
+	if err != nil {
+		t.Fatalf("selective shared scan: %v", err)
+	}
+	for i := range queries {
+		if results[i].Err != nil {
+			t.Fatalf("%s: %v", names[i], results[i].Err)
+		}
+		if outs[i].String() != solo[i] {
+			t.Errorf("%s: selective output differs (%d bytes vs %d)",
+				names[i], outs[i].Len(), len(solo[i]))
+		}
+		if results[i].Stats.PeakBufferBytes != soloStats[i].PeakBufferBytes {
+			t.Errorf("%s: selective peak buffer %d, solo %d",
+				names[i], results[i].Stats.PeakBufferBytes, soloStats[i].PeakBufferBytes)
+		}
+		if results[i].Stats.Tokens > soloStats[i].Tokens {
+			t.Errorf("%s: selective delivered %d events, solo %d — must never deliver more",
+				names[i], results[i].Stats.Tokens, soloStats[i].Tokens)
+		}
+	}
+	// The disjoint fan-out queries are narrow: each must be delivered
+	// strictly fewer events than a solo all-events run.
+	for i := len(xmark.QueryNames); i < len(queries); i++ {
+		if results[i].Stats.Tokens >= soloStats[i].Tokens {
+			t.Errorf("%s: selective delivered %d events, want < %d",
+				names[i], results[i].Stats.Tokens, soloStats[i].Tokens)
+		}
+	}
+}
+
+// TestSelectiveRunAllUnchanged: the public RunAll keeps all-fanout
+// semantics — every query sees every event, so per-query validation of
+// the full document is preserved for library users.
+func TestSelectiveRunAllUnchanged(t *testing.T) {
+	doc := xmarkTestDoc(t, 32<<10)
+	q, err := Prepare(xmark.Queries["q13"], xmark.DTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Run(strings.NewReader(doc), io.Discard, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunAll([]*Query{q}, strings.NewReader(doc), Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Stats.Tokens != st.Tokens {
+		t.Fatalf("RunAll delivered %d events, solo %d; RunAll must stay all-fanout",
+			results[0].Stats.Tokens, st.Tokens)
+	}
+}
