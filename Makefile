@@ -18,11 +18,13 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Documentation gate: every exported identifier in the public (root)
-# package needs a doc comment, and every relative link in the top-level
-# markdown documents must resolve. go vet's comment checks run as part
-# of `make vet`; doclint covers what vet does not.
+# package and the sharded-tier package needs a doc comment, every Go
+# package in the repository needs a package-level doc comment, and
+# every relative link in the top-level markdown documents must resolve.
+# go vet's comment checks run as part of `make vet`; doclint covers
+# what vet does not.
 lint-docs:
-	$(GO) run ./cmd/doclint -pkg . -md README.md -md ARCHITECTURE.md
+	$(GO) run ./cmd/doclint -pkg . -pkg ./internal/shard -pkgtree . -md README.md -md ARCHITECTURE.md
 
 # Short-mode fuzz smoke: drives the native scanner fuzz target for a few
 # seconds on top of its checked-in seeds.

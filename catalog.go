@@ -42,6 +42,7 @@ type Catalog struct {
 
 	cache *queryCache
 	adm   *admission
+	calib *calibration
 }
 
 // catalogDoc is the registry entry for one named document. The path is
@@ -108,6 +109,7 @@ func NewCatalog(opt CatalogOptions) *Catalog {
 			maxBytes:  opt.MaxResidentBufferBytes,
 			perDoc:    make(map[string]int),
 		},
+		calib: &calibration{factor: 1},
 	}
 }
 
@@ -487,7 +489,14 @@ func (a *admission) drain() {
 // alone — is admitted eventually. Release must be called exactly when
 // the scan ends; calling it more than once is safe. With no bounds
 // configured AdmitScan admits immediately and only maintains counters.
+//
+// The charged bytes are the prediction scaled by the catalog's peak
+// calibration factor (see ObservePeak): a long-running server whose
+// static predictions run hot or cold budgets on observed reality rather
+// than the raw estimate. A zero prediction stays zero — fully streaming
+// scans are never byte-blocked, calibrated or not.
 func (c *Catalog) AdmitScan(doc string, predictedBytes int64) (release func()) {
+	predictedBytes = c.calib.adjust(predictedBytes)
 	a := c.adm
 	a.mu.Lock()
 	if a.maxPerDoc <= 0 && a.maxBytes <= 0 {
@@ -537,7 +546,8 @@ type AdmissionStats struct {
 	// ActiveScans is the number of currently admitted scans.
 	ActiveScans int64 `json:"active_scans"`
 	// ResidentBufferBytes is the summed predicted peak buffer bytes of
-	// the currently admitted scans.
+	// the currently admitted scans, after calibration (CalibrationStats
+	// describes the applied correction).
 	ResidentBufferBytes int64 `json:"resident_buffer_bytes"`
 	// Waiting is the number of scans currently queued for admission.
 	Waiting int64 `json:"waiting"`
@@ -561,3 +571,107 @@ func (c *Catalog) AdmissionStats() AdmissionStats {
 		Admitted:            a.admitted,
 	}
 }
+
+// --- predicted-peak calibration ------------------------------------------
+
+// calibration corrects the static peak-buffer predictions admission
+// budgets on with observed reality: every completed scan feeds its
+// observed/predicted ratio into an exponentially weighted moving
+// average, and AdmitScan charges each new scan its prediction scaled by
+// that average. A model that systematically over-predicts stops
+// starving the byte budget; one that under-predicts stops overcommitting
+// it.
+type calibration struct {
+	mu      sync.Mutex
+	factor  float64 // EWMA of observed/predicted; 1 until the first sample
+	samples int64
+}
+
+// calibAlpha is the EWMA weight of each new observation: small enough
+// that one outlier scan cannot yank admission around, large enough that
+// a persistent bias corrects within tens of scans.
+const calibAlpha = 0.2
+
+// Both each observation's ratio and the resulting factor are clamped to
+// [calibFactorMin, calibFactorMax], so a single absurd sample (an empty
+// document, a degenerate prediction) cannot swing admission by more
+// than 8x in either direction.
+const (
+	calibFactorMin = 0.125
+	calibFactorMax = 8
+)
+
+// observe folds one completed scan's (predicted, observed) peak pair
+// into the EWMA. The first sample seeds the average directly — a
+// long-running server should not need dozens of scans to escape the
+// neutral prior.
+func (cl *calibration) observe(predicted, observed int64) {
+	if predicted <= 0 || observed < 0 {
+		return
+	}
+	ratio := float64(observed) / float64(predicted)
+	ratio = min(max(ratio, calibFactorMin), calibFactorMax)
+	cl.mu.Lock()
+	if cl.samples == 0 {
+		cl.factor = ratio
+	} else {
+		cl.factor = calibAlpha*ratio + (1-calibAlpha)*cl.factor
+	}
+	cl.factor = min(max(cl.factor, calibFactorMin), calibFactorMax)
+	cl.samples++
+	cl.mu.Unlock()
+}
+
+// adjust scales a prediction by the current correction factor. Zero
+// predictions (fully streaming scans) pass through unscaled, and a
+// positive prediction never rounds down to zero — a buffering scan must
+// keep consuming the byte budget.
+func (cl *calibration) adjust(predicted int64) int64 {
+	if predicted <= 0 {
+		return predicted
+	}
+	cl.mu.Lock()
+	f, n := cl.factor, cl.samples
+	cl.mu.Unlock()
+	if n == 0 {
+		return predicted
+	}
+	adj := int64(float64(predicted)*f + 0.5)
+	if adj < 1 {
+		adj = 1
+	}
+	return adj
+}
+
+// stats snapshots the calibration state.
+func (cl *calibration) stats() CalibrationStats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return CalibrationStats{Factor: cl.factor, Samples: cl.samples}
+}
+
+// CalibrationStats is the predicted-peak calibration state a catalog
+// exports: how admission's byte charges currently relate to the static
+// predictions, and how much evidence backs the correction.
+type CalibrationStats struct {
+	// Factor multiplies every scan's predicted peak bytes at admission:
+	// the EWMA of observed/predicted peak ratios, 1.0 until the first
+	// observation, clamped to [0.125, 8].
+	Factor float64 `json:"factor"`
+	// Samples is the cumulative number of completed scans that have fed
+	// the average.
+	Samples int64 `json:"samples"`
+}
+
+// ObservePeak feeds one completed query execution's predicted and
+// observed peak buffer bytes into the catalog's calibration (the
+// Executor does this automatically for every successful execution).
+// Pairs with a non-positive prediction are ignored: a fully streaming
+// plan predicts 0 and observes 0, which says nothing about the cost
+// model's scale.
+func (c *Catalog) ObservePeak(predicted, observed int64) {
+	c.calib.observe(predicted, observed)
+}
+
+// CalibrationStats reports the predicted-peak calibration state.
+func (c *Catalog) CalibrationStats() CalibrationStats { return c.calib.stats() }

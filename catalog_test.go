@@ -1,6 +1,7 @@
 package flux
 
 import (
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -375,4 +376,100 @@ func TestAdmitScanZeroCostSameDocPassesByteWaiter(t *testing.T) {
 	relA()
 	rel := <-blocked
 	rel()
+}
+
+// TestCalibrationEWMA: ObservePeak seeds the correction factor from the
+// first sample, then moves it as an EWMA, clamped against absurd
+// ratios.
+func TestCalibrationEWMA(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	if st := cat.CalibrationStats(); st.Factor != 1 || st.Samples != 0 {
+		t.Fatalf("fresh calibration = %+v, want neutral", st)
+	}
+	// Non-positive predictions say nothing about the model's scale.
+	cat.ObservePeak(0, 500)
+	cat.ObservePeak(-1, 500)
+	if st := cat.CalibrationStats(); st.Samples != 0 {
+		t.Fatalf("zero-predicted pairs must be ignored, got %+v", st)
+	}
+
+	cat.ObservePeak(1000, 2000) // first sample seeds directly
+	if st := cat.CalibrationStats(); st.Factor != 2 || st.Samples != 1 {
+		t.Fatalf("after first sample: %+v, want factor 2", st)
+	}
+	cat.ObservePeak(1000, 1000) // EWMA: 0.2*1 + 0.8*2 = 1.8
+	if st := cat.CalibrationStats(); st.Samples != 2 || st.Factor < 1.79 || st.Factor > 1.81 {
+		t.Fatalf("after second sample: %+v, want factor 1.8", st)
+	}
+
+	// A degenerate observation is clamped, not trusted.
+	worst := NewCatalog(CatalogOptions{})
+	worst.ObservePeak(1, 1<<40)
+	if st := worst.CalibrationStats(); st.Factor != 8 {
+		t.Fatalf("absurd ratio: factor %v, want clamp at 8", st.Factor)
+	}
+	best := NewCatalog(CatalogOptions{})
+	best.ObservePeak(1<<40, 0)
+	if st := best.CalibrationStats(); st.Factor != 0.125 {
+		t.Fatalf("zero observation: factor %v, want clamp at 0.125", st.Factor)
+	}
+}
+
+// TestAdmissionUsesCalibration: AdmitScan charges the calibrated
+// prediction — a model observed to run 2x hot charges twice the bytes,
+// visible in ResidentBufferBytes, and a model observed to run cold
+// frees budget for more concurrency.
+func TestAdmissionUsesCalibration(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{MaxResidentBufferBytes: 10000})
+	rel := cat.AdmitScan("doc", 4000)
+	if got := cat.AdmissionStats().ResidentBufferBytes; got != 4000 {
+		t.Fatalf("uncalibrated charge = %d, want the raw prediction 4000", got)
+	}
+	rel()
+
+	cat.ObservePeak(1000, 2000) // factor 2
+	rel = cat.AdmitScan("doc", 4000)
+	if got := cat.AdmissionStats().ResidentBufferBytes; got != 8000 {
+		t.Fatalf("calibrated charge = %d, want 8000 (factor 2)", got)
+	}
+	// The same charge is released, not the raw prediction.
+	rel()
+	if got := cat.AdmissionStats().ResidentBufferBytes; got != 0 {
+		t.Fatalf("resident after release = %d, want 0", got)
+	}
+
+	// Zero predictions stay exempt from the byte budget regardless of
+	// the factor.
+	rel = cat.AdmitScan("doc", 0)
+	defer rel()
+	if got := cat.AdmissionStats().ResidentBufferBytes; got != 0 {
+		t.Fatalf("zero prediction charged %d bytes", got)
+	}
+}
+
+// TestExecutorFeedsCalibration: a successful execution through the
+// Executor calibrates its catalog automatically when the plan predicts
+// buffering.
+func TestExecutorFeedsCalibration(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	docPath := writeTemp(t, "bib.xml", catDoc)
+	if err := cat.Add("bib", docPath, catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A buffering query: predicted peak > 0, so the pair is sampled.
+	if _, err := ex.ExecuteContext(context.Background(),
+		"bib", `<out> { for $b in /bib/book where $b/year = '2004' return {$b} } </out>`, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	st := cat.CalibrationStats()
+	if st.Samples != 1 {
+		t.Fatalf("calibration = %+v, want one sample from the buffering query", st)
+	}
+	if st.Factor <= 0 || st.Factor > 8 {
+		t.Fatalf("factor %v out of clamp range", st.Factor)
+	}
 }

@@ -5,9 +5,12 @@
 // Each regression is reported with the exact row (query/size/mode), its
 // baseline and observed values, and the allowed maximum.
 //
-// It also enforces the selective fan-out invariant on the fresh
-// snapshot: wherever both fanout-all and fanout-selective rows exist,
-// the selective row must have delivered strictly fewer events.
+// It also enforces two invariants on the fresh snapshot: wherever both
+// fanout-all and fanout-selective rows exist, the selective row must
+// have delivered strictly fewer events; and wherever both served-single
+// and served-sharded rows exist, the sharded tier must have produced
+// identical output bytes and delivered identical tokens — sharding must
+// not change results.
 //
 // Usage:
 //
@@ -52,6 +55,10 @@ func main() {
 	failed := false
 	if err := bench.CheckFanout(newSnap); err != nil {
 		fmt.Println("benchdiff: FANOUT INVARIANT VIOLATED:", err)
+		failed = true
+	}
+	if err := bench.CheckSharded(newSnap); err != nil {
+		fmt.Println("benchdiff: SHARDED INVARIANT VIOLATED:", err)
 		failed = true
 	}
 	for _, r := range res.Regressions {

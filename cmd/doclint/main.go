@@ -1,17 +1,21 @@
 // Command doclint is the documentation gate run by CI (make lint-docs).
 // It enforces two invariants that go vet does not:
 //
-//   - every exported identifier in the given packages — types, funcs,
-//     methods, package-level vars/consts, and exported struct fields —
-//     carries a doc comment, so the public API reads completely on
-//     pkg.go.dev;
+//   - every exported identifier in the given -pkg packages — types,
+//     funcs, methods, package-level vars/consts, and exported struct
+//     fields — carries a doc comment, so the public API reads
+//     completely on pkg.go.dev;
+//   - every Go package found under the given -pkgtree roots carries a
+//     package-level doc comment — the requirement applies to every
+//     package in the repository, not just the fully doc-gated ones, so
+//     a new internal package cannot land undescribed;
 //   - every relative markdown link in the given documents points at a
 //     file or directory that actually exists in the repository (http(s)
 //     links are not fetched: CI must pass offline).
 //
 // Usage:
 //
-//	doclint [-pkg dir]... [-md file.md]...
+//	doclint [-pkg dir]... [-pkgtree root]... [-md file.md]...
 //
 // Exit status 1 lists every violation; nothing is fixed automatically.
 package main
@@ -41,12 +45,13 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
-	var pkgs, docs multiFlag
+	var pkgs, trees, docs multiFlag
 	flag.Var(&pkgs, "pkg", "package directory whose exported identifiers must all be documented (repeatable)")
+	flag.Var(&trees, "pkgtree", "root directory; every Go package beneath it must carry a package-level doc comment (repeatable)")
 	flag.Var(&docs, "md", "markdown file whose relative links must resolve (repeatable)")
 	flag.Parse()
-	if len(pkgs) == 0 && len(docs) == 0 {
-		fmt.Fprintln(os.Stderr, "doclint: nothing to check; give -pkg and/or -md")
+	if len(pkgs) == 0 && len(trees) == 0 && len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "doclint: nothing to check; give -pkg, -pkgtree and/or -md")
 		os.Exit(2)
 	}
 
@@ -56,6 +61,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		violations = append(violations, v...)
+	}
+	treePkgs := 0
+	for _, root := range trees {
+		n, v, err := lintPackageTree(root)
+		if err != nil {
+			fatal(err)
+		}
+		treePkgs += n
 		violations = append(violations, v...)
 	}
 	for _, path := range docs {
@@ -71,7 +85,7 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("doclint: ok (%d packages, %d documents)\n", len(pkgs), len(docs))
+	fmt.Printf("doclint: ok (%d packages, %d tree packages, %d documents)\n", len(pkgs), treePkgs, len(docs))
 }
 
 func fatal(err error) {
@@ -116,6 +130,47 @@ func lintPackage(dir string) ([]string, error) {
 		}
 	}
 	return out, nil
+}
+
+// lintPackageTree walks every directory under root and requires a
+// package-level doc comment from each Go package it finds (test files
+// and testdata/hidden directories excluded). This is the repo-wide
+// complement to lintPackage's full exported-identifier gate: every
+// package must at least say what it is.
+func lintPackageTree(root string) (packages int, out []string, err error) {
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgMap, perr := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("%s: %w", path, perr)
+		}
+		for _, pkg := range pkgMap {
+			packages++
+			hasPkgDoc := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					hasPkgDoc = true
+				}
+			}
+			if !hasPkgDoc {
+				out = append(out, fmt.Sprintf("%s: package %s has no package comment", path, pkg.Name))
+			}
+		}
+		return nil
+	})
+	return packages, out, err
 }
 
 // exportedRecv reports whether a method's receiver type is exported (a

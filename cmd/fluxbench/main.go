@@ -35,6 +35,7 @@ func main() {
 		jsonPath    = flag.String("json", "", "also write the rows as a JSON snapshot to this path")
 		shared      = flag.Bool("shared", true, "add a shared-scan row per size (all queries, one pass)")
 		fanout      = flag.Bool("fanout", true, "add fan-out rows per size (disjoint-path batch, all vs selective event routing)")
+		sharded     = flag.Bool("sharded", true, "add serving-tier rows per size (query set over HTTP: single worker vs fluxrouter with 2 embedded shards)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 	cfg.Modes = modes
 	cfg.SharedScan = *shared
 	cfg.Fanout = *fanout
+	cfg.Sharded = *sharded
 
 	// An interrupt abandons the sweep mid-document via the context path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

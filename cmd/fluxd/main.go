@@ -2,7 +2,10 @@
 // documents: it accepts XQuery⁻ queries over HTTP, compiles them against
 // each document's DTD (with a compiled-query cache), batches concurrent
 // requests onto shared scans per document, and streams each result back.
-// It is a thin HTTP veneer over flux.Catalog and flux.Executor.
+// It is a thin HTTP veneer over flux.Catalog and flux.Executor, and it
+// doubles as the shard worker of the sharded tier: started with
+// -shard-id under cmd/fluxrouter, N fluxd processes serve one
+// partitioned corpus behind a single routing endpoint.
 //
 // Usage:
 //
@@ -11,7 +14,7 @@
 //
 // Flags: [-addr :8700] [-window 2ms] [-max-batch 16] [-attrs] [-query-cache 256]
 // [-admin] [-batch-buffer-budget 0] [-max-scans-per-doc 0]
-// [-max-resident-buffer 0] [-all-fanout]
+// [-max-resident-buffer 0] [-all-fanout] [-shard-id -1] [-advertise addr]
 //
 // Endpoints:
 //
@@ -27,11 +30,16 @@
 //	                       Disabled unless fluxd runs with -admin: the
 //	                       endpoint takes server-side file paths, so it
 //	                       belongs on trusted networks only
-//	GET  /stats            per-document serving counters (shared scans,
-//	                       batch splits, deferred and canceled queries,
-//	                       events skipped by selective fan-out),
-//	                       compiled-query cache counters, and scan
-//	                       admission counters; schema in README
+//	GET  /stats            the typed flux.ServerStats snapshot:
+//	                       per-document serving counters, compiled-query
+//	                       cache counters, scan admission counters, and
+//	                       the predicted-peak calibration factor; schema
+//	                       in README
+//	GET  /shardz           worker identity: the -shard-id this process
+//	                       asserts (-1 standalone), its -advertise
+//	                       address, and its document names — what
+//	                       fluxrouter health-checks to catch a stale
+//	                       shard map
 //	GET  /healthz          liveness probe
 //
 // Concurrent requests for the same document that arrive within -window
@@ -41,9 +49,10 @@
 // A batch whose summed predicted peak buffer bytes exceed
 // -batch-buffer-budget is split into sequential scans, and every scan is
 // admitted against -max-scans-per-doc / -max-resident-buffer, queueing
-// when over the limit. A client that disconnects mid-result is detached
-// from its shared scan at the next event batch; sibling queries keep
-// streaming.
+// when over the limit; the admission byte charge is the static
+// prediction scaled by the observed-peak calibration factor. A client
+// that disconnects mid-result is detached from its shared scan at the
+// next event batch; sibling queries keep streaming.
 package main
 
 import (
@@ -53,33 +62,28 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"time"
 
 	"flux"
 	"flux/internal/fsutil"
+	"flux/internal/shard"
 )
-
-// docSpec is one document to register at startup.
-type docSpec struct {
-	name    string
-	docPath string
-	dtdPath string
-}
 
 // config is the validated server configuration.
 type config struct {
-	docs        []docSpec
+	docs        []shard.DocSpec
 	window      time.Duration
 	maxBatch    int
 	attrs       bool
 	cacheCap    int
-	admin       bool  // expose the mutating /admin/* endpoints
-	batchBudget int64 // cap on a scan's summed predicted buffer bytes (0 = unlimited)
-	maxScansDoc int   // admission: concurrent scans per document (0 = unlimited)
-	maxResident int64 // admission: total resident predicted buffer bytes (0 = unlimited)
-	allFanout   bool  // disable selective fan-out
+	admin       bool   // expose the mutating /admin/* endpoints
+	batchBudget int64  // cap on a scan's summed predicted buffer bytes (0 = unlimited)
+	maxScansDoc int    // admission: concurrent scans per document (0 = unlimited)
+	maxResident int64  // admission: total resident predicted buffer bytes (0 = unlimited)
+	allFanout   bool   // disable selective fan-out
+	shardID     int    // shard identity asserted at /shardz (-1 = standalone)
+	advertise   string // reachable address reported at /shardz
 }
 
 // maxSaneBatch bounds -max-batch: beyond this, a single scan fanning to
@@ -94,11 +98,12 @@ const maxSaneWindow = time.Minute
 // buildConfig validates the flag values and resolves the document set.
 // It is the startup gate: bad values produce errors here, not silent
 // defaults at serving time.
-func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatch, cacheCap int, attrs, admin bool, sched schedConfig) (config, error) {
+func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatch, cacheCap int, attrs, admin bool, sched schedConfig, id shardConfig) (config, error) {
 	cfg := config{
 		window: window, maxBatch: maxBatch, attrs: attrs, cacheCap: cacheCap, admin: admin,
 		batchBudget: sched.batchBudget, maxScansDoc: sched.maxScansDoc,
 		maxResident: sched.maxResident, allFanout: sched.allFanout,
+		shardID: id.shardID, advertise: id.advertise,
 	}
 	if sched.batchBudget < 0 {
 		return cfg, fmt.Errorf("-batch-buffer-budget must be non-negative (0 = unlimited), got %d", sched.batchBudget)
@@ -108,6 +113,9 @@ func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatc
 	}
 	if sched.maxResident < 0 {
 		return cfg, fmt.Errorf("-max-resident-buffer must be non-negative (0 = unlimited), got %d", sched.maxResident)
+	}
+	if id.shardID < -1 {
+		return cfg, fmt.Errorf("-shard-id must be a shard index >= 0, or -1 for standalone, got %d", id.shardID)
 	}
 	if window <= 0 {
 		// ExecutorOptions treats 0 as "use the default", so accepting 0
@@ -137,64 +145,33 @@ func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatc
 		return cfg, fmt.Errorf("no documents: give -dtd/-doc or -docroot")
 	}
 	if docFile != "" {
-		name := docName(docFile)
 		if err := fsutil.CheckRegularFile(docFile); err != nil {
 			return cfg, fmt.Errorf("-doc: %w", err)
 		}
 		if err := fsutil.CheckRegularFile(dtdFile); err != nil {
 			return cfg, fmt.Errorf("-dtd: %w", err)
 		}
-		cfg.docs = append(cfg.docs, docSpec{name: name, docPath: docFile, dtdPath: dtdFile})
+		cfg.docs = append(cfg.docs, shard.DocSpec{Name: docName(docFile), DocPath: docFile, DTDPath: dtdFile})
 	}
 	if docroot != "" {
-		specs, err := scanDocroot(docroot)
+		specs, err := shard.ScanDocroot(docroot)
 		if err != nil {
-			return cfg, err
+			return cfg, fmt.Errorf("-docroot: %w", err)
 		}
 		cfg.docs = append(cfg.docs, specs...)
 	}
 	seen := make(map[string]string)
 	for _, d := range cfg.docs {
-		if prev, dup := seen[d.name]; dup {
-			return cfg, fmt.Errorf("duplicate document name %q (%s and %s)", d.name, prev, d.docPath)
+		if prev, dup := seen[d.Name]; dup {
+			return cfg, fmt.Errorf("duplicate document name %q (%s and %s)", d.Name, prev, d.DocPath)
 		}
-		seen[d.name] = d.docPath
+		seen[d.Name] = d.DocPath
 	}
 	return cfg, nil
 }
 
-// scanDocroot finds every <name>.xml in dir and pairs it with the
-// required <name>.dtd. A stray .xml without its DTD, or an unreadable
-// entry, fails startup with a clear message.
-func scanDocroot(dir string) ([]docSpec, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("-docroot: %w", err)
-	}
-	var specs []docSpec
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
-			continue
-		}
-		docPath := filepath.Join(dir, e.Name())
-		dtdPath := strings.TrimSuffix(docPath, ".xml") + ".dtd"
-		if err := fsutil.CheckRegularFile(docPath); err != nil {
-			return nil, fmt.Errorf("-docroot entry: %w", err)
-		}
-		if err := fsutil.CheckRegularFile(dtdPath); err != nil {
-			return nil, fmt.Errorf("-docroot entry %s needs a DTD: %w", e.Name(), err)
-		}
-		specs = append(specs, docSpec{name: docName(docPath), docPath: docPath, dtdPath: dtdPath})
-	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("-docroot %s contains no <name>.xml/<name>.dtd pairs", dir)
-	}
-	sort.Slice(specs, func(i, j int) bool { return specs[i].name < specs[j].name })
-	return specs, nil
-}
-
 // docName derives the registry name from a document path: the base name
-// without its extension.
+// without its extension (matching shard.ScanDocroot's naming).
 func docName(path string) string {
 	base := filepath.Base(path)
 	return strings.TrimSuffix(base, filepath.Ext(base))
@@ -206,6 +183,12 @@ type schedConfig struct {
 	maxScansDoc int
 	maxResident int64
 	allFanout   bool
+}
+
+// shardConfig bundles the shard-identity flag values.
+type shardConfig struct {
+	shardID   int
+	advertise string
 }
 
 func main() {
@@ -224,6 +207,9 @@ func main() {
 		maxScansDoc = flag.Int("max-scans-per-doc", 0, "admission control: concurrent scans per document; excess scans queue (0 = unlimited)")
 		maxResident = flag.Int64("max-resident-buffer", 0, "admission control: total predicted resident buffer bytes across all scans; excess scans queue (0 = unlimited)")
 		allFanout   = flag.Bool("all-fanout", false, "deliver every scan event to every query instead of routing by projected-path signature (restores full per-query DTD validation)")
+
+		shardID   = flag.Int("shard-id", -1, "shard index this worker asserts at /shardz, for fluxrouter supervision (-1 = standalone)")
+		advertise = flag.String("advertise", "", "reachable base URL reported at /shardz, when the listen address is not routable as written")
 	)
 	flag.Parse()
 
@@ -232,7 +218,7 @@ func main() {
 		maxScansDoc: *maxScansDoc,
 		maxResident: *maxResident,
 		allFanout:   *allFanout,
-	})
+	}, shardConfig{shardID: *shardID, advertise: *advertise})
 	if err != nil {
 		fatal(err)
 	}
@@ -240,8 +226,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("fluxd: serving %d document(s) %v on %s, batch window %s, max batch %d",
-		len(cfg.docs), s.cat.Docs(), *addr, cfg.window, cfg.maxBatch)
+	role := "standalone"
+	if cfg.shardID >= 0 {
+		role = fmt.Sprintf("shard %d", cfg.shardID)
+	}
+	log.Printf("fluxd: serving %d document(s) %v on %s (%s), batch window %s, max batch %d",
+		len(cfg.docs), s.Catalog().Docs(), *addr, role, cfg.window, cfg.maxBatch)
 	if err := http.ListenAndServe(*addr, s); err != nil {
 		fatal(err)
 	}

@@ -1,43 +1,31 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 
 	"flux"
+	"flux/internal/shard"
 )
 
-// server is the thin HTTP veneer over flux.Catalog (document registry,
-// hot-swap, compiled-query cache) and flux.Executor (shared-scan
-// batching). All serving policy — batching windows, cancellation,
-// per-document counters — lives in the library; the handlers only
-// translate HTTP.
-type server struct {
-	cat    *flux.Catalog
-	ex     *flux.Executor
-	routes *http.ServeMux
-
-	// defaultDoc serves /query without ?doc= when exactly one document
-	// is registered at startup; "" means the parameter is required.
-	defaultDoc string
-}
-
-func newServer(cfg config) (*server, error) {
+// newServer assembles the serving stack for a validated config: a
+// catalog holding the configured documents, a batching executor over
+// it, and the shard-worker HTTP surface (internal/shard.Server) that
+// fluxd serves standalone and fluxrouter supervises as a shard. All
+// serving policy lives in the flux library and the shared veneer; fluxd
+// itself is flag parsing plus this assembly.
+func newServer(cfg config) (*shard.Server, error) {
 	cat := flux.NewCatalog(flux.CatalogOptions{
 		QueryCacheCap:          cfg.cacheCap,
 		MaxScansPerDoc:         cfg.maxScansDoc,
 		MaxResidentBufferBytes: cfg.maxResident,
 	})
 	for _, d := range cfg.docs {
-		dtdText, err := os.ReadFile(d.dtdPath)
+		dtdText, err := os.ReadFile(d.DTDPath)
 		if err != nil {
-			return nil, fmt.Errorf("DTD %s: %w", d.dtdPath, err)
+			return nil, fmt.Errorf("DTD %s: %w", d.DTDPath, err)
 		}
-		if err := cat.Add(d.name, d.docPath, string(dtdText)); err != nil {
+		if err := cat.Add(d.Name, d.DocPath, string(dtdText)); err != nil {
 			return nil, err
 		}
 	}
@@ -51,201 +39,9 @@ func newServer(cfg config) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &server{cat: cat, ex: ex, routes: http.NewServeMux()}
-	if docs := cat.Docs(); len(docs) == 1 {
-		s.defaultDoc = docs[0]
-	}
-	s.routes.HandleFunc("/query", s.handleQuery)
-	s.routes.HandleFunc("/docs", s.handleDocs)
-	if cfg.admin {
-		s.routes.HandleFunc("/admin/swap", s.handleSwap)
-	} else {
-		s.routes.HandleFunc("/admin/", s.handleAdminDisabled)
-	}
-	s.routes.HandleFunc("/healthz", s.handleHealthz)
-	s.routes.HandleFunc("/stats", s.handleStats)
-	return s, nil
-}
-
-// ServeHTTP implements http.Handler.
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.routes.ServeHTTP(w, r) }
-
-// maxQueryBytes bounds the request body; queries are small programs, not
-// documents.
-const maxQueryBytes = 1 << 20
-
-// resolveDoc picks the target document for a request.
-func (s *server) resolveDoc(r *http.Request) (string, error) {
-	doc := r.URL.Query().Get("doc")
-	if doc != "" {
-		return doc, nil
-	}
-	if s.defaultDoc != "" {
-		return s.defaultDoc, nil
-	}
-	return "", fmt.Errorf("multiple documents are registered; pick one with ?doc= (see /docs)")
-}
-
-// handleQuery streams the posted query's result from the document's
-// shared scan. The request context rides into ExecuteContext, so a
-// client that disconnects mid-result is detached from the scan at the
-// next event batch while batch siblings keep streaming.
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST the query text to /query", http.StatusMethodNotAllowed)
-		return
-	}
-	doc, err := s.resolveDoc(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
-	if err != nil {
-		http.Error(w, "reading query: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	if len(body) > maxQueryBytes {
-		// Reject rather than truncate: a silently truncated query would
-		// compile — and run — as a different query.
-		http.Error(w, "query exceeds the 1 MB limit", http.StatusRequestEntityTooLarge)
-		return
-	}
-	q, err := s.cat.Prepare(doc, string(body))
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, flux.ErrDocNotFound) {
-			status = http.StatusNotFound
-		}
-		http.Error(w, "compiling query: "+err.Error(), status)
-		return
-	}
-
-	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-	w.Header().Set("Trailer", "X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens, X-Flux-Batch-Size")
-	cw := &countingWriter{w: w}
-	res, err := s.ex.ExecuteQueryContext(r.Context(), doc, q, cw)
-	if err != nil {
-		if r.Context().Err() != nil {
-			// The client is gone; there is no one to report to. The
-			// executor has already detached the query from its batch.
-			return
-		}
-		if cw.n == 0 {
-			// Nothing streamed yet; a clean error status is still possible.
-			http.Error(w, "executing query: "+err.Error(), http.StatusInternalServerError)
-			return
-		}
-		// The response is already partially written with a 200 header; a
-		// clean chunked terminator would make the truncated body look
-		// complete to any client that ignores trailers. Abort the
-		// connection instead so the failure is visible at the transport.
-		panic(http.ErrAbortHandler)
-	}
-	if cw.n == 0 {
-		// Force the header out even for empty results.
-		w.WriteHeader(http.StatusOK)
-	}
-	w.Header().Set("X-Flux-Peak-Buffer-Bytes", fmt.Sprint(res.Stats.PeakBufferBytes))
-	w.Header().Set("X-Flux-Tokens", fmt.Sprint(res.Stats.Tokens))
-	w.Header().Set("X-Flux-Batch-Size", fmt.Sprint(res.BatchSize))
-}
-
-// handleDocs lists the registered documents.
-func (s *server) handleDocs(w http.ResponseWriter, r *http.Request) {
-	var infos []flux.DocInfo
-	for _, name := range s.cat.Docs() {
-		if info, err := s.cat.Info(name); err == nil {
-			infos = append(infos, info)
-		}
-	}
-	writeJSON(w, infos)
-}
-
-// handleSwap atomically repoints a document at a new file. In-flight
-// scans complete against the old file; later requests read the new one.
-func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST /admin/swap?doc=name&path=/new/file.xml", http.StatusMethodNotAllowed)
-		return
-	}
-	doc := r.URL.Query().Get("doc")
-	path := r.URL.Query().Get("path")
-	if doc == "" || path == "" {
-		http.Error(w, "both doc and path parameters are required", http.StatusBadRequest)
-		return
-	}
-	if err := s.cat.Swap(doc, path); err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, flux.ErrDocNotFound) {
-			status = http.StatusNotFound
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	info, err := s.cat.Info(doc)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeJSON(w, info)
-}
-
-// handleAdminDisabled answers /admin/* when the server was started
-// without -admin: the mutating endpoints accept server-side file paths
-// and are opt-in.
-func (s *server) handleAdminDisabled(w http.ResponseWriter, r *http.Request) {
-	http.Error(w, "admin endpoints are disabled; start fluxd with -admin to enable hot-swap", http.StatusForbidden)
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
-}
-
-// statsReply is the /stats payload: per-document serving counters (the
-// queries/scans ratio is the shared-scan amortization), the
-// compiled-query cache counters, and the catalog's scan-admission
-// counters. The full schema is documented in README's fluxd section.
-type statsReply struct {
-	Docs      map[string]flux.DocStats `json:"docs"`
-	Cache     flux.CacheStats          `json:"cache"`
-	Admission flux.AdmissionStats      `json:"admission"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	docs := s.ex.Stats()
-	// Documents that have not served a query yet still appear, with
-	// zero counters, so dashboards see the whole catalog.
-	for _, name := range s.cat.Docs() {
-		if _, ok := docs[name]; !ok {
-			docs[name] = flux.DocStats{}
-		}
-	}
-	writeJSON(w, statsReply{
-		Docs:      docs,
-		Cache:     s.cat.CacheStats(),
-		Admission: s.cat.AdmissionStats(),
-	})
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// countingWriter tracks whether (and how much) output has been streamed,
-// which decides error reporting: a clean 500 is only possible before the
-// first byte.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	return shard.NewServer(ex, shard.ServerOptions{
+		Admin:     cfg.admin,
+		ShardID:   cfg.shardID,
+		Advertise: cfg.advertise,
+	}), nil
 }

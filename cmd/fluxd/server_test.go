@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flux"
+	"flux/internal/shard"
 )
 
 const serverDTD = `
@@ -49,7 +50,7 @@ func writeDocPair(t *testing.T, dir, name, doc string) string {
 
 // testServer builds a single-document server with a deterministic
 // batching setup.
-func testServer(t *testing.T, maxBatch int, window time.Duration) (*server, *httptest.Server) {
+func testServer(t *testing.T, maxBatch int, window time.Duration) (*shard.Server, *httptest.Server) {
 	t.Helper()
 	dir := t.TempDir()
 	docPath := filepath.Join(dir, "bib.xml")
@@ -61,7 +62,7 @@ func testServer(t *testing.T, maxBatch int, window time.Duration) (*server, *htt
 		t.Fatal(err)
 	}
 	s, err := newServer(config{
-		docs:     []docSpec{{name: "bib", docPath: docPath, dtdPath: dtdPath}},
+		docs:     []shard.DocSpec{{Name: "bib", DocPath: docPath, DTDPath: dtdPath}},
 		window:   window,
 		maxBatch: maxBatch,
 		admin:    true,
@@ -76,12 +77,12 @@ func testServer(t *testing.T, maxBatch int, window time.Duration) (*server, *htt
 
 // testServerDocroot builds a multi-document server from a docroot-style
 // config.
-func testServerDocroot(t *testing.T, maxBatch int, window time.Duration) (*server, *httptest.Server, string) {
+func testServerDocroot(t *testing.T, maxBatch int, window time.Duration) (*shard.Server, *httptest.Server, string) {
 	t.Helper()
 	dir := t.TempDir()
 	writeDocPair(t, dir, "alpha", serverDoc)
 	writeDocPair(t, dir, "beta", serverDoc2)
-	specs, err := scanDocroot(dir)
+	specs, err := shard.ScanDocroot(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestServerBatchesConcurrentRequests(t *testing.T) {
 	}
 	wg.Wait()
 
-	st := s.ex.Stats()["bib"]
+	st := s.Executor().Stats()["bib"]
 	if st.Scans != 1 || st.Queries != int64(len(queries)) {
 		t.Errorf("scans = %d, queries = %d; want 1 shared scan for %d queries", st.Scans, st.Queries, len(queries))
 	}
@@ -288,7 +289,7 @@ func TestServerBadQuery(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d (%s), want 400", resp.StatusCode, body)
 	}
-	if st := s.ex.Stats()["bib"]; st.Scans != 0 {
+	if st := s.Executor().Stats()["bib"]; st.Scans != 0 {
 		t.Errorf("a compile error must not trigger a scan; stats = %+v", st)
 	}
 }
@@ -307,7 +308,7 @@ func TestServerStats(t *testing.T) {
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("stats: %v %v", resp, err)
 	}
-	var reply statsReply
+	var reply flux.ServerStats
 	err = json.NewDecoder(resp.Body).Decode(&reply)
 	resp.Body.Close()
 	if err != nil {
@@ -350,7 +351,7 @@ func TestServerClientDisconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	s, err := newServer(config{
-		docs:     []docSpec{{name: "big", docPath: docPath, dtdPath: dtdPath}},
+		docs:     []shard.DocSpec{{Name: "big", DocPath: docPath, DTDPath: dtdPath}},
 		window:   30 * time.Second, // dispatch strictly on the batch filling
 		maxBatch: 2,
 	})
@@ -417,14 +418,14 @@ func TestServerClientDisconnect(t *testing.T) {
 	// becoming visible after the batch finishes.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if st := s.ex.Stats()["big"]; st.Canceled == 1 {
+		if st := s.Executor().Stats()["big"]; st.Canceled == 1 {
 			if st.Scans != 1 || st.Queries != 2 {
 				t.Fatalf("stats = %+v, want one shared scan of two queries", st)
 			}
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("canceled counter never incremented: %+v", s.ex.Stats()["big"])
+			t.Fatalf("canceled counter never incremented: %+v", s.Executor().Stats()["big"])
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -471,7 +472,7 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"ok docroot", "", "", dir, time.Millisecond, 16, 0, ""},
 	}
 	for _, tc := range cases {
-		_, err := buildConfig(tc.dtd, tc.doc, tc.docroot, tc.window, tc.maxBatch, tc.cacheCap, false, false, schedConfig{})
+		_, err := buildConfig(tc.dtd, tc.doc, tc.docroot, tc.window, tc.maxBatch, tc.cacheCap, false, false, schedConfig{}, shardConfig{shardID: -1})
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -491,11 +492,11 @@ func TestScanDocrootValidation(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "orphan.xml"), []byte(serverDoc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := scanDocroot(dir); err == nil || !strings.Contains(err.Error(), "needs a DTD") {
+	if _, err := shard.ScanDocroot(dir); err == nil || !strings.Contains(err.Error(), "needs a DTD") {
 		t.Errorf("orphan xml: err = %v", err)
 	}
 	empty := t.TempDir()
-	if _, err := scanDocroot(empty); err == nil || !strings.Contains(err.Error(), "no <name>.xml") {
+	if _, err := shard.ScanDocroot(empty); err == nil || !strings.Contains(err.Error(), "no <name>.xml") {
 		t.Errorf("empty docroot: err = %v", err)
 	}
 }
@@ -506,7 +507,7 @@ func TestServerDuplicateDocName(t *testing.T) {
 	dir := t.TempDir()
 	docPath := writeDocPair(t, dir, "bib", serverDoc)
 	dtdPath := filepath.Join(dir, "bib.dtd")
-	_, err := buildConfig(dtdPath, docPath, dir, time.Millisecond, 16, 0, false, false, schedConfig{})
+	_, err := buildConfig(dtdPath, docPath, dir, time.Millisecond, 16, 0, false, false, schedConfig{}, shardConfig{shardID: -1})
 	if err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("err = %v, want duplicate-name error", err)
 	}
@@ -519,7 +520,7 @@ func TestServerAdminDisabledByDefault(t *testing.T) {
 	docPath := writeDocPair(t, dir, "bib", serverDoc)
 	dtdPath := filepath.Join(dir, "bib.dtd")
 	s, err := newServer(config{
-		docs:     []docSpec{{name: "bib", docPath: docPath, dtdPath: dtdPath}},
+		docs:     []shard.DocSpec{{Name: "bib", DocPath: docPath, DTDPath: dtdPath}},
 		window:   time.Millisecond,
 		maxBatch: 16,
 	})
@@ -538,7 +539,7 @@ func TestServerAdminDisabledByDefault(t *testing.T) {
 	if resp.StatusCode != http.StatusForbidden {
 		t.Fatalf("admin without -admin: status %d, want 403", resp.StatusCode)
 	}
-	if info, _ := s.cat.Info("bib"); info.Swaps != 0 {
+	if info, _ := s.Catalog().Info("bib"); info.Swaps != 0 {
 		t.Fatalf("swap happened despite disabled admin: %+v", info)
 	}
 }
@@ -553,7 +554,7 @@ func TestServerSchedulingStats(t *testing.T) {
 	// share a scan with anything, so the batch of two splits in two.
 	budget := int64(4000)
 	s, err := newServer(config{
-		docs:        []docSpec{{name: "bib", docPath: docPath, dtdPath: filepath.Join(dir, "bib.dtd")}},
+		docs:        []shard.DocSpec{{Name: "bib", DocPath: docPath, DTDPath: filepath.Join(dir, "bib.dtd")}},
 		window:      30 * time.Second,
 		maxBatch:    2,
 		batchBudget: budget,
@@ -600,7 +601,7 @@ func TestServerSchedulingStats(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/stats status = %d", resp.StatusCode)
 	}
-	var reply statsReply
+	var reply flux.ServerStats
 	if err := json.Unmarshal([]byte(body), &reply); err != nil {
 		t.Fatalf("decoding /stats: %v\n%s", err, body)
 	}
@@ -626,7 +627,7 @@ func TestServerAllFanoutFlag(t *testing.T) {
 	dir := t.TempDir()
 	docPath := writeDocPair(t, dir, "bib", serverDoc)
 	s, err := newServer(config{
-		docs:      []docSpec{{name: "bib", docPath: docPath, dtdPath: filepath.Join(dir, "bib.dtd")}},
+		docs:      []shard.DocSpec{{Name: "bib", DocPath: docPath, DTDPath: filepath.Join(dir, "bib.dtd")}},
 		window:    time.Millisecond,
 		maxBatch:  16,
 		allFanout: true,
@@ -642,7 +643,7 @@ func TestServerAllFanoutFlag(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query status = %d", resp.StatusCode)
 	}
-	if st := s.ex.Stats()["bib"]; st.EventsSkipped != 0 {
+	if st := s.Executor().Stats()["bib"]; st.EventsSkipped != 0 {
 		t.Fatalf("events_skipped = %d with all-fanout, want 0", st.EventsSkipped)
 	}
 }
@@ -664,7 +665,7 @@ func TestSchedulingFlagValidation(t *testing.T) {
 		{"ok limits", schedConfig{batchBudget: 1 << 20, maxScansDoc: 4, maxResident: 1 << 24, allFanout: true}, ""},
 	}
 	for _, tc := range cases {
-		_, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false, tc.sched)
+		_, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false, tc.sched, shardConfig{shardID: -1})
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -674,5 +675,46 @@ func TestSchedulingFlagValidation(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// TestServerShardIdentity: /shardz reports the asserted shard id and
+// advertise address (for fluxrouter supervision), and -shard-id below
+// -1 fails startup.
+func TestServerShardIdentity(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	dtdPath := filepath.Join(dir, "bib.dtd")
+	s, err := newServer(config{
+		docs:      []shard.DocSpec{{Name: "bib", DocPath: docPath, DTDPath: dtdPath}},
+		window:    time.Millisecond,
+		maxBatch:  16,
+		shardID:   3,
+		advertise: "http://worker-3.example:8700",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/shardz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("shardz: %v %v", resp, err)
+	}
+	var id shard.Identity
+	err = json.NewDecoder(resp.Body).Decode(&id)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.ShardID != 3 || id.Advertise != "http://worker-3.example:8700" ||
+		len(id.Docs) != 1 || id.Docs[0] != "bib" {
+		t.Fatalf("identity = %+v", id)
+	}
+
+	if _, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false,
+		schedConfig{}, shardConfig{shardID: -2}); err == nil || !strings.Contains(err.Error(), "-shard-id") {
+		t.Fatalf("shard-id -2: err = %v, want -shard-id validation error", err)
 	}
 }

@@ -395,6 +395,12 @@ func (e *Executor) runScan(doc string, reqs []*execRequest) {
 		if r.Err != nil && (req.ctx.Err() != nil || errors.Is(r.Err, errWriterClosed)) {
 			c.canceled.Add(1)
 		}
+		if r.Err == nil {
+			// A completed execution calibrates the cost model: the observed
+			// peak against the static prediction (failed or canceled runs
+			// observe a truncated peak and would bias the average low).
+			e.cat.ObservePeak(req.q.plan.PredictedPeakBytes(), r.Stats.PeakBufferBytes)
+		}
 		c.eventsSkipped.Add(r.SkippedEvents)
 		req.done <- execOutcome{
 			res: ExecResult{
@@ -475,6 +481,45 @@ func (e *Executor) Stats() map[string]DocStats {
 		return true
 	})
 	return out
+}
+
+// ServerStats is the complete serving snapshot one serving process — a
+// standalone fluxd, or a shard worker behind fluxrouter — exports at
+// /stats. It is the typed form of that JSON payload: per-document
+// serving counters, the compiled-query cache counters, the scan
+// admission counters, and the predicted-peak calibration state.
+// fluxrouter's stats merger (internal/shard) aggregates these per-shard
+// snapshots into one cross-shard rollup.
+type ServerStats struct {
+	// Docs holds one entry per registered document, zero-valued for
+	// documents that have not served a query yet, so a dashboard always
+	// sees the whole catalog.
+	Docs map[string]DocStats `json:"docs"`
+	// Cache is the catalog's compiled-query cache counters.
+	Cache CacheStats `json:"cache"`
+	// Admission is the catalog's scan-admission counters.
+	Admission AdmissionStats `json:"admission"`
+	// Calibration is the catalog's predicted-peak correction state.
+	Calibration CalibrationStats `json:"calibration"`
+}
+
+// ServerStats assembles the process-wide serving snapshot: the
+// executor's per-document counters (every registered document included,
+// zero-valued until it serves) plus the catalog's cache, admission and
+// calibration counters.
+func (e *Executor) ServerStats() ServerStats {
+	docs := e.Stats()
+	for _, name := range e.cat.Docs() {
+		if _, ok := docs[name]; !ok {
+			docs[name] = DocStats{}
+		}
+	}
+	return ServerStats{
+		Docs:        docs,
+		Cache:       e.cat.CacheStats(),
+		Admission:   e.cat.AdmissionStats(),
+		Calibration: e.cat.CalibrationStats(),
+	}
 }
 
 // --- guarded writer ------------------------------------------------------

@@ -8,14 +8,18 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"flux"
+	"flux/internal/shard"
 	"flux/internal/xmark"
 )
 
@@ -46,6 +50,17 @@ const (
 	// shrinks, gated by CheckFanout.
 	ModeFanoutAll       Mode = "fanout-all"
 	ModeFanoutSelective Mode = "fanout-selective"
+	// ModeServedSingle and ModeServedSharded measure the serving tier
+	// end to end over HTTP: the benchmark document registered under two
+	// names ("x0", "x1") and the full query set executed against both,
+	// through one embedded shard worker holding everything (single)
+	// versus a fluxrouter over two embedded shards holding one document
+	// each (sharded). Their rows use the synthetic query name "served";
+	// Output is the summed response bytes, Buffer the summed
+	// X-Flux-Peak-Buffer-Bytes trailers, Tokens the summed X-Flux-Tokens
+	// trailers. CheckSharded gates that sharding changes none of them.
+	ModeServedSingle  Mode = "served-single"
+	ModeServedSharded Mode = "served-sharded"
 )
 
 // SharedQueryName is the Row.Query value of ModeShared rows.
@@ -54,6 +69,10 @@ const SharedQueryName = "shared"
 // FanoutQueryName is the Row.Query value of fan-out rows; the queries
 // themselves are xmark.FanoutQueries.
 const FanoutQueryName = "fanout"
+
+// ServedQueryName is the Row.Query value of the HTTP serving-tier rows
+// (ModeServedSingle / ModeServedSharded).
+const ServedQueryName = "served"
 
 // AllModes lists the standard Figure 4 columns (FluX, Galax stand-in,
 // AnonX stand-in).
@@ -86,6 +105,10 @@ type Config struct {
 	// size: the disjoint-path FanoutQueries as one Executor batch, with
 	// and without selective event routing.
 	Fanout bool
+	// Sharded adds one ModeServedSingle and one ModeServedSharded row
+	// per size: the sweep's queries over two document registrations,
+	// served over HTTP by one worker versus a router over two shards.
+	Sharded bool
 }
 
 // Row is one table cell: a (query, size, mode) measurement.
@@ -186,8 +209,155 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 				}
 			}
 		}
+		if cfg.Sharded {
+			for _, sharded := range []bool{false, true} {
+				row, err := runServed(ctx, workDir, path, sizeMB, docBytes, cfg.Queries, sharded)
+				if err != nil {
+					return nil, fmt.Errorf("bench: served %dMB: %w", sizeMB, err)
+				}
+				rows = append(rows, row)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12s output\n",
+						row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), FormatBytes(row.Output))
+				}
+			}
+		}
 	}
 	return rows, nil
+}
+
+// runServed measures the serving tier end to end: the benchmark
+// document registered as two catalog documents ("x0", "x1") and every
+// query of the sweep executed against both over HTTP — through one
+// embedded worker holding both documents (single-node fluxd), or
+// through a fluxrouter over two embedded shards holding one document
+// each. Elapsed is the best wall clock of sharedRepeats waves of
+// concurrent requests; Output/Buffer/Tokens are summed from the
+// response bodies and stats trailers on the first wave (they are
+// deterministic — CheckSharded holds the sharded row to the single
+// row's values).
+func runServed(ctx context.Context, workDir, docPath string, sizeMB int, docBytes int64, qnames []string, sharded bool) (Row, error) {
+	mode := ModeServedSingle
+	if sharded {
+		mode = ModeServedSharded
+	}
+	row := Row{Query: ServedQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: mode}
+
+	dtdPath := filepath.Join(workDir, "xmark.dtd")
+	if err := os.WriteFile(dtdPath, []byte(xmark.DTD), 0o644); err != nil {
+		return row, err
+	}
+	specs := []shard.DocSpec{
+		{Name: "x0", DocPath: docPath, DTDPath: dtdPath},
+		{Name: "x1", DocPath: docPath, DTDPath: dtdPath},
+	}
+	placement := map[string][]int{"x0": {0}, "x1": {0}}
+	shardCount := 1
+	if sharded {
+		placement["x1"] = []int{1}
+		shardCount = 2
+	}
+	m, err := shard.NewMapFromPlacement(placement, shardCount)
+	if err != nil {
+		return row, err
+	}
+	workers, err := shard.SpawnEmbedded(m, specs, shard.EmbeddedOptions{
+		Executor: flux.ExecutorOptions{Window: 30 * time.Second, MaxBatch: len(qnames)},
+	})
+	if err != nil {
+		return row, err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	base := workers[0].Addr
+	if sharded {
+		rt, rerr := shard.NewRouter(shard.RouterOptions{Map: m, Shards: shard.Addrs(workers), HealthInterval: -1})
+		if rerr != nil {
+			return row, rerr
+		}
+		defer rt.Close()
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return row, lerr
+		}
+		hs := &http.Server{Handler: rt}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	docs := []string{"x0", "x1"}
+	for rep := 0; rep < sharedRepeats; rep++ {
+		results := make([]servedResult, len(docs)*len(qnames))
+		var wg sync.WaitGroup
+		start := time.Now()
+		for di, doc := range docs {
+			for qi, qname := range qnames {
+				wg.Add(1)
+				go func(slot int, doc, queryText string) {
+					defer wg.Done()
+					results[slot] = servedRequest(ctx, base, doc, queryText)
+				}(di*len(qnames)+qi, doc, xmark.Queries[qname])
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, r := range results {
+			if r.err != nil {
+				return row, r.err
+			}
+		}
+		if rep == 0 || elapsed < row.Elapsed {
+			row.Elapsed = elapsed
+		}
+		if rep == 0 {
+			for _, r := range results {
+				row.Output += r.output
+				row.Buffer += r.buffer
+				row.Tokens += r.tokens
+			}
+		}
+	}
+	return row, nil
+}
+
+// servedResult is one HTTP request's measurement.
+type servedResult struct {
+	output, buffer, tokens int64
+	err                    error
+}
+
+// servedRequest posts one query and folds the streamed body and stats
+// trailers into a measurement.
+func servedRequest(ctx context.Context, base, doc, queryText string) (r servedResult) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/query?doc="+doc, strings.NewReader(queryText))
+	if err != nil {
+		r.err = err
+		return r
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if resp.StatusCode != http.StatusOK {
+		r.err = fmt.Errorf("served %s: status %d", doc, resp.StatusCode)
+		return r
+	}
+	r.output = n
+	r.buffer, _ = strconv.ParseInt(resp.Trailer.Get("X-Flux-Peak-Buffer-Bytes"), 10, 64)
+	r.tokens, _ = strconv.ParseInt(resp.Trailer.Get("X-Flux-Tokens"), 10, 64)
+	return r
 }
 
 // sharedRepeats is how many times the shared-scan batch runs; the row

@@ -138,3 +138,48 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+// TestRunServedRows: the serving-tier rows measure the same query set
+// through one worker and through a 2-shard router, and satisfy the
+// CheckSharded invariant — identical output and tokens either way.
+func TestRunServedRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates documents and spins up HTTP servers")
+	}
+	rows, err := Run(Config{
+		SizesMB: []int{1},
+		Queries: []string{"q1", "q20"},
+		Modes:   []Mode{ModeFluX},
+		Seed:    1,
+		WorkDir: t.TempDir(),
+		Sharded: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single, sharded *Row
+	for i := range rows {
+		switch rows[i].Mode {
+		case ModeServedSingle:
+			single = &rows[i]
+		case ModeServedSharded:
+			sharded = &rows[i]
+		}
+	}
+	if single == nil || sharded == nil {
+		t.Fatalf("missing served rows in %+v", rows)
+	}
+	if single.Output == 0 || single.Tokens == 0 {
+		t.Fatalf("single row measured nothing: %+v", *single)
+	}
+	if sharded.Output != single.Output || sharded.Tokens != single.Tokens {
+		t.Fatalf("sharded row diverged: single %+v, sharded %+v", *single, *sharded)
+	}
+	snapRows := []SnapshotRow{
+		{Query: ServedQueryName, SizeMB: 1, Mode: ModeServedSingle, OutputBytes: single.Output, TokensDelivered: single.Tokens},
+		{Query: ServedQueryName, SizeMB: 1, Mode: ModeServedSharded, OutputBytes: sharded.Output, TokensDelivered: sharded.Tokens},
+	}
+	if err := CheckSharded(&Snapshot{Rows: snapRows}); err != nil {
+		t.Fatalf("CheckSharded on fresh rows: %v", err)
+	}
+}

@@ -173,6 +173,42 @@ func CheckFanout(snap *Snapshot) error {
 	return nil
 }
 
+// CheckSharded verifies the sharded-serving invariant within one
+// snapshot: wherever both served rows exist for a size, the sharded
+// tier must have produced exactly the single node's output bytes and
+// delivered exactly its summed tokens — routing a corpus across shards
+// must not change what queries return or scan. It returns an error
+// naming the offending size and both values, or nil when the invariant
+// holds (vacuously for snapshots without served rows).
+func CheckSharded(snap *Snapshot) error {
+	single := make(map[int]SnapshotRow)
+	sharded := make(map[int]SnapshotRow)
+	for _, r := range snap.Rows {
+		if r.Query != ServedQueryName || r.Skipped {
+			continue
+		}
+		switch r.Mode {
+		case ModeServedSingle:
+			single[r.SizeMB] = r
+		case ModeServedSharded:
+			sharded[r.SizeMB] = r
+		}
+	}
+	for size, s := range single {
+		sh, ok := sharded[size]
+		if !ok {
+			continue
+		}
+		if sh.OutputBytes != s.OutputBytes {
+			return fmt.Errorf("served %dMB: sharded output %d bytes, single-node %d; sharding must not change results", size, sh.OutputBytes, s.OutputBytes)
+		}
+		if sh.TokensDelivered != s.TokensDelivered {
+			return fmt.Errorf("served %dMB: sharded delivered %d tokens, single-node %d; sharding must not change scan work", size, sh.TokensDelivered, s.TokensDelivered)
+		}
+	}
+	return nil
+}
+
 // bufferSlackBytes ignores absolute buffer growth below this size, so a
 // query that buffered 0 bytes and now buffers a handful (or a generator
 // tweak shifting a small document) does not trip the percentage gate.

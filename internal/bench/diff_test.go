@@ -154,3 +154,37 @@ func TestRegressionAllowedIncludesSlack(t *testing.T) {
 		t.Fatalf("Allowed = %d, want %d (percentage bound alone understates the gate)", got, 1000+bufferSlackBytes)
 	}
 }
+
+func TestCheckSharded(t *testing.T) {
+	served := func(mode Mode, size int, output, tokens int64) SnapshotRow {
+		return SnapshotRow{Query: ServedQueryName, SizeMB: size, Mode: mode,
+			OutputBytes: output, TokensDelivered: tokens}
+	}
+	// Identical output and tokens hold the invariant.
+	if err := CheckSharded(snap(100,
+		served(ModeServedSingle, 1, 9000, 5000),
+		served(ModeServedSharded, 1, 9000, 5000))); err != nil {
+		t.Fatalf("equal rows must pass: %v", err)
+	}
+	// Output divergence is a routing bug.
+	err := CheckSharded(snap(100,
+		served(ModeServedSingle, 1, 9000, 5000),
+		served(ModeServedSharded, 1, 8999, 5000)))
+	if err == nil || !strings.Contains(err.Error(), "output") {
+		t.Fatalf("output mismatch must fail naming output, got %v", err)
+	}
+	// Token divergence means sharding changed the scan work.
+	err = CheckSharded(snap(100,
+		served(ModeServedSingle, 1, 9000, 5000),
+		served(ModeServedSharded, 1, 9000, 5001)))
+	if err == nil || !strings.Contains(err.Error(), "tokens") {
+		t.Fatalf("token mismatch must fail naming tokens, got %v", err)
+	}
+	// Snapshots without served rows (or with a lone mode) pass vacuously.
+	if err := CheckSharded(snap(100, row("q1", 1, ModeFluX, 1000, 0))); err != nil {
+		t.Fatalf("vacuous snapshot must pass: %v", err)
+	}
+	if err := CheckSharded(snap(100, served(ModeServedSharded, 1, 9000, 5000))); err != nil {
+		t.Fatalf("lone sharded row must pass: %v", err)
+	}
+}

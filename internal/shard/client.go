@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"flux"
+)
+
+// Client talks to one shard worker's HTTP surface: health and identity
+// probes, typed /stats and /docs fetches, and raw /query passthrough
+// for the router to stream from.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the worker at baseURL (scheme://host:port,
+// trailing slash tolerated). A nil hc uses http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Base returns the worker's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Health probes /healthz; any non-200 answer (or transport failure) is
+// an error.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: %s/healthz answered %d", c.base, resp.StatusCode)
+	}
+	return nil
+}
+
+// Identity fetches the worker's /shardz self-description.
+func (c *Client) Identity(ctx context.Context) (Identity, error) {
+	var id Identity
+	err := c.getJSON(ctx, "/shardz", &id)
+	return id, err
+}
+
+// Stats fetches the worker's typed /stats snapshot.
+func (c *Client) Stats(ctx context.Context) (flux.ServerStats, error) {
+	var st flux.ServerStats
+	err := c.getJSON(ctx, "/stats", &st)
+	return st, err
+}
+
+// Docs fetches the worker's /docs listing.
+func (c *Client) Docs(ctx context.Context) ([]flux.DocInfo, error) {
+	var infos []flux.DocInfo
+	err := c.getJSON(ctx, "/docs", &infos)
+	return infos, err
+}
+
+// Query posts queryText against doc and returns the raw response for
+// the caller to stream — body, status and trailers untouched, so a
+// router can pass everything through. Transport failures are errors; an
+// HTTP error status is not (the caller forwards it). The caller owns
+// resp.Body.
+func (c *Client) Query(ctx context.Context, doc, queryText string) (*http.Response, error) {
+	u := c.base + "/query"
+	if doc != "" {
+		u += "?doc=" + url.QueryEscape(doc)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(queryText))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	return c.hc.Do(req)
+}
+
+// getJSON fetches path and decodes the JSON payload into v.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: %s%s answered %d", c.base, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// drain consumes and closes a response body so the transport can reuse
+// the connection.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -1,0 +1,61 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"flux/internal/fsutil"
+)
+
+// DocSpec names one document to register with a worker's catalog: the
+// registry name, the XML file, and the DTD file it validates against.
+type DocSpec struct {
+	// Name is the catalog registry key (and the /query?doc= value).
+	Name string
+	// DocPath is the XML document file.
+	DocPath string
+	// DTDPath is the DTD file bound to the document.
+	DTDPath string
+}
+
+// ScanDocroot finds every <name>.xml in dir and pairs it with the
+// required <name>.dtd, returning specs sorted by name. A stray .xml
+// without its DTD, or an unreadable entry, is an error with a message
+// naming the offender — docroot problems should fail startup, not
+// surface per-request.
+func ScanDocroot(dir string) ([]DocSpec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var specs []DocSpec
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xml") {
+			continue
+		}
+		docPath := filepath.Join(dir, e.Name())
+		dtdPath := strings.TrimSuffix(docPath, ".xml") + ".dtd"
+		if err := fsutil.CheckRegularFile(docPath); err != nil {
+			return nil, fmt.Errorf("docroot entry: %w", err)
+		}
+		if err := fsutil.CheckRegularFile(dtdPath); err != nil {
+			return nil, fmt.Errorf("docroot entry %s needs a DTD: %w", e.Name(), err)
+		}
+		specs = append(specs, DocSpec{Name: docName(docPath), DocPath: docPath, DTDPath: dtdPath})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("docroot %s contains no <name>.xml/<name>.dtd pairs", dir)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs, nil
+}
+
+// docName derives the registry name from a document path: the base name
+// without its extension.
+func docName(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}

@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Map assigns each document of a corpus to one or more shard workers.
+// The default assignment is consistent: a document's owner is a hash of
+// its name modulo the shard count, so every process that builds a map
+// over the same corpus and shard count routes identically without
+// coordination. An operator-supplied override file (ApplyOverrides) can
+// pin any document to explicit shards — including several at once,
+// which declares the document replicated and lets the router
+// load-balance across its owners.
+//
+// A Map is immutable after construction aside from ApplyOverrides,
+// which is meant to run once at startup before the map is shared;
+// concurrent readers need no locking.
+type Map struct {
+	shards int
+	owners map[string][]int // doc -> owning shard ids, ascending
+}
+
+// NewMap partitions docs across shards by consistent assignment: each
+// document's single owner is FNV-1a(name) mod shards. Duplicate or
+// empty document names are errors.
+func NewMap(docs []string, shards int) (*Map, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: map needs at least one shard, got %d", shards)
+	}
+	m := &Map{shards: shards, owners: make(map[string][]int, len(docs))}
+	for _, d := range docs {
+		if d == "" {
+			return nil, fmt.Errorf("shard: empty document name")
+		}
+		if _, dup := m.owners[d]; dup {
+			return nil, fmt.Errorf("shard: duplicate document %q", d)
+		}
+		m.owners[d] = []int{hashOwner(d, shards)}
+	}
+	return m, nil
+}
+
+// NewMapFromPlacement builds a map from an explicit document→shards
+// placement — the external-shard startup path, where the router
+// discovers which documents each running worker actually serves instead
+// of assuming a hash. Every document needs at least one owner, and all
+// owners must lie in [0, shards).
+func NewMapFromPlacement(owners map[string][]int, shards int) (*Map, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("shard: map needs at least one shard, got %d", shards)
+	}
+	m := &Map{shards: shards, owners: make(map[string][]int, len(owners))}
+	for doc, ids := range owners {
+		if doc == "" {
+			return nil, fmt.Errorf("shard: empty document name")
+		}
+		clean, err := cleanOwners(ids, shards)
+		if err != nil {
+			return nil, fmt.Errorf("shard: document %q: %w", doc, err)
+		}
+		m.owners[doc] = clean
+	}
+	return m, nil
+}
+
+// hashOwner is the consistent default assignment: FNV-1a of the
+// document name, reduced mod the shard count.
+func hashOwner(doc string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(doc))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// cleanOwners validates, dedupes and sorts a replica list.
+func cleanOwners(ids []int, shards int) ([]int, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("needs at least one shard")
+	}
+	seen := make(map[int]bool, len(ids))
+	var clean []int
+	for _, id := range ids {
+		if id < 0 || id >= shards {
+			return nil, fmt.Errorf("shard %d out of range [0, %d)", id, shards)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("shard %d listed twice", id)
+		}
+		seen[id] = true
+		clean = append(clean, id)
+	}
+	sort.Ints(clean)
+	return clean, nil
+}
+
+// ApplyOverrides replaces document placements from an operator-supplied
+// shard-map file. The format is line-oriented:
+//
+//	# comments and blank lines are ignored
+//	docname: 0        # pin docname to shard 0
+//	hotdoc:  0, 2     # replicate hotdoc on shards 0 and 2
+//
+// Every named document must already exist in the map (an override for
+// an unknown document is a typo worth failing startup over), every
+// shard id must be in range, and naming a document twice is an error.
+func (m *Map) ApplyOverrides(text string) error {
+	overridden := make(map[string]bool)
+	for i, raw := range strings.Split(text, "\n") {
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		doc, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return fmt.Errorf("shard: override line %d: want \"doc: shard[,shard...]\", got %q", i+1, raw)
+		}
+		doc = strings.TrimSpace(doc)
+		if _, known := m.owners[doc]; !known {
+			return fmt.Errorf("shard: override line %d: unknown document %q", i+1, doc)
+		}
+		if overridden[doc] {
+			return fmt.Errorf("shard: override line %d: document %q overridden twice", i+1, doc)
+		}
+		var ids []int
+		for _, f := range strings.Split(rest, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("shard: override line %d: bad shard id %q", i+1, strings.TrimSpace(f))
+			}
+			ids = append(ids, n)
+		}
+		clean, err := cleanOwners(ids, m.shards)
+		if err != nil {
+			return fmt.Errorf("shard: override line %d: document %q: %w", i+1, doc, err)
+		}
+		m.owners[doc] = clean
+		overridden[doc] = true
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (m *Map) Shards() int { return m.shards }
+
+// Docs returns every mapped document name, sorted.
+func (m *Map) Docs() []string {
+	out := make([]string, 0, len(m.owners))
+	for d := range m.owners {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owners returns the shard ids serving doc in ascending order, or nil
+// for an unmapped document. The returned slice is the map's own — do
+// not mutate it.
+func (m *Map) Owners(doc string) []int { return m.owners[doc] }
+
+// DocsFor returns the documents shard id serves, sorted.
+func (m *Map) DocsFor(id int) []string {
+	var out []string
+	for d, ids := range m.owners {
+		for _, o := range ids {
+			if o == id {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

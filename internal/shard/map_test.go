@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestMapConsistentAssignment: the default assignment is deterministic,
+// in range, and partitions the corpus — every document lands on exactly
+// one shard, and rebuilding the map reproduces the placement.
+func TestMapConsistentAssignment(t *testing.T) {
+	docs := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	m1, err := NewMap(docs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMap(docs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union []string
+	for id := 0; id < 3; id++ {
+		union = append(union, m1.DocsFor(id)...)
+		if !reflect.DeepEqual(m1.DocsFor(id), m2.DocsFor(id)) {
+			t.Fatalf("assignment not deterministic: shard %d differs", id)
+		}
+	}
+	sort.Strings(union)
+	if !reflect.DeepEqual(union, m1.Docs()) {
+		t.Fatalf("shards do not partition the corpus: union %v, docs %v", union, m1.Docs())
+	}
+	for _, d := range docs {
+		owners := m1.Owners(d)
+		if len(owners) != 1 || owners[0] < 0 || owners[0] >= 3 {
+			t.Fatalf("doc %s owners = %v, want exactly one in [0,3)", d, owners)
+		}
+	}
+	if m1.Owners("nope") != nil {
+		t.Fatal("unknown doc must have no owners")
+	}
+}
+
+// TestMapValidation: bad corpus or shard counts fail construction.
+func TestMapValidation(t *testing.T) {
+	if _, err := NewMap([]string{"a"}, 0); err == nil {
+		t.Error("zero shards must fail")
+	}
+	if _, err := NewMap([]string{"a", "a"}, 2); err == nil {
+		t.Error("duplicate doc must fail")
+	}
+	if _, err := NewMap([]string{""}, 2); err == nil {
+		t.Error("empty doc name must fail")
+	}
+	if _, err := NewMapFromPlacement(map[string][]int{"a": {2}}, 2); err == nil {
+		t.Error("out-of-range placement must fail")
+	}
+	if _, err := NewMapFromPlacement(map[string][]int{"a": {}}, 2); err == nil {
+		t.Error("ownerless placement must fail")
+	}
+	if _, err := NewMapFromPlacement(map[string][]int{"a": {1, 1}}, 2); err == nil {
+		t.Error("repeated owner must fail")
+	}
+}
+
+// TestMapOverrides: the override file pins and replicates documents,
+// with comments and blanks tolerated and typos rejected loudly.
+func TestMapOverrides(t *testing.T) {
+	m, err := NewMap([]string{"alpha", "beta", "gamma"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.ApplyOverrides(`
+# pin alpha, replicate beta
+alpha: 2
+beta: 1, 0   # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Owners("alpha"); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("alpha owners = %v, want [2]", got)
+	}
+	if got := m.Owners("beta"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("beta owners = %v, want [0 1] (sorted)", got)
+	}
+	if got := m.Owners("gamma"); len(got) != 1 {
+		t.Errorf("gamma owners = %v, want its hash assignment untouched", got)
+	}
+
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"unknown doc", "nope: 0", "unknown document"},
+		{"out of range", "alpha: 3", "out of range"},
+		{"negative", "alpha: -1", "out of range"},
+		{"twice", "alpha: 0\nalpha: 1", "overridden twice"},
+		{"dup replica", "alpha: 1,1", "listed twice"},
+		{"no colon", "alpha 0", "want \"doc: shard"},
+		{"bad id", "alpha: x", "bad shard id"},
+		{"empty list", "alpha:", "bad shard id"},
+	}
+	for _, tc := range cases {
+		m2, _ := NewMap([]string{"alpha", "beta"}, 2)
+		err := m2.ApplyOverrides(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"flux"
+)
+
+// TestMergeRollupArithmetic: the rollup is the exact sum of the
+// per-shard sections — every additive counter summed, peak batch maxed,
+// calibration averaged weighted by samples.
+func TestMergeRollupArithmetic(t *testing.T) {
+	per := map[string]flux.ServerStats{
+		"0": {
+			Docs: map[string]flux.DocStats{
+				"alpha": {Queries: 10, Scans: 4, Shared: 8, PeakBatch: 3, Canceled: 1, EventsSkipped: 100, BatchSplits: 2, Deferred: 3},
+				"both":  {Queries: 5, Scans: 5, PeakBatch: 1},
+			},
+			Cache:       flux.CacheStats{Hits: 7, Misses: 3, Evictions: 1, Size: 3},
+			Admission:   flux.AdmissionStats{ActiveScans: 1, ResidentBufferBytes: 4096, Waiting: 2, Queued: 5, Admitted: 9},
+			Calibration: flux.CalibrationStats{Factor: 2, Samples: 3},
+		},
+		"1": {
+			Docs: map[string]flux.DocStats{
+				"beta": {Queries: 20, Scans: 2, PeakBatch: 10},
+				"both": {Queries: 7, Scans: 3, PeakBatch: 4},
+			},
+			Cache:       flux.CacheStats{Hits: 1, Misses: 9, Size: 9},
+			Admission:   flux.AdmissionStats{Admitted: 5},
+			Calibration: flux.CalibrationStats{Factor: 0.5, Samples: 1},
+		},
+	}
+	got := Merge(per)
+
+	if d := got.Rollup.Docs["both"]; d.Queries != 12 || d.Scans != 8 || d.PeakBatch != 4 {
+		t.Errorf("rollup.both = %+v, want queries 12, scans 8, peak 4 (max)", d)
+	}
+	if d := got.Rollup.Docs["alpha"]; d.EventsSkipped != 100 || d.BatchSplits != 2 || d.Deferred != 3 || d.Canceled != 1 || d.Shared != 8 {
+		t.Errorf("rollup.alpha = %+v, want shard 0's counters verbatim", d)
+	}
+	if c := got.Rollup.Cache; c.Hits != 8 || c.Misses != 12 || c.Evictions != 1 || c.Size != 12 {
+		t.Errorf("rollup.cache = %+v", c)
+	}
+	if a := got.Rollup.Admission; a.ActiveScans != 1 || a.ResidentBufferBytes != 4096 || a.Waiting != 2 || a.Queued != 5 || a.Admitted != 14 {
+		t.Errorf("rollup.admission = %+v", a)
+	}
+	cal := got.Rollup.Calibration
+	if cal.Samples != 4 || math.Abs(cal.Factor-(2*3+0.5*1)/4) > 1e-9 {
+		t.Errorf("rollup.calibration = %+v, want samples 4, factor %.4f", cal, (2*3+0.5*1)/4.0)
+	}
+	if len(got.PerShard) != 2 {
+		t.Errorf("per_shard kept %d entries, want 2", len(got.PerShard))
+	}
+}
+
+// TestMergeEmptyAndUncalibrated: merging nothing (or shards that have
+// not calibrated) yields the neutral factor, not NaN.
+func TestMergeEmptyAndUncalibrated(t *testing.T) {
+	got := Merge(nil)
+	if got.Rollup.Calibration.Factor != 1 || got.Rollup.Calibration.Samples != 0 {
+		t.Errorf("empty merge calibration = %+v, want neutral", got.Rollup.Calibration)
+	}
+	got = Merge(map[string]flux.ServerStats{
+		"0": {Calibration: flux.CalibrationStats{Factor: 1, Samples: 0}},
+	})
+	if got.Rollup.Calibration.Factor != 1 {
+		t.Errorf("uncalibrated merge factor = %v, want 1", got.Rollup.Calibration.Factor)
+	}
+}

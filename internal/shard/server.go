@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"flux"
+)
+
+// Server is the HTTP serving surface of one worker process: the thin
+// veneer over flux.Catalog (document registry, hot-swap, compiled-query
+// cache) and flux.Executor (shared-scan batching) that cmd/fluxd exposes
+// standalone and fluxrouter supervises as a shard. All serving policy —
+// batching windows, cancellation, counters — lives in the library; the
+// handlers only translate HTTP.
+//
+// Endpoints: POST /query?doc=, GET /docs, GET /stats (flux.ServerStats
+// JSON), GET /healthz, GET /shardz (Identity JSON), and — when
+// ServerOptions.Admin is set — POST /admin/swap.
+type Server struct {
+	cat    *flux.Catalog
+	ex     *flux.Executor
+	routes *http.ServeMux
+
+	// defaultDoc serves /query without ?doc= when exactly one document
+	// is registered at startup; "" means the parameter is required.
+	defaultDoc string
+
+	id        int
+	advertise string
+}
+
+// ServerOptions configures the non-library parts of a worker's surface.
+type ServerOptions struct {
+	// Admin exposes the mutating /admin/* endpoints (hot-swap). They
+	// accept server-side file paths, so they belong on trusted networks
+	// only; without Admin every /admin/* request answers 403.
+	Admin bool
+	// ShardID is the shard this worker claims to be, reported at
+	// /shardz so a router can verify it is talking to the member of the
+	// topology it thinks it is. Negative means standalone (unasserted):
+	// a router accepts such a worker at any position.
+	ShardID int
+	// Advertise is the address other processes should use to reach this
+	// worker, reported at /shardz. Useful when the listen address (":0",
+	// "0.0.0.0:...") is not routable as written.
+	Advertise string
+}
+
+// NewServer builds the HTTP surface over an executor (and its catalog).
+// When the catalog holds exactly one document, /query accepts requests
+// without ?doc=.
+func NewServer(ex *flux.Executor, opt ServerOptions) *Server {
+	s := &Server{
+		cat:       ex.Catalog(),
+		ex:        ex,
+		routes:    http.NewServeMux(),
+		id:        opt.ShardID,
+		advertise: opt.Advertise,
+	}
+	if opt.ShardID < 0 {
+		s.id = -1
+	}
+	if docs := s.cat.Docs(); len(docs) == 1 {
+		s.defaultDoc = docs[0]
+	}
+	s.routes.HandleFunc("/query", s.handleQuery)
+	s.routes.HandleFunc("/docs", s.handleDocs)
+	if opt.Admin {
+		s.routes.HandleFunc("/admin/swap", s.handleSwap)
+	} else {
+		s.routes.HandleFunc("/admin/", s.handleAdminDisabled)
+	}
+	s.routes.HandleFunc("/healthz", s.handleHealthz)
+	s.routes.HandleFunc("/shardz", s.handleShardz)
+	s.routes.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// Catalog returns the catalog this server serves from.
+func (s *Server) Catalog() *flux.Catalog { return s.cat }
+
+// Executor returns the executor behind the /query endpoint.
+func (s *Server) Executor() *flux.Executor { return s.ex }
+
+// Identity reports what /shardz serves: who this worker claims to be
+// and what it holds.
+func (s *Server) Identity() Identity {
+	return Identity{ShardID: s.id, Advertise: s.advertise, Docs: s.cat.Docs()}
+}
+
+// Identity is the /shardz payload: the worker's claimed place in a
+// sharded topology and the documents it serves. A router health-checks
+// this to catch a stale shard map — an address that now points at a
+// different worker than the topology expects.
+type Identity struct {
+	// ShardID is the worker's claimed shard, -1 for standalone.
+	ShardID int `json:"shard_id"`
+	// Advertise is the address the worker wants to be reached at, if
+	// configured.
+	Advertise string `json:"advertise,omitempty"`
+	// Docs are the registered document names, sorted.
+	Docs []string `json:"docs"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.routes.ServeHTTP(w, r) }
+
+// MaxQueryBytes bounds a /query request body; queries are small
+// programs, not documents. The router enforces the same bound before
+// proxying.
+const MaxQueryBytes = 1 << 20
+
+// ReadQueryBody reads a /query request body under the MaxQueryBytes
+// bound, rejecting (rather than truncating) oversized queries — a
+// silently truncated query would compile, and run, as a different
+// query. The returned status is the HTTP code to answer on error.
+func ReadQueryBody(r *http.Request) (body []byte, status int, err error) {
+	body, err = io.ReadAll(io.LimitReader(r.Body, MaxQueryBytes+1))
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("reading query: %w", err)
+	}
+	if len(body) > MaxQueryBytes {
+		return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("query exceeds the %d byte limit", MaxQueryBytes)
+	}
+	return body, 0, nil
+}
+
+// resolveDoc picks the target document for a request: the explicit
+// ?doc= parameter, else defaultDoc when exactly one document is
+// registered. The worker and the router share this rule (and its error
+// text) so the two surfaces cannot drift apart.
+func resolveDoc(r *http.Request, defaultDoc string) (string, error) {
+	doc := r.URL.Query().Get("doc")
+	if doc != "" {
+		return doc, nil
+	}
+	if defaultDoc != "" {
+		return defaultDoc, nil
+	}
+	return "", fmt.Errorf("multiple documents are registered; pick one with ?doc= (see /docs)")
+}
+
+// writeHealthz answers a liveness probe; shared by worker and router.
+func writeHealthz(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleQuery streams the posted query's result from the document's
+// shared scan. The request context rides into ExecuteContext, so a
+// client that disconnects mid-result is detached from the scan at the
+// next event batch while batch siblings keep streaming.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST the query text to /query", http.StatusMethodNotAllowed)
+		return
+	}
+	doc, err := resolveDoc(r, s.defaultDoc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, status, err := ReadQueryBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	q, err := s.cat.Prepare(doc, string(body))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, flux.ErrDocNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, "compiling query: "+err.Error(), status)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("Trailer", "X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens, X-Flux-Batch-Size")
+	cw := &countingWriter{w: w}
+	res, err := s.ex.ExecuteQueryContext(r.Context(), doc, q, cw)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; there is no one to report to. The
+			// executor has already detached the query from its batch.
+			return
+		}
+		if cw.n == 0 {
+			// Nothing streamed yet; a clean error status is still possible.
+			http.Error(w, "executing query: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// The response is already partially written with a 200 header; a
+		// clean chunked terminator would make the truncated body look
+		// complete to any client that ignores trailers. Abort the
+		// connection instead so the failure is visible at the transport.
+		panic(http.ErrAbortHandler)
+	}
+	if cw.n == 0 {
+		// Force the header out even for empty results.
+		w.WriteHeader(http.StatusOK)
+	}
+	w.Header().Set("X-Flux-Peak-Buffer-Bytes", fmt.Sprint(res.Stats.PeakBufferBytes))
+	w.Header().Set("X-Flux-Tokens", fmt.Sprint(res.Stats.Tokens))
+	w.Header().Set("X-Flux-Batch-Size", fmt.Sprint(res.BatchSize))
+}
+
+// handleDocs lists the registered documents.
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	var infos []flux.DocInfo
+	for _, name := range s.cat.Docs() {
+		if info, err := s.cat.Info(name); err == nil {
+			infos = append(infos, info)
+		}
+	}
+	writeJSON(w, infos)
+}
+
+// handleSwap atomically repoints a document at a new file. In-flight
+// scans complete against the old file; later requests read the new one.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /admin/swap?doc=name&path=/new/file.xml", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := r.URL.Query().Get("doc")
+	path := r.URL.Query().Get("path")
+	if doc == "" || path == "" {
+		http.Error(w, "both doc and path parameters are required", http.StatusBadRequest)
+		return
+	}
+	if err := s.cat.Swap(doc, path); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, flux.ErrDocNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	info, err := s.cat.Info(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, info)
+}
+
+// handleAdminDisabled answers /admin/* when the server runs without
+// Admin: the mutating endpoints accept server-side file paths and are
+// opt-in.
+func (s *Server) handleAdminDisabled(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "admin endpoints are disabled; start fluxd with -admin to enable hot-swap", http.StatusForbidden)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeHealthz(w)
+}
+
+// handleShardz reports the worker's identity for topology checks.
+func (s *Server) handleShardz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Identity())
+}
+
+// handleStats serves the typed process snapshot (flux.ServerStats); the
+// schema is documented in README's fluxd section.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ex.ServerStats())
+}
+
+// writeJSON renders v indented, the way operators curl it.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// countingWriter tracks whether (and how much) output has been streamed,
+// which decides error reporting: a clean 500 is only possible before the
+// first byte.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write implements io.Writer.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
