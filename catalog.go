@@ -109,7 +109,7 @@ func NewCatalog(opt CatalogOptions) *Catalog {
 			maxBytes:  opt.MaxResidentBufferBytes,
 			perDoc:    make(map[string]int),
 		},
-		calib: &calibration{factor: 1},
+		calib: newCalibration(),
 	}
 }
 
@@ -215,6 +215,19 @@ func (c *Catalog) Info(name string) (DocInfo, error) {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDocNotFound, name)
 	}
 	return DocInfo{Name: d.name, Path: d.path, Swaps: d.swaps}, nil
+}
+
+// DTD returns the exact DTD text the named document was registered
+// with — what a migration ships alongside the document bytes so the
+// receiving catalog binds the copy to the identical schema.
+func (c *Catalog) DTD(name string) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	return d.schema.dtdText, nil
 }
 
 // Schema returns the named document's parsed schema, parsing the DTD on
@@ -494,9 +507,35 @@ func (a *admission) drain() {
 // calibration factor (see ObservePeak): a long-running server whose
 // static predictions run hot or cold budgets on observed reality rather
 // than the raw estimate. A zero prediction stays zero — fully streaming
-// scans are never byte-blocked, calibrated or not.
+// scans are never byte-blocked, calibrated or not. AdmitScan charges the
+// process-global factor; callers that know each query's plan signature
+// should use AdmitScanCharges, which calibrates per signature.
 func (c *Catalog) AdmitScan(doc string, predictedBytes int64) (release func()) {
-	predictedBytes = c.calib.adjust(predictedBytes)
+	return c.AdmitScanCharges(doc, []ScanCharge{{PredictedBytes: predictedBytes}})
+}
+
+// ScanCharge is one query's contribution to a scan's admission charge:
+// its plan's projected-path signature key (Plan.SigKey; empty means "no
+// signature", charged at the global factor) and its static predicted
+// peak buffer bytes.
+type ScanCharge struct {
+	// Sig is the query plan's signature key, the calibration bucket.
+	Sig string
+	// PredictedBytes is the plan's static predicted peak buffer bytes.
+	PredictedBytes int64
+}
+
+// AdmitScanCharges is AdmitScan for a scan shared by several queries:
+// each charge is calibrated by its own signature's observed/predicted
+// factor (falling back to the global factor for signatures with no
+// observations yet), and the scan is admitted for the calibrated sum.
+// The per-signature factors stop one badly-predicted workload from
+// re-budgeting a well-predicted one sharing the catalog.
+func (c *Catalog) AdmitScanCharges(doc string, charges []ScanCharge) (release func()) {
+	var predictedBytes int64
+	for _, ch := range charges {
+		predictedBytes += c.calib.adjust(ch.Sig, ch.PredictedBytes)
+	}
 	a := c.adm
 	a.mu.Lock()
 	if a.maxPerDoc <= 0 && a.maxBytes <= 0 {
@@ -577,15 +616,50 @@ func (c *Catalog) AdmissionStats() AdmissionStats {
 // calibration corrects the static peak-buffer predictions admission
 // budgets on with observed reality: every completed scan feeds its
 // observed/predicted ratio into an exponentially weighted moving
-// average, and AdmitScan charges each new scan its prediction scaled by
+// average, and admission charges each new scan its prediction scaled by
 // that average. A model that systematically over-predicts stops
 // starving the byte budget; one that under-predicts stops overcommitting
 // it.
+//
+// The average is kept per plan signature — distinct projection shapes
+// mis-predict in distinct ways — with a process-global EWMA as the
+// fallback for signatures that have not completed a scan yet (and the
+// only average for callers that do not pass a signature).
 type calibration struct {
-	mu      sync.Mutex
-	factor  float64 // EWMA of observed/predicted; 1 until the first sample
+	mu     sync.Mutex
+	global calibEntry
+	sigs   map[string]*calibEntry
+}
+
+// calibEntry is one EWMA of observed/predicted peak ratios.
+type calibEntry struct {
+	factor  float64 // 1 until the first sample
 	samples int64
 }
+
+// fold adds one clamped ratio to the average. The first sample seeds it
+// directly — a long-running server should not need dozens of scans to
+// escape the neutral prior.
+func (e *calibEntry) fold(ratio float64) {
+	if e.samples == 0 {
+		e.factor = ratio
+	} else {
+		e.factor = calibAlpha*ratio + (1-calibAlpha)*e.factor
+	}
+	e.factor = min(max(e.factor, calibFactorMin), calibFactorMax)
+	e.samples++
+}
+
+// newCalibration returns the neutral state: factor 1, no samples, no
+// signatures.
+func newCalibration() *calibration {
+	return &calibration{global: calibEntry{factor: 1}, sigs: make(map[string]*calibEntry)}
+}
+
+// maxCalibSignatures bounds the per-signature table; a workload with
+// more distinct signatures than this calibrates the overflow at the
+// global factor instead of growing the table without bound.
+const maxCalibSignatures = 1024
 
 // calibAlpha is the EWMA weight of each new observation: small enough
 // that one outlier scan cannot yank admission around, large enough that
@@ -602,36 +676,42 @@ const (
 )
 
 // observe folds one completed scan's (predicted, observed) peak pair
-// into the EWMA. The first sample seeds the average directly — a
-// long-running server should not need dozens of scans to escape the
-// neutral prior.
-func (cl *calibration) observe(predicted, observed int64) {
+// into the signature's EWMA and the global fallback.
+func (cl *calibration) observe(sig string, predicted, observed int64) {
 	if predicted <= 0 || observed < 0 {
 		return
 	}
 	ratio := float64(observed) / float64(predicted)
 	ratio = min(max(ratio, calibFactorMin), calibFactorMax)
 	cl.mu.Lock()
-	if cl.samples == 0 {
-		cl.factor = ratio
-	} else {
-		cl.factor = calibAlpha*ratio + (1-calibAlpha)*cl.factor
+	cl.global.fold(ratio)
+	if sig != "" {
+		e := cl.sigs[sig]
+		if e == nil && len(cl.sigs) < maxCalibSignatures {
+			e = &calibEntry{factor: 1}
+			cl.sigs[sig] = e
+		}
+		if e != nil {
+			e.fold(ratio)
+		}
 	}
-	cl.factor = min(max(cl.factor, calibFactorMin), calibFactorMax)
-	cl.samples++
 	cl.mu.Unlock()
 }
 
-// adjust scales a prediction by the current correction factor. Zero
+// adjust scales a prediction by the signature's correction factor,
+// falling back to the global factor for cold signatures. Zero
 // predictions (fully streaming scans) pass through unscaled, and a
 // positive prediction never rounds down to zero — a buffering scan must
 // keep consuming the byte budget.
-func (cl *calibration) adjust(predicted int64) int64 {
+func (cl *calibration) adjust(sig string, predicted int64) int64 {
 	if predicted <= 0 {
 		return predicted
 	}
 	cl.mu.Lock()
-	f, n := cl.factor, cl.samples
+	f, n := cl.global.factor, cl.global.samples
+	if e := cl.sigs[sig]; sig != "" && e != nil && e.samples > 0 {
+		f, n = e.factor, e.samples
+	}
 	cl.mu.Unlock()
 	if n == 0 {
 		return predicted
@@ -643,34 +723,55 @@ func (cl *calibration) adjust(predicted int64) int64 {
 	return adj
 }
 
-// stats snapshots the calibration state.
+// stats snapshots the calibration state, per-signature table included.
 func (cl *calibration) stats() CalibrationStats {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	return CalibrationStats{Factor: cl.factor, Samples: cl.samples}
+	st := CalibrationStats{Factor: cl.global.factor, Samples: cl.global.samples}
+	if len(cl.sigs) > 0 {
+		st.Signatures = make(map[string]SigCalibration, len(cl.sigs))
+		for sig, e := range cl.sigs {
+			st.Signatures[sig] = SigCalibration{Factor: e.factor, Samples: e.samples}
+		}
+	}
+	return st
 }
 
 // CalibrationStats is the predicted-peak calibration state a catalog
 // exports: how admission's byte charges currently relate to the static
 // predictions, and how much evidence backs the correction.
 type CalibrationStats struct {
-	// Factor multiplies every scan's predicted peak bytes at admission:
-	// the EWMA of observed/predicted peak ratios, 1.0 until the first
+	// Factor multiplies a scan's predicted peak bytes at admission when
+	// its signature has no observations (or none was given): the global
+	// EWMA of observed/predicted peak ratios, 1.0 until the first
 	// observation, clamped to [0.125, 8].
 	Factor float64 `json:"factor"`
 	// Samples is the cumulative number of completed scans that have fed
-	// the average.
+	// the global average.
+	Samples int64 `json:"samples"`
+	// Signatures holds the per-signature corrections, keyed by plan
+	// signature key; admission prefers a signature's own factor over the
+	// global one once it has a sample.
+	Signatures map[string]SigCalibration `json:"signatures,omitempty"`
+}
+
+// SigCalibration is one signature's row in the calibration table.
+type SigCalibration struct {
+	// Factor is the signature's EWMA of observed/predicted peak ratios.
+	Factor float64 `json:"factor"`
+	// Samples is how many completed scans fed this signature's average.
 	Samples int64 `json:"samples"`
 }
 
 // ObservePeak feeds one completed query execution's predicted and
 // observed peak buffer bytes into the catalog's calibration (the
-// Executor does this automatically for every successful execution).
-// Pairs with a non-positive prediction are ignored: a fully streaming
-// plan predicts 0 and observes 0, which says nothing about the cost
-// model's scale.
-func (c *Catalog) ObservePeak(predicted, observed int64) {
-	c.calib.observe(predicted, observed)
+// Executor does this automatically for every successful execution),
+// keyed by the executed plan's signature — pass Plan.SigKey, or "" for
+// the global average only. Pairs with a non-positive prediction are
+// ignored: a fully streaming plan predicts 0 and observes 0, which says
+// nothing about the cost model's scale.
+func (c *Catalog) ObservePeak(sig string, predicted, observed int64) {
+	c.calib.observe(sig, predicted, observed)
 }
 
 // CalibrationStats reports the predicted-peak calibration state.

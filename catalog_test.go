@@ -387,29 +387,29 @@ func TestCalibrationEWMA(t *testing.T) {
 		t.Fatalf("fresh calibration = %+v, want neutral", st)
 	}
 	// Non-positive predictions say nothing about the model's scale.
-	cat.ObservePeak(0, 500)
-	cat.ObservePeak(-1, 500)
+	cat.ObservePeak("", 0, 500)
+	cat.ObservePeak("", -1, 500)
 	if st := cat.CalibrationStats(); st.Samples != 0 {
 		t.Fatalf("zero-predicted pairs must be ignored, got %+v", st)
 	}
 
-	cat.ObservePeak(1000, 2000) // first sample seeds directly
+	cat.ObservePeak("", 1000, 2000) // first sample seeds directly
 	if st := cat.CalibrationStats(); st.Factor != 2 || st.Samples != 1 {
 		t.Fatalf("after first sample: %+v, want factor 2", st)
 	}
-	cat.ObservePeak(1000, 1000) // EWMA: 0.2*1 + 0.8*2 = 1.8
+	cat.ObservePeak("", 1000, 1000) // EWMA: 0.2*1 + 0.8*2 = 1.8
 	if st := cat.CalibrationStats(); st.Samples != 2 || st.Factor < 1.79 || st.Factor > 1.81 {
 		t.Fatalf("after second sample: %+v, want factor 1.8", st)
 	}
 
 	// A degenerate observation is clamped, not trusted.
 	worst := NewCatalog(CatalogOptions{})
-	worst.ObservePeak(1, 1<<40)
+	worst.ObservePeak("", 1, 1<<40)
 	if st := worst.CalibrationStats(); st.Factor != 8 {
 		t.Fatalf("absurd ratio: factor %v, want clamp at 8", st.Factor)
 	}
 	best := NewCatalog(CatalogOptions{})
-	best.ObservePeak(1<<40, 0)
+	best.ObservePeak("", 1<<40, 0)
 	if st := best.CalibrationStats(); st.Factor != 0.125 {
 		t.Fatalf("zero observation: factor %v, want clamp at 0.125", st.Factor)
 	}
@@ -427,7 +427,7 @@ func TestAdmissionUsesCalibration(t *testing.T) {
 	}
 	rel()
 
-	cat.ObservePeak(1000, 2000) // factor 2
+	cat.ObservePeak("", 1000, 2000) // factor 2
 	rel = cat.AdmitScan("doc", 4000)
 	if got := cat.AdmissionStats().ResidentBufferBytes; got != 8000 {
 		t.Fatalf("calibrated charge = %d, want 8000 (factor 2)", got)
@@ -471,5 +471,53 @@ func TestExecutorFeedsCalibration(t *testing.T) {
 	}
 	if st.Factor <= 0 || st.Factor > 8 {
 		t.Fatalf("factor %v out of clamp range", st.Factor)
+	}
+	// The sample lands in the per-signature table too, keyed by the
+	// executed plan's signature.
+	if len(st.Signatures) != 1 {
+		t.Fatalf("signatures = %+v, want exactly the executed plan's", st.Signatures)
+	}
+	for _, sc := range st.Signatures {
+		if sc.Samples != 1 || sc.Factor != st.Factor {
+			t.Fatalf("per-signature entry = %+v, want the same single sample", sc)
+		}
+	}
+}
+
+// TestPerSignatureCalibration: observations are keyed by signature —
+// each signature's factor tracks its own workload, admission charges
+// each query at its signature's factor, and signatures without
+// observations fall back to the global average.
+func TestPerSignatureCalibration(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	cat.ObservePeak("hot", 1000, 2000) // runs 2x hot
+	cat.ObservePeak("cold", 1000, 500) // runs 2x cold
+	st := cat.CalibrationStats()
+	if st.Samples != 2 {
+		t.Fatalf("global samples = %d, want 2 (every observation feeds the fallback)", st.Samples)
+	}
+	// Global EWMA: seeded at 2, then 0.2*0.5 + 0.8*2 = 1.7.
+	if st.Factor < 1.69 || st.Factor > 1.71 {
+		t.Fatalf("global factor = %v, want 1.7", st.Factor)
+	}
+	if h := st.Signatures["hot"]; h.Factor != 2 || h.Samples != 1 {
+		t.Fatalf("hot = %+v, want factor 2 from its own sample", h)
+	}
+	if c := st.Signatures["cold"]; c.Factor != 0.5 || c.Samples != 1 {
+		t.Fatalf("cold = %+v, want factor 0.5 from its own sample", c)
+	}
+
+	// One badly-predicted signature must not re-budget a well-predicted
+	// one: each charge uses its own factor, unknown signatures use the
+	// global fallback, zero predictions stay exempt.
+	rel := cat.AdmitScanCharges("doc", []ScanCharge{
+		{Sig: "hot", PredictedBytes: 1000},    // -> 2000
+		{Sig: "cold", PredictedBytes: 1000},   // -> 500
+		{Sig: "unseen", PredictedBytes: 1000}, // -> 1700 (global)
+		{Sig: "stream", PredictedBytes: 0},    // -> 0
+	})
+	defer rel()
+	if got := cat.AdmissionStats().ResidentBufferBytes; got != 2000+500+1700 {
+		t.Fatalf("charged %d bytes, want 4200 (per-signature factors + global fallback)", got)
 	}
 }

@@ -5,12 +5,15 @@
 // Each regression is reported with the exact row (query/size/mode), its
 // baseline and observed values, and the allowed maximum.
 //
-// It also enforces two invariants on the fresh snapshot: wherever both
-// fanout-all and fanout-selective rows exist, the selective row must
-// have delivered strictly fewer events; and wherever both served-single
-// and served-sharded rows exist, the sharded tier must have produced
-// identical output bytes and delivered identical tokens — sharding must
-// not change results.
+// It also enforces three invariants on the fresh snapshot: wherever
+// both fanout-all and fanout-selective rows exist, the selective row
+// must have delivered strictly fewer events; wherever both
+// served-single and served-sharded rows exist, the sharded tier must
+// have produced identical output bytes and delivered identical tokens —
+// sharding must not change results; and wherever both migrate-static
+// and migrate-live rows exist, the query stream that raced a live
+// document migration must match the static topology's output and
+// tokens exactly — migration must be invisible to queries.
 //
 // Usage:
 //
@@ -59,6 +62,10 @@ func main() {
 	}
 	if err := bench.CheckSharded(newSnap); err != nil {
 		fmt.Println("benchdiff: SHARDED INVARIANT VIOLATED:", err)
+		failed = true
+	}
+	if err := bench.CheckMigrate(newSnap); err != nil {
+		fmt.Println("benchdiff: MIGRATE INVARIANT VIOLATED:", err)
 		failed = true
 	}
 	for _, r := range res.Regressions {

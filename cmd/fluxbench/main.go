@@ -36,6 +36,7 @@ func main() {
 		shared      = flag.Bool("shared", true, "add a shared-scan row per size (all queries, one pass)")
 		fanout      = flag.Bool("fanout", true, "add fan-out rows per size (disjoint-path batch, all vs selective event routing)")
 		sharded     = flag.Bool("sharded", true, "add serving-tier rows per size (query set over HTTP: single worker vs fluxrouter with 2 embedded shards)")
+		migrate     = flag.Bool("migrate", true, "add migration-under-load rows per size (fixed query stream with and without a live document migration racing it)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 	cfg.SharedScan = *shared
 	cfg.Fanout = *fanout
 	cfg.Sharded = *sharded
+	cfg.Migrate = *migrate
 
 	// An interrupt abandons the sweep mid-document via the context path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

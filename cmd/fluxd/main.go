@@ -30,6 +30,19 @@
 //	                       Disabled unless fluxd runs with -admin: the
 //	                       endpoint takes server-side file paths, so it
 //	                       belongs on trusted networks only
+//	POST /admin/install?doc=name
+//	                       register a document copy shipped in the body
+//	                       (multipart doc+dtd parts, spooled to disk) —
+//	                       the receiving half of a fluxrouter live
+//	                       migration. -admin gated like /admin/swap
+//	GET  /admin/fetch?doc=name&part=doc|dtd
+//	                       stream a registered document's raw bytes or
+//	                       its DTD text out — the sending half of a
+//	                       migration copy. -admin gated
+//	POST /admin/retire?doc=name
+//	                       unregister a document; in-flight scans finish
+//	                       on their open handle, later requests 404.
+//	                       -admin gated
 //	GET  /stats            the typed flux.ServerStats snapshot:
 //	                       per-document serving counters, compiled-query
 //	                       cache counters, scan admission counters, and

@@ -22,9 +22,10 @@
 //	logs: 1,3        # replicated: router load-balances and fails over
 //
 // Flags: [-addr :8710] [-spawn N -docroot dir | -shards list]
-// [-shard-map file] [-health-interval 2s] [-window 2ms] [-max-batch 16]
-// [-batch-buffer-budget 0] [-max-scans-per-doc 0] [-max-resident-buffer 0]
-// (the serving knobs apply to embedded shards only).
+// [-shard-map file] [-health-interval 2s] [-admin] [-window 2ms]
+// [-max-batch 16] [-batch-buffer-budget 0] [-max-scans-per-doc 0]
+// [-max-resident-buffer 0] (the serving knobs apply to embedded shards
+// only).
 //
 // Endpoints:
 //
@@ -36,9 +37,24 @@
 //	                       documents
 //	GET  /stats            merged statistics: {"rollup": ..., "per_shard":
 //	                       {...}, "missing": [...]} — schema in README
-//	GET  /admin/shards     topology: per shard id, address, liveness,
-//	                       assigned documents, live load, last error
 //	GET  /healthz          the router's own liveness
+//
+// With -admin (the endpoints move documents and reveal deployment
+// detail, so they are opt-in, exactly like fluxd's worker admin):
+//
+//	GET  /admin/shards     topology: current epoch, pending migrations,
+//	                       and per shard id, address, liveness, assigned
+//	                       documents, live load, last error
+//	POST /admin/migrate?doc=X&from=A&to=B
+//	                       live migration: copy the document to shard B,
+//	                       cut routing over at the next topology epoch,
+//	                       drain in-flight queries, retire the copy on
+//	                       shard A — queries never fail and results stay
+//	                       byte-identical throughout. External workers
+//	                       must run fluxd -admin for the copy endpoints.
+//	POST /admin/rebalance  one automatic rebalancing step: migrate the
+//	                       busiest (document, shard) pair's document to
+//	                       the least-loaded shard without a replica
 //
 // Shard failure is absorbed where possible: a worker that cannot be
 // reached before its response starts is marked dead and the query
@@ -70,6 +86,7 @@ func main() {
 		shardsCSV = flag.String("shards", "", "comma-separated base URLs of external shard workers, in shard-id order")
 		mapFile   = flag.String("shard-map", "", "optional placement override file (doc: shard[,shard...] per line)")
 		healthInt = flag.Duration("health-interval", shard.DefaultHealthInterval, "background shard health-probe period")
+		admin     = flag.Bool("admin", false, "expose the mutating /admin/* endpoints (migrate, rebalance, topology); they move documents between shards, so enable only on trusted networks")
 
 		window      = flag.Duration("window", 2*time.Millisecond, "embedded shards: batch window")
 		maxBatch    = flag.Int("max-batch", 16, "embedded shards: maximum queries per shared scan")
@@ -126,6 +143,9 @@ func main() {
 				MaxScansPerDoc:         *maxScansDoc,
 				MaxResidentBufferBytes: *maxResident,
 			},
+			// Embedded workers inherit the router's admin stance: a
+			// migration needs their install/retire/fetch endpoints.
+			Admin: *admin,
 		})
 		if serr != nil {
 			fatal(serr)
@@ -157,12 +177,18 @@ func main() {
 		Map:            m,
 		Shards:         addrs,
 		HealthInterval: *healthInt,
+		Admin:          *admin,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer rt.Close()
-	log.Printf("fluxrouter: routing %d document(s) across %d shard(s) on %s", len(m.Docs()), m.Shards(), *addr)
+	adminNote := "admin disabled"
+	if *admin {
+		adminNote = "admin enabled (migrate/rebalance live)"
+	}
+	log.Printf("fluxrouter: routing %d document(s) across %d shard(s) on %s, epoch %d, %s",
+		len(rt.Topology().View().Docs()), rt.Topology().View().Shards(), *addr, rt.Topology().Epoch(), adminNote)
 	if err := http.ListenAndServe(*addr, rt); err != nil {
 		fatal(err)
 	}

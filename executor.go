@@ -334,11 +334,11 @@ func (e *Executor) runScan(doc string, reqs []*execRequest) {
 	if reqs = dropDead(reqs); len(reqs) == 0 {
 		return
 	}
-	var predicted int64
-	for _, req := range reqs {
-		predicted += req.q.plan.PredictedPeakBytes()
+	charges := make([]ScanCharge, len(reqs))
+	for i, req := range reqs {
+		charges[i] = ScanCharge{Sig: req.q.plan.SigKey(), PredictedBytes: req.q.plan.PredictedPeakBytes()}
 	}
-	release := e.cat.AdmitScan(doc, predicted)
+	release := e.cat.AdmitScanCharges(doc, charges)
 	defer release()
 	// Admission may have queued for a while; callers that died waiting
 	// must not cost a scan.
@@ -399,7 +399,7 @@ func (e *Executor) runScan(doc string, reqs []*execRequest) {
 			// A completed execution calibrates the cost model: the observed
 			// peak against the static prediction (failed or canceled runs
 			// observe a truncated peak and would bias the average low).
-			e.cat.ObservePeak(req.q.plan.PredictedPeakBytes(), r.Stats.PeakBufferBytes)
+			e.cat.ObservePeak(req.q.plan.SigKey(), req.q.plan.PredictedPeakBytes(), r.Stats.PeakBufferBytes)
 		}
 		c.eventsSkipped.Add(r.SkippedEvents)
 		req.done <- execOutcome{

@@ -61,6 +61,17 @@ const (
 	// trailers. CheckSharded gates that sharding changes none of them.
 	ModeServedSingle  Mode = "served-single"
 	ModeServedSharded Mode = "served-sharded"
+	// ModeMigrateStatic and ModeMigrateLive measure live migration under
+	// load: the same fixed query stream against a 2-shard router tier,
+	// once over a static topology (static) and once while the document
+	// migrates between the shards mid-stream (live). Their rows use the
+	// synthetic query name "migrate"; Output/Buffer/Tokens sum the
+	// stream's response bytes and stats trailers. CheckMigrate gates
+	// that the migration run matches the static run byte for byte and
+	// token for token — zero failed queries is implicit, since any
+	// non-200 fails the whole run.
+	ModeMigrateStatic Mode = "migrate-static"
+	ModeMigrateLive   Mode = "migrate-live"
 )
 
 // SharedQueryName is the Row.Query value of ModeShared rows.
@@ -73,6 +84,10 @@ const FanoutQueryName = "fanout"
 // ServedQueryName is the Row.Query value of the HTTP serving-tier rows
 // (ModeServedSingle / ModeServedSharded).
 const ServedQueryName = "served"
+
+// MigrateQueryName is the Row.Query value of the migration-under-load
+// rows (ModeMigrateStatic / ModeMigrateLive).
+const MigrateQueryName = "migrate"
 
 // AllModes lists the standard Figure 4 columns (FluX, Galax stand-in,
 // AnonX stand-in).
@@ -109,6 +124,10 @@ type Config struct {
 	// per size: the sweep's queries over two document registrations,
 	// served over HTTP by one worker versus a router over two shards.
 	Sharded bool
+	// Migrate adds one ModeMigrateStatic and one ModeMigrateLive row
+	// per size: a fixed query stream through a 2-shard router, without
+	// and with a live document migration racing the stream.
+	Migrate bool
 }
 
 // Row is one table cell: a (query, size, mode) measurement.
@@ -222,8 +241,116 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 				}
 			}
 		}
+		if cfg.Migrate {
+			for _, live := range []bool{false, true} {
+				row, err := runMigrate(ctx, workDir, path, sizeMB, docBytes, cfg.Queries, live)
+				if err != nil {
+					return nil, fmt.Errorf("bench: migrate %dMB: %w", sizeMB, err)
+				}
+				rows = append(rows, row)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12s output\n",
+						row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), FormatBytes(row.Output))
+				}
+			}
+		}
 	}
 	return rows, nil
+}
+
+// migrateWaves is how many waves of the query set the migration rows
+// stream; the live row's migration races the middle wave.
+const migrateWaves = 3
+
+// runMigrate measures live migration under load: document "m0" starts
+// on shard 0 of a 2-shard router tier, a fixed stream of migrateWaves
+// waves of the query set runs against it, and in live mode a migration
+// to shard 1 is fired concurrently with the second wave. Every request
+// must succeed; Output/Buffer/Tokens sum all waves' bodies and stats
+// trailers and must match the static run exactly (CheckMigrate gates
+// this in CI) — migration must be invisible to queries.
+func runMigrate(ctx context.Context, workDir, docPath string, sizeMB int, docBytes int64, qnames []string, live bool) (Row, error) {
+	mode := ModeMigrateStatic
+	if live {
+		mode = ModeMigrateLive
+	}
+	row := Row{Query: MigrateQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: mode}
+
+	dtdPath := filepath.Join(workDir, "xmark.dtd")
+	if err := os.WriteFile(dtdPath, []byte(xmark.DTD), 0o644); err != nil {
+		return row, err
+	}
+	m, err := shard.NewMapFromPlacement(map[string][]int{"m0": {0}}, 2)
+	if err != nil {
+		return row, err
+	}
+	workers, err := shard.SpawnEmbedded(m, []shard.DocSpec{{Name: "m0", DocPath: docPath, DTDPath: dtdPath}},
+		shard.EmbeddedOptions{
+			Executor: flux.ExecutorOptions{Window: 2 * time.Millisecond, MaxBatch: len(qnames)},
+			Admin:    true, // migration needs the workers' install/retire/fetch
+		})
+	if err != nil {
+		return row, err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	rt, err := shard.NewRouter(shard.RouterOptions{Map: m, Shards: shard.Addrs(workers), HealthInterval: -1, Admin: true})
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	hs := &http.Server{Handler: rt}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	migDone := make(chan error, 1)
+	start := time.Now()
+	for wave := 0; wave < migrateWaves; wave++ {
+		if live && wave == 1 {
+			// Race the migration against the middle wave. Whatever the
+			// interleaving, totals must match the static run.
+			go func() {
+				_, err := rt.MigrateDoc(ctx, "m0", 0, 1)
+				migDone <- err
+			}()
+		}
+		results := make([]servedResult, len(qnames))
+		var wg sync.WaitGroup
+		for qi, qname := range qnames {
+			wg.Add(1)
+			go func(slot int, queryText string) {
+				defer wg.Done()
+				results[slot] = servedRequest(ctx, base, "m0", queryText)
+			}(qi, xmark.Queries[qname])
+		}
+		wg.Wait()
+		for _, r := range results {
+			if r.err != nil {
+				return row, fmt.Errorf("%s wave %d: %w", mode, wave, r.err)
+			}
+			row.Output += r.output
+			row.Buffer += r.buffer
+			row.Tokens += r.tokens
+		}
+	}
+	if live {
+		if err := <-migDone; err != nil {
+			return row, fmt.Errorf("migration failed: %w", err)
+		}
+		if owners := rt.Topology().View().Owners("m0"); len(owners) != 1 || owners[0] != 1 {
+			return row, fmt.Errorf("migration did not move m0: owners %v", owners)
+		}
+	}
+	row.Elapsed = time.Since(start)
+	return row, nil
 }
 
 // runServed measures the serving tier end to end: the benchmark

@@ -123,6 +123,58 @@ func TestRunAblationMode(t *testing.T) {
 	}
 }
 
+// TestRunMigrateRows: the migration-under-load rows stream the same
+// fixed query set with and without a live migration racing it, satisfy
+// the CheckMigrate invariant (identical output and tokens), and the
+// live run really moves the document.
+func TestRunMigrateRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates documents and spins up HTTP servers")
+	}
+	rows, err := Run(Config{
+		SizesMB: []int{1},
+		Queries: []string{"q1", "q20"},
+		Modes:   []Mode{ModeFluX},
+		Seed:    1,
+		WorkDir: t.TempDir(),
+		Migrate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var static, live *Row
+	for i := range rows {
+		switch rows[i].Mode {
+		case ModeMigrateStatic:
+			static = &rows[i]
+		case ModeMigrateLive:
+			live = &rows[i]
+		}
+	}
+	if static == nil || live == nil {
+		t.Fatalf("missing migrate rows in %+v", rows)
+	}
+	if static.Output == 0 || static.Tokens == 0 {
+		t.Fatalf("static row measured nothing: %+v", *static)
+	}
+	if live.Output != static.Output || live.Tokens != static.Tokens {
+		t.Fatalf("migration changed the stream: static %+v, live %+v", *static, *live)
+	}
+	snapRows := []SnapshotRow{
+		{Query: MigrateQueryName, SizeMB: 1, Mode: ModeMigrateStatic, OutputBytes: static.Output, TokensDelivered: static.Tokens},
+		{Query: MigrateQueryName, SizeMB: 1, Mode: ModeMigrateLive, OutputBytes: live.Output, TokensDelivered: live.Tokens},
+	}
+	if err := CheckMigrate(&Snapshot{Rows: snapRows}); err != nil {
+		t.Fatalf("CheckMigrate on fresh rows: %v", err)
+	}
+	if err := CheckMigrate(&Snapshot{Rows: []SnapshotRow{
+		{Query: MigrateQueryName, SizeMB: 1, Mode: ModeMigrateStatic, OutputBytes: 10, TokensDelivered: 5},
+		{Query: MigrateQueryName, SizeMB: 1, Mode: ModeMigrateLive, OutputBytes: 9, TokensDelivered: 5},
+	}}); err == nil {
+		t.Fatal("CheckMigrate accepted diverging output")
+	}
+}
+
 func TestFormatBytes(t *testing.T) {
 	cases := map[int64]string{
 		0:          "0",

@@ -209,6 +209,45 @@ func CheckSharded(snap *Snapshot) error {
 	return nil
 }
 
+// CheckMigrate verifies the live-migration invariant within one
+// snapshot: wherever both migrate rows exist for a size, the run whose
+// document migrated mid-stream must have produced exactly the static
+// topology's output bytes and delivered exactly its summed tokens —
+// moving a document between shards must be invisible to the query
+// stream. (A dropped or failed query cannot sneak past this check: any
+// non-200 response fails the benchmark run before a row is written.)
+// It returns an error naming the offending size and both values, or nil
+// when the invariant holds (vacuously for snapshots without migrate
+// rows).
+func CheckMigrate(snap *Snapshot) error {
+	static := make(map[int]SnapshotRow)
+	live := make(map[int]SnapshotRow)
+	for _, r := range snap.Rows {
+		if r.Query != MigrateQueryName || r.Skipped {
+			continue
+		}
+		switch r.Mode {
+		case ModeMigrateStatic:
+			static[r.SizeMB] = r
+		case ModeMigrateLive:
+			live[r.SizeMB] = r
+		}
+	}
+	for size, s := range static {
+		l, ok := live[size]
+		if !ok {
+			continue
+		}
+		if l.OutputBytes != s.OutputBytes {
+			return fmt.Errorf("migrate %dMB: live-migration output %d bytes, static topology %d; migration must not change results", size, l.OutputBytes, s.OutputBytes)
+		}
+		if l.TokensDelivered != s.TokensDelivered {
+			return fmt.Errorf("migrate %dMB: live-migration delivered %d tokens, static topology %d; migration must not change scan work", size, l.TokensDelivered, s.TokensDelivered)
+		}
+	}
+	return nil
+}
+
 // bufferSlackBytes ignores absolute buffer growth below this size, so a
 // query that buffered 0 bytes and now buffers a handful (or a generator
 // tweak shifting a small document) does not trip the percentage gate.

@@ -19,7 +19,12 @@ import (
 //
 // A Map is immutable after construction aside from ApplyOverrides,
 // which is meant to run once at startup before the map is shared;
-// concurrent readers need no locking.
+// concurrent readers need no locking. Runtime placement changes happen
+// one level up: a router wraps its map in a Topology and publishes
+// edited copies under new epochs — the consistent-hash guarantee above
+// describes the *initial* placement only, and holds across processes
+// only until a live migration moves a document (migrations are
+// router-local state; see Topology).
 type Map struct {
 	shards int
 	owners map[string][]int // doc -> owning shard ids, ascending
@@ -161,9 +166,30 @@ func (m *Map) Docs() []string {
 }
 
 // Owners returns the shard ids serving doc in ascending order, or nil
-// for an unmapped document. The returned slice is the map's own — do
-// not mutate it.
-func (m *Map) Owners(doc string) []int { return m.owners[doc] }
+// for an unmapped document. The returned slice is a copy; mutating it
+// cannot corrupt the map.
+func (m *Map) Owners(doc string) []int {
+	ids := m.owners[doc]
+	if ids == nil {
+		return nil
+	}
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// clone returns a deep copy of the map — the copy-on-write step behind
+// every Topology epoch, so published snapshots stay immutable while the
+// next epoch is edited.
+func (m *Map) clone() *Map {
+	c := &Map{shards: m.shards, owners: make(map[string][]int, len(m.owners))}
+	for doc, ids := range m.owners {
+		cp := make([]int, len(ids))
+		copy(cp, ids)
+		c.owners[doc] = cp
+	}
+	return c
+}
 
 // DocsFor returns the documents shard id serves, sorted.
 func (m *Map) DocsFor(id int) []string {

@@ -14,9 +14,9 @@ type MergedStats struct {
 	// Rollup aggregates the per-shard snapshots: per-document counters
 	// summed across shards (peak_batch_size is the max, the only
 	// non-additive counter), cache and admission counters summed, and
-	// the calibration factor averaged weighted by each shard's sample
-	// count. For replicated documents the rollup entry is the total
-	// across replicas.
+	// the calibration factors — global and per signature — averaged
+	// weighted by each shard's sample counts. For replicated documents
+	// the rollup entry is the total across replicas.
 	Rollup flux.ServerStats `json:"rollup"`
 	// PerShard holds each reachable shard's own snapshot, keyed by
 	// decimal shard id.
@@ -37,6 +37,8 @@ func Merge(per map[string]flux.ServerStats) MergedStats {
 		PerShard: per,
 	}
 	var factorWeighted float64
+	sigWeighted := make(map[string]float64)
+	sigSamples := make(map[string]int64)
 	keys := make([]string, 0, len(per))
 	for k := range per {
 		keys = append(keys, k)
@@ -58,6 +60,10 @@ func Merge(per map[string]flux.ServerStats) MergedStats {
 		out.Rollup.Admission.Admitted += st.Admission.Admitted
 		out.Rollup.Calibration.Samples += st.Calibration.Samples
 		factorWeighted += st.Calibration.Factor * float64(st.Calibration.Samples)
+		for sig, sc := range st.Calibration.Signatures {
+			sigWeighted[sig] += sc.Factor * float64(sc.Samples)
+			sigSamples[sig] += sc.Samples
+		}
 	}
 	if out.Rollup.Calibration.Samples > 0 {
 		out.Rollup.Calibration.Factor = factorWeighted / float64(out.Rollup.Calibration.Samples)
@@ -65,6 +71,16 @@ func Merge(per map[string]flux.ServerStats) MergedStats {
 		// No shard has calibrated yet; the rollup reports the neutral
 		// factor every shard is still applying.
 		out.Rollup.Calibration.Factor = 1
+	}
+	if len(sigSamples) > 0 {
+		out.Rollup.Calibration.Signatures = make(map[string]flux.SigCalibration, len(sigSamples))
+		for sig, n := range sigSamples {
+			f := 1.0
+			if n > 0 {
+				f = sigWeighted[sig] / float64(n)
+			}
+			out.Rollup.Calibration.Signatures[sig] = flux.SigCalibration{Factor: f, Samples: n}
+		}
 	}
 	return out
 }

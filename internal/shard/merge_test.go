@@ -54,6 +54,38 @@ func TestMergeRollupArithmetic(t *testing.T) {
 	}
 }
 
+// TestMergePerSignatureCalibration: the rollup merges the shards'
+// per-signature calibration tables the same way it merges the global
+// factor — sample-weighted per signature, signatures unknown to a shard
+// simply absent from its contribution.
+func TestMergePerSignatureCalibration(t *testing.T) {
+	per := map[string]flux.ServerStats{
+		"0": {Calibration: flux.CalibrationStats{
+			Factor: 2, Samples: 2,
+			Signatures: map[string]flux.SigCalibration{
+				"shared": {Factor: 2, Samples: 2},
+			},
+		}},
+		"1": {Calibration: flux.CalibrationStats{
+			Factor: 1, Samples: 3,
+			Signatures: map[string]flux.SigCalibration{
+				"shared": {Factor: 1, Samples: 2},
+				"solo":   {Factor: 4, Samples: 1},
+			},
+		}},
+	}
+	got := Merge(per).Rollup.Calibration
+	if s := got.Signatures["shared"]; s.Samples != 4 || math.Abs(s.Factor-1.5) > 1e-9 {
+		t.Errorf("shared = %+v, want samples 4, factor 1.5 (sample-weighted)", s)
+	}
+	if s := got.Signatures["solo"]; s.Samples != 1 || s.Factor != 4 {
+		t.Errorf("solo = %+v, want shard 1's entry verbatim", s)
+	}
+	if len(got.Signatures) != 2 {
+		t.Errorf("rollup signatures = %+v, want exactly 2 entries", got.Signatures)
+	}
+}
+
 // TestMergeEmptyAndUncalibrated: merging nothing (or shards that have
 // not calibrated) yields the neutral factor, not NaN.
 func TestMergeEmptyAndUncalibrated(t *testing.T) {

@@ -1,0 +1,402 @@
+package shard
+
+// Live document migration: the router-driven protocol that moves a
+// document between shards with zero dropped queries and byte-identical
+// results throughout.
+//
+// The protocol, over the Topology state machine:
+//
+//  1. Migrate   — validate and register the move (topology untouched);
+//  2. copy      — stream the document bytes and DTD from the source
+//                 worker (/admin/fetch) into the target
+//                 (/admin/install), which registers the copy into its
+//                 live catalog;
+//  3. Cutover   — publish the next epoch: new queries route to the
+//                 target while queries admitted under earlier epochs
+//                 finish on the source (dual ownership);
+//  4. drain     — wait until the router's per-epoch in-flight counts
+//                 for every pre-cutover epoch reach zero;
+//  5. retire    — unregister the source copy (/admin/retire) and
+//                 Commit.
+//
+// A copy failure aborts before any routing change; a drain that the
+// operator gives up on rolls routing back (Abort) and leaves the target
+// copy installed so a rerun can resume; a retire failure after a clean
+// drain is reported as a warning but does not undo the migration — no
+// query routes to the source copy anymore.
+//
+// The protocol assumes this router is the tier's only query path: the
+// epoch accounting and drain barrier cover the queries *this* process
+// proxies. A second router over the same workers (or clients querying
+// workers directly) is not covered — its traffic can still reach a
+// source copy after the retire. Run one router per tier when using
+// migration, or put the migration-driving router in front of the rest.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// epochTracker counts in-flight proxied queries per topology epoch and
+// lets a migration wait until every query routed under an old epoch has
+// finished — the drain barrier between cutover and source retire.
+type epochTracker struct {
+	mu      sync.Mutex
+	counts  map[int64]int64
+	waiters []*epochWaiter
+}
+
+// epochWaiter is one drain barrier: ch closes once no query is in
+// flight under any epoch <= upTo.
+type epochWaiter struct {
+	upTo int64
+	ch   chan struct{}
+}
+
+// enter counts one query in flight under epoch.
+func (t *epochTracker) enter(epoch int64) {
+	t.mu.Lock()
+	if t.counts == nil {
+		t.counts = make(map[int64]int64)
+	}
+	t.counts[epoch]++
+	t.mu.Unlock()
+}
+
+// exit retires one query from epoch and releases any drain barrier its
+// completion satisfies.
+func (t *epochTracker) exit(epoch int64) {
+	t.mu.Lock()
+	if t.counts[epoch]--; t.counts[epoch] <= 0 {
+		delete(t.counts, epoch)
+	}
+	rest := t.waiters[:0]
+	for _, w := range t.waiters {
+		if t.busyLocked(w.upTo) {
+			rest = append(rest, w)
+			continue
+		}
+		close(w.ch)
+	}
+	t.waiters = rest
+	t.mu.Unlock()
+}
+
+// snapshot returns the current in-flight count per epoch.
+func (t *epochTracker) snapshot() map[int64]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int64]int64, len(t.counts))
+	for e, n := range t.counts {
+		out[e] = n
+	}
+	return out
+}
+
+// busyLocked reports whether any query is in flight under an epoch <=
+// upTo. Caller holds t.mu.
+func (t *epochTracker) busyLocked(upTo int64) bool {
+	for e, n := range t.counts {
+		if e <= upTo && n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// wait blocks until no query is in flight under any epoch <= upTo, or
+// ctx ends. New queries cannot extend the wait: they enter under the
+// current (post-cutover) epoch, which is > upTo.
+func (t *epochTracker) wait(ctx context.Context, upTo int64) error {
+	t.mu.Lock()
+	if !t.busyLocked(upTo) {
+		t.mu.Unlock()
+		return nil
+	}
+	w := &epochWaiter{upTo: upTo, ch: make(chan struct{})}
+	t.waiters = append(t.waiters, w)
+	t.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		for i, other := range t.waiters {
+			if other == w {
+				t.waiters = append(t.waiters[:i], t.waiters[i+1:]...)
+				break
+			}
+		}
+		t.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// MigrateReport is the /admin/migrate response: what a completed
+// migration did.
+type MigrateReport struct {
+	// Doc is the migrated document.
+	Doc string `json:"doc"`
+	// From is the shard that lost its copy.
+	From int `json:"from"`
+	// To is the shard that gained one.
+	To int `json:"to"`
+	// Epoch is the topology epoch published at cutover — the first
+	// epoch under which the document routes to the target.
+	Epoch int64 `json:"epoch"`
+	// Resumed reports that the target already held an unrouted copy
+	// under the name (a previously aborted migration); the stale copy
+	// was retired and replaced with a fresh one — never trusted — so
+	// an intervening hot-swap on the source cannot leak old bytes
+	// through the rerun.
+	Resumed bool `json:"resumed,omitempty"`
+	// Warning reports non-fatal trouble, e.g. a source retire that
+	// failed because the source died after the drain; the migration is
+	// committed regardless.
+	Warning string `json:"warning,omitempty"`
+}
+
+// MigrateDoc moves doc from shard `from` to shard `to` live: copy,
+// cutover, drain, retire, commit — queries keep answering with
+// byte-identical results throughout, because every request routes on a
+// consistent topology view and the source copy outlives every query
+// routed to it. ctx bounds the whole protocol; if it ends mid-drain,
+// routing is rolled back and the installed target copy is left in
+// place — a rerun retires and re-copies it (Resumed) rather than
+// trusting bytes the source may have swapped out from under it.
+func (rt *Router) MigrateDoc(ctx context.Context, doc string, from, to int) (MigrateReport, error) {
+	rep := MigrateReport{Doc: doc, From: from, To: to}
+	mig, err := rt.topo.Migrate(doc, from, to)
+	if err != nil {
+		return rep, err
+	}
+	src, dst := rt.backends[from], rt.backends[to]
+	copyFail := func(err error) (MigrateReport, error) {
+		rt.topo.Abort(mig)
+		return rep, fmt.Errorf("%w: copying %q from shard %d to %d: %v", errMigrateCopy, doc, from, to, err)
+	}
+	if err := copyDoc(ctx, doc, src.client, dst.client); err != nil {
+		if !errors.Is(err, ErrAlreadyInstalled) {
+			return copyFail(err)
+		}
+		// The target holds a copy under the name already — a previously
+		// aborted migration left it behind (the topology guarantees the
+		// target is not a routing owner, so nothing routes to it now).
+		// It cannot be trusted: the source may have been hot-swapped
+		// since. Retire it and copy fresh — but first drain every epoch
+		// before the current one, because queries admitted during the
+		// aborted drain window may still be queued on the target and
+		// would 404 if the copy vanished under them.
+		rep.Resumed = true
+		if err := rt.inflight.wait(ctx, rt.topo.Epoch()-1); err != nil {
+			return copyFail(fmt.Errorf("draining before replacing stale target copy: %v", err))
+		}
+		if err := dst.client.Retire(ctx, doc); err != nil {
+			return copyFail(fmt.Errorf("replacing stale target copy: %v", err))
+		}
+		if err := copyDoc(ctx, doc, src.client, dst.client); err != nil {
+			return copyFail(err)
+		}
+	}
+	drainUpTo, err := rt.topo.Cutover(mig)
+	if err != nil {
+		rt.topo.Abort(mig)
+		return rep, err
+	}
+	// Our own cutover epoch, not the global current one — a concurrent
+	// migration of another document may already have published further
+	// epochs.
+	rep.Epoch = drainUpTo + 1
+	if err := rt.inflight.wait(ctx, drainUpTo); err != nil {
+		// The operator gave up mid-drain. Flip routing back; the target
+		// copy stays installed, so rerunning the migration resumes
+		// instead of re-copying.
+		rt.topo.Abort(mig)
+		return rep, fmt.Errorf("draining epochs <= %d: %w (routing rolled back, target copy left installed)", drainUpTo, err)
+	}
+	if err := src.client.Retire(ctx, doc); err != nil {
+		// The drain passed: nothing routes to the source copy and no
+		// routed query is in flight there. A retire failure — typically
+		// a source that died mid-migration — must not undo the move.
+		rep.Warning = fmt.Sprintf("source retire failed: %v (unrouted copy may remain on shard %d)", err, from)
+	}
+	if err := rt.topo.Commit(mig); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// copyDoc streams a document and its DTD from the source worker into
+// the target worker's catalog, never materializing the document in
+// router memory.
+func copyDoc(ctx context.Context, doc string, src, dst *Client) error {
+	docBody, err := src.Fetch(ctx, doc, "doc")
+	if err != nil {
+		return err
+	}
+	defer docBody.Close()
+	dtdBody, err := src.Fetch(ctx, doc, "dtd")
+	if err != nil {
+		return err
+	}
+	defer dtdBody.Close()
+	return dst.Install(ctx, doc, docBody, dtdBody)
+}
+
+// handleMigrate serves POST /admin/migrate?doc=X&from=A&to=B: the
+// operator entry point to MigrateDoc. Validation problems answer 400
+// (409 for a document already migrating); copy/drain failures answer
+// 502 with the protocol step in the message.
+func (rt *Router) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /admin/migrate?doc=name&from=A&to=B", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := r.URL.Query().Get("doc")
+	from, errF := strconv.Atoi(r.URL.Query().Get("from"))
+	to, errT := strconv.Atoi(r.URL.Query().Get("to"))
+	if doc == "" || errF != nil || errT != nil {
+		http.Error(w, "doc, from and to parameters are required (from/to are shard ids)", http.StatusBadRequest)
+		return
+	}
+	rep, err := rt.MigrateDoc(r.Context(), doc, from, to)
+	if err != nil {
+		http.Error(w, err.Error(), migrateErrStatus(err, rep))
+		return
+	}
+	writeJSON(w, rep)
+}
+
+// migrateErrStatus maps a MigrateDoc failure to its HTTP status: 409
+// for a document already migrating, 502 when a worker failed (copy) or
+// the drain never finished — problems upstream of the router — and 400
+// for request validation (unknown doc, bad shard ids).
+func migrateErrStatus(err error, rep MigrateReport) int {
+	switch {
+	case errors.Is(err, ErrMigrationPending):
+		return http.StatusConflict
+	case errors.Is(err, errMigrateCopy) || rep.Epoch != 0:
+		return http.StatusBadGateway
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errMigrateCopy marks a migration that failed while copying the
+// document to the target — an upstream worker problem, not a bad
+// request.
+var errMigrateCopy = errors.New("shard: migration copy failed")
+
+// RebalanceReport is the /admin/rebalance response: what
+// MigrateForBalance decided and, when it moved a document, the
+// migration's report.
+type RebalanceReport struct {
+	// Moved reports whether a migration ran.
+	Moved bool `json:"moved"`
+	// Reason explains a no-op (nothing busy, no eligible target, ...).
+	Reason string `json:"reason,omitempty"`
+	// Doc is the chosen document.
+	Doc string `json:"doc,omitempty"`
+	// From is the shard the document was busiest on. Not omitempty:
+	// shard 0 is a legitimate value, and Moved already marks no-ops.
+	From int `json:"from"`
+	// To is the chosen target shard.
+	To int `json:"to"`
+	// Queries is the cumulative query count that made the (doc, shard)
+	// pair the busiest.
+	Queries int64 `json:"queries,omitempty"`
+	// Migration is the executed migration's report when Moved.
+	Migration *MigrateReport `json:"migration,omitempty"`
+}
+
+// MigrateForBalance is the tier's first automatic rebalancing knob: it
+// merges the live workers' /stats, picks the busiest (document, shard)
+// pair by cumulative served queries, and migrates that document to the
+// least-loaded live shard that does not already own a replica. One call
+// moves at most one document; an operator (or a cron) calls it
+// repeatedly to chase hot spots. It reports a no-op when nothing has
+// served queries yet or every live shard already owns the busy
+// document.
+func (rt *Router) MigrateForBalance(ctx context.Context) (RebalanceReport, error) {
+	// Bound the stats fan-out like every other collectStats caller: one
+	// wedged worker must not hang the rebalance endpoint forever.
+	statsCtx, cancel := context.WithTimeout(ctx, probeTimeout)
+	per, _ := rt.collectStats(statsCtx)
+	cancel()
+	view := rt.topo.View()
+
+	var rep RebalanceReport
+	var busyQueries int64
+	for idStr, st := range per {
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			continue
+		}
+		for doc, d := range st.Docs {
+			// Only placements the current epoch still routes count: a
+			// worker's counters outlive a document it already handed off.
+			if !containsInt(view.Owners(doc), id) {
+				continue
+			}
+			if d.Queries > busyQueries {
+				busyQueries = d.Queries
+				rep.Doc, rep.From, rep.Queries = doc, id, d.Queries
+			}
+		}
+	}
+	if busyQueries == 0 {
+		rep.Reason = "no (document, shard) pair has served queries yet"
+		return rep, nil
+	}
+
+	owners := view.Owners(rep.Doc)
+	target := -1
+	var targetScore int64
+	for _, b := range rt.backends {
+		if !b.alive.Load() || containsInt(owners, b.id) {
+			continue
+		}
+		score := b.load.Load() + b.inflight.Load()
+		if target < 0 || score < targetScore {
+			target, targetScore = b.id, score
+		}
+	}
+	if target < 0 {
+		rep.Reason = fmt.Sprintf("no live shard without a replica of %q", rep.Doc)
+		return rep, nil
+	}
+	rep.To = target
+	mig, err := rt.MigrateDoc(ctx, rep.Doc, rep.From, rep.To)
+	if err != nil {
+		// Keep the partial migration report: it carries how far the
+		// protocol got, which classifies the failure for callers.
+		rep.Migration = &mig
+		return rep, err
+	}
+	rep.Moved = true
+	rep.Migration = &mig
+	return rep, nil
+}
+
+// handleRebalance serves POST /admin/rebalance: one MigrateForBalance
+// step.
+func (rt *Router) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /admin/rebalance", http.StatusMethodNotAllowed)
+		return
+	}
+	rep, err := rt.MigrateForBalance(r.Context())
+	if err != nil {
+		var mrep MigrateReport
+		if rep.Migration != nil {
+			mrep = *rep.Migration
+		}
+		http.Error(w, err.Error(), migrateErrStatus(err, mrep))
+		return
+	}
+	writeJSON(w, rep)
+}

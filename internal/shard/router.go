@@ -8,17 +8,24 @@
 //   - Map assigns each document to one or more shards — consistent
 //     hash of the name by default, operator overrides (including
 //     replication) via a shard-map file;
+//   - Topology versions the map: epoch-stamped, copy-on-write placement
+//     snapshots advanced by the Migrate/Cutover/Commit/Abort protocol,
+//     so a document can move between shards while queries keep routing
+//     on consistent views;
 //   - Server is one worker's HTTP surface (the same veneer cmd/fluxd
 //     serves standalone), extended with a /shardz identity endpoint so
-//     a router can verify topology;
+//     a router can verify topology, and — admin-gated — the
+//     install/retire/fetch endpoints live migration rides on;
 //   - Client is the typed HTTP client for one worker;
 //   - Merge aggregates per-shard flux.ServerStats snapshots into a
 //     cross-shard rollup with per-shard breakdowns;
 //   - Router is the fluxrouter core: it serves the fluxd surface,
 //     proxies each /query to the least-loaded live owner (streaming the
 //     response through, trailers included), retries idempotent reads on
-//     a dead shard, health-checks workers in the background, and
-//     exposes /admin/shards for topology inspection;
+//     a dead shard, health-checks workers in the background, and — when
+//     its admin surface is enabled — drives live migrations
+//     (/admin/migrate, /admin/rebalance) and reports topology
+//     (/admin/shards);
 //   - SpawnEmbedded runs N in-process workers on loopback ports, which
 //     makes single-machine multi-shard serving (fluxrouter -spawn) and
 //     integration tests trivial.
@@ -55,10 +62,22 @@ import (
 // idempotent — while a failure after response bytes have streamed
 // aborts the client connection, exactly like fluxd's own mid-stream
 // failures.
+//
+// Placement is versioned: every request routes on one immutable
+// Topology view, each proxied query is counted against the epoch it
+// routed under, and the live-migration protocol (MigrateDoc) uses those
+// per-epoch counts as its drain barrier — the source copy of a moved
+// document is only retired once no query routed under a pre-cutover
+// epoch is still in flight.
 type Router struct {
-	m        *Map
+	topo     *Topology
 	backends []*backend
 	routes   *http.ServeMux
+	admin    bool
+
+	// inflight counts the proxied queries per topology epoch — the
+	// migration drain barrier.
+	inflight epochTracker
 
 	// defaultDoc mirrors the fluxd rule: /query without ?doc= works
 	// when exactly one document is mapped.
@@ -71,7 +90,9 @@ type Router struct {
 
 // RouterOptions configures a Router.
 type RouterOptions struct {
-	// Map assigns documents to shards; required.
+	// Map assigns documents to shards; required. The router owns it
+	// afterwards (it becomes epoch 1 of the router's topology) — apply
+	// overrides before, not after.
 	Map *Map
 	// Shards are the worker base URLs indexed by shard id; the length
 	// must equal Map.Shards().
@@ -83,6 +104,12 @@ type RouterOptions struct {
 	// DefaultHealthInterval, negative disables background probing
 	// (probes then happen only via proxy failures).
 	HealthInterval time.Duration
+	// Admin exposes the mutating /admin/* endpoints (migrate,
+	// rebalance) and the /admin/shards topology report; without it
+	// every /admin/* request answers 403, exactly like a fluxd running
+	// without -admin. Migration additionally needs the workers' own
+	// admin surfaces enabled.
+	Admin bool
 }
 
 // DefaultHealthInterval is the background health-probe period when
@@ -128,8 +155,9 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 		hc = &http.Client{}
 	}
 	rt := &Router{
-		m:      opt.Map,
+		topo:   NewTopology(opt.Map),
 		routes: http.NewServeMux(),
+		admin:  opt.Admin,
 		stop:   make(chan struct{}),
 	}
 	for i, addr := range opt.Shards {
@@ -144,7 +172,13 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 	rt.routes.HandleFunc("/docs", rt.handleDocs)
 	rt.routes.HandleFunc("/stats", rt.handleStats)
 	rt.routes.HandleFunc("/healthz", rt.handleHealthz)
-	rt.routes.HandleFunc("/admin/shards", rt.handleShards)
+	if opt.Admin {
+		rt.routes.HandleFunc("/admin/shards", rt.handleShards)
+		rt.routes.HandleFunc("/admin/migrate", rt.handleMigrate)
+		rt.routes.HandleFunc("/admin/rebalance", rt.handleRebalance)
+	} else {
+		rt.routes.HandleFunc("/admin/", rt.handleAdminDisabled)
+	}
 
 	rt.probeAll()
 	interval := opt.HealthInterval
@@ -224,14 +258,18 @@ func (rt *Router) probe(b *backend) {
 	b.alive.Store(true)
 }
 
-// candidates orders a document's owners for a proxy attempt: live
-// workers before dead ones (a dead worker is still tried last — the
-// read is idempotent and the worker may have just recovered), less
-// loaded before more (the worker-reported admission load plus the
-// queries this router currently has in flight there), id as the tie
-// break.
-func (rt *Router) candidates(doc string) []*backend {
-	owners := rt.m.Owners(doc)
+// Topology returns the router's versioned placement table, for
+// inspection and direct protocol driving in tests.
+func (rt *Router) Topology() *Topology { return rt.topo }
+
+// candidates orders a document's owners under one topology view for a
+// proxy attempt: live workers before dead ones (a dead worker is still
+// tried last — the read is idempotent and the worker may have just
+// recovered), less loaded before more (the worker-reported admission
+// load plus the queries this router currently has in flight there), id
+// as the tie break.
+func (rt *Router) candidates(view *View, doc string) []*backend {
+	owners := view.Owners(doc)
 	cands := make([]*backend, 0, len(owners))
 	for _, id := range owners {
 		cands = append(cands, rt.backends[id])
@@ -261,17 +299,38 @@ func (rt *Router) candidates(doc string) []*backend {
 // Transport failures before a response commits are retried on the next
 // replica; once response bytes are streaming, a failure aborts the
 // connection (the truncation must be visible at the transport).
+//
+// The whole request routes on one topology view taken here, and is
+// counted in flight against that view's epoch until the response has
+// finished streaming — the accounting a migration's drain barrier waits
+// on before retiring a source copy.
 func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST the query text to /query", http.StatusMethodNotAllowed)
 		return
 	}
-	doc, err := resolveDoc(r, rt.defaultDoc)
+	doc, err := resolveDoc(r, func() string { return rt.defaultDoc })
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	cands := rt.candidates(doc)
+	// Load-then-enter must not race a concurrent cutover: if the epoch
+	// advanced between taking the view and counting ourselves against
+	// it, a drain barrier could have passed without seeing this request
+	// and retired a source copy we are about to route to. Re-checking
+	// the view after enter closes the window — either we still hold the
+	// current epoch, or we retry on the new one.
+	var view *View
+	for {
+		view = rt.topo.View()
+		rt.inflight.enter(view.Epoch())
+		if rt.topo.View() == view {
+			break
+		}
+		rt.inflight.exit(view.Epoch())
+	}
+	defer rt.inflight.exit(view.Epoch())
+	cands := rt.candidates(view, doc)
 	if len(cands) == 0 {
 		http.Error(w, fmt.Sprintf("unknown document %q (see /docs)", doc), http.StatusNotFound)
 		return
@@ -399,11 +458,12 @@ func (rt *Router) handleDocs(w http.ResponseWriter, r *http.Request) {
 		}(i, b)
 	}
 	wg.Wait()
+	view := rt.topo.View()
 	seen := make(map[string]bool)
 	var out []flux.DocInfo
 	for _, infos := range perShard {
 		for _, info := range infos {
-			if rt.m.Owners(info.Name) == nil || seen[info.Name] {
+			if view.Owners(info.Name) == nil || seen[info.Name] {
 				continue
 			}
 			seen[info.Name] = true
@@ -421,8 +481,17 @@ func (rt *Router) handleDocs(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), probeTimeout)
 	defer cancel()
-	per := make(map[string]flux.ServerStats)
-	var missing []string
+	per, missing := rt.collectStats(ctx)
+	merged := Merge(per)
+	merged.Missing = missing
+	writeJSON(w, merged)
+}
+
+// collectStats fetches every worker's /stats snapshot concurrently,
+// returning the reachable snapshots keyed by decimal shard id and the
+// sorted ids of the unreachable workers.
+func (rt *Router) collectStats(ctx context.Context) (per map[string]flux.ServerStats, missing []string) {
+	per = make(map[string]flux.ServerStats)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, b := range rt.backends {
@@ -440,10 +509,8 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		}(b)
 	}
 	wg.Wait()
-	merged := Merge(per)
 	sort.Strings(missing)
-	merged.Missing = missing
-	writeJSON(w, merged)
+	return per, missing
 }
 
 // ShardStatus is one worker's row in the /admin/shards topology report.
@@ -468,16 +535,39 @@ type ShardStatus struct {
 	LastError string `json:"last_error,omitempty"`
 }
 
-// handleShards reports the router's topology view: one ShardStatus per
-// worker. Read-only, so it is served without an -admin gate.
+// TopologyStatus is the /admin/shards payload: the current placement
+// epoch, the migrations in progress, and one ShardStatus per worker.
+type TopologyStatus struct {
+	// Epoch is the current topology epoch; it advances by one per
+	// published placement change (migration cutovers and rollbacks).
+	Epoch int64 `json:"epoch"`
+	// Pending lists the in-progress migrations, sorted by document.
+	Pending []MigrationStatus `json:"pending_migrations,omitempty"`
+	// InflightByEpoch counts the queries currently in flight per
+	// topology epoch (keys are decimal epochs). Entries under old epochs
+	// are what a pending migration's drain barrier is waiting on.
+	InflightByEpoch map[string]int64 `json:"inflight_by_epoch,omitempty"`
+	// Shards holds one row per worker, in shard-id order.
+	Shards []ShardStatus `json:"shards"`
+}
+
+// handleShards reports the router's topology view: epoch, pending
+// migrations, and one ShardStatus per worker.
 func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
-	out := make([]ShardStatus, 0, len(rt.backends))
+	view := rt.topo.View()
+	out := TopologyStatus{Epoch: view.Epoch(), Pending: rt.topo.Pending()}
+	if counts := rt.inflight.snapshot(); len(counts) > 0 {
+		out.InflightByEpoch = make(map[string]int64, len(counts))
+		for e, n := range counts {
+			out.InflightByEpoch[strconv.FormatInt(e, 10)] = n
+		}
+	}
 	for _, b := range rt.backends {
-		out = append(out, ShardStatus{
+		out.Shards = append(out.Shards, ShardStatus{
 			ID:        b.id,
 			Addr:      b.addr,
 			Alive:     b.alive.Load(),
-			Docs:      rt.m.DocsFor(b.id),
+			Docs:      view.DocsFor(b.id),
 			Inflight:  b.inflight.Load(),
 			Load:      b.load.Load(),
 			LastCheck: time.Unix(0, b.lastCheck.Load()),
@@ -485,6 +575,13 @@ func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, out)
+}
+
+// handleAdminDisabled answers /admin/* when the router runs without
+// Admin: topology admin moves documents and reveals deployment detail,
+// so it is opt-in exactly like fluxd's worker admin surface.
+func (rt *Router) handleAdminDisabled(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "admin endpoints are disabled; start fluxrouter with -admin to enable topology admin", http.StatusForbidden)
 }
 
 // handleHealthz is the router's own liveness probe; shard liveness is
@@ -516,8 +613,13 @@ type EmbeddedShard struct {
 func (s *EmbeddedShard) Worker() *Server { return s.worker }
 
 // Close shuts the worker's HTTP server down immediately, severing
-// in-flight connections — the "kill -9 a shard" failure mode.
-func (s *EmbeddedShard) Close() error { return s.hs.Close() }
+// in-flight connections — the "kill -9 a shard" failure mode — and
+// deletes any document copies the worker spooled for installs.
+func (s *EmbeddedShard) Close() error {
+	err := s.hs.Close()
+	s.worker.CleanupSpool()
+	return err
+}
 
 // EmbeddedOptions configures the workers SpawnEmbedded builds.
 type EmbeddedOptions struct {

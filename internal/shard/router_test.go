@@ -82,11 +82,12 @@ func spawnTier(t *testing.T, docs map[string]string, n int, overrides string) ([
 	}
 	shards, err := SpawnEmbedded(m, specs, EmbeddedOptions{
 		Executor: flux.ExecutorOptions{Window: time.Millisecond, MaxBatch: 16},
+		Admin:    true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRouter(RouterOptions{Map: m, Shards: Addrs(shards), HealthInterval: 20 * time.Millisecond})
+	rt, err := NewRouter(RouterOptions{Map: m, Shards: Addrs(shards), HealthInterval: 20 * time.Millisecond, Admin: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestRouterMatchesSingleNode(t *testing.T) {
 					t.Errorf("%s q%d: trailer %s missing through the router", doc, qi, tr)
 				}
 			}
-			owner := rt.m.Owners(doc)[0]
+			owner := rt.Topology().View().Owners(doc)[0]
 			if got := gotResp.Header.Get("X-Flux-Shard"); got != strconv.Itoa(owner) {
 				t.Errorf("%s q%d: X-Flux-Shard = %q, want %d", doc, qi, got, owner)
 			}
@@ -294,11 +295,15 @@ func TestRouterReplicaFailover(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var status []ShardStatus
-		err = json.NewDecoder(resp.Body).Decode(&status)
+		var topo TopologyStatus
+		err = json.NewDecoder(resp.Body).Decode(&topo)
 		resp.Body.Close()
 		if err != nil {
 			t.Fatal(err)
+		}
+		status := topo.Shards
+		if topo.Epoch < 1 {
+			t.Fatalf("topology epoch = %d, want >= 1", topo.Epoch)
 		}
 		if len(status) == 2 && !status[0].Alive && status[0].LastError != "" && status[1].Alive {
 			break

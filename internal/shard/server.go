@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"sync"
 
 	"flux"
 )
@@ -19,18 +21,28 @@ import (
 //
 // Endpoints: POST /query?doc=, GET /docs, GET /stats (flux.ServerStats
 // JSON), GET /healthz, GET /shardz (Identity JSON), and — when
-// ServerOptions.Admin is set — POST /admin/swap.
+// ServerOptions.Admin is set — the mutating surface live migration
+// rides on: POST /admin/swap (hot-swap), POST /admin/install (register
+// a shipped document copy), POST /admin/retire (unregister one), GET
+// /admin/fetch (stream a document or its DTD out, the source side of a
+// copy).
 type Server struct {
 	cat    *flux.Catalog
 	ex     *flux.Executor
 	routes *http.ServeMux
 
-	// defaultDoc serves /query without ?doc= when exactly one document
-	// is registered at startup; "" means the parameter is required.
-	defaultDoc string
-
 	id        int
 	advertise string
+
+	// spool is where /admin/install lands shipped document bytes; the
+	// directory is created on the first install and files are deleted
+	// when their document is retired.
+	spool struct {
+		sync.Mutex
+		dir   string
+		seq   int
+		files map[string]string // installed doc -> spooled file path
+	}
 }
 
 // ServerOptions configures the non-library parts of a worker's surface.
@@ -64,13 +76,14 @@ func NewServer(ex *flux.Executor, opt ServerOptions) *Server {
 	if opt.ShardID < 0 {
 		s.id = -1
 	}
-	if docs := s.cat.Docs(); len(docs) == 1 {
-		s.defaultDoc = docs[0]
-	}
+	s.spool.files = make(map[string]string)
 	s.routes.HandleFunc("/query", s.handleQuery)
 	s.routes.HandleFunc("/docs", s.handleDocs)
 	if opt.Admin {
 		s.routes.HandleFunc("/admin/swap", s.handleSwap)
+		s.routes.HandleFunc("/admin/install", s.handleInstall)
+		s.routes.HandleFunc("/admin/retire", s.handleRetire)
+		s.routes.HandleFunc("/admin/fetch", s.handleFetch)
 	} else {
 		s.routes.HandleFunc("/admin/", s.handleAdminDisabled)
 	}
@@ -82,6 +95,17 @@ func NewServer(ex *flux.Executor, opt ServerOptions) *Server {
 
 // Catalog returns the catalog this server serves from.
 func (s *Server) Catalog() *flux.Catalog { return s.cat }
+
+// defaultDoc implements the fluxd rule against the live catalog:
+// /query without ?doc= resolves to the single registered document —
+// re-evaluated per request, because installs and retires change the
+// set at runtime.
+func (s *Server) defaultDoc() string {
+	if docs := s.cat.Docs(); len(docs) == 1 {
+		return docs[0]
+	}
+	return ""
+}
 
 // Executor returns the executor behind the /query endpoint.
 func (s *Server) Executor() *flux.Executor { return s.ex }
@@ -130,16 +154,19 @@ func ReadQueryBody(r *http.Request) (body []byte, status int, err error) {
 }
 
 // resolveDoc picks the target document for a request: the explicit
-// ?doc= parameter, else defaultDoc when exactly one document is
-// registered. The worker and the router share this rule (and its error
-// text) so the two surfaces cannot drift apart.
-func resolveDoc(r *http.Request, defaultDoc string) (string, error) {
+// ?doc= parameter, else defaultDoc() when exactly one document is
+// registered. The default is a func so callers that compute it from
+// live state (the worker's catalog changes under installs and retires)
+// only pay for it when ?doc= is absent. The worker and the router share
+// this rule (and its error text) so the two surfaces cannot drift
+// apart.
+func resolveDoc(r *http.Request, defaultDoc func() string) (string, error) {
 	doc := r.URL.Query().Get("doc")
 	if doc != "" {
 		return doc, nil
 	}
-	if defaultDoc != "" {
-		return defaultDoc, nil
+	if d := defaultDoc(); d != "" {
+		return d, nil
 	}
 	return "", fmt.Errorf("multiple documents are registered; pick one with ?doc= (see /docs)")
 }
@@ -249,11 +276,242 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, info)
 }
 
+// maxDTDBytes bounds the DTD part of an /admin/install payload; DTDs
+// are schemas, not documents.
+const maxDTDBytes = 4 << 20
+
+// handleInstall registers a document copy shipped in the request body —
+// the receiving half of a live migration. The payload is
+// multipart/form-data with a "doc" file part (the XML bytes, spooled to
+// this worker's disk) and a "dtd" file part (the schema text). The
+// document joins the catalog under ?doc= exactly as if it had been
+// served since startup; installing a name that already exists answers
+// 409, which tells a retried migration there is a leftover copy to
+// retire and replace.
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST multipart doc+dtd to /admin/install?doc=name", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := r.URL.Query().Get("doc")
+	if doc == "" {
+		http.Error(w, "the doc parameter is required", http.StatusBadRequest)
+		return
+	}
+	mr, err := r.MultipartReader()
+	if err != nil {
+		http.Error(w, "install wants multipart/form-data: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var docPath, dtdText string
+	var haveDTD, installed bool
+	// Every failure after the doc part has been spooled must reclaim
+	// the file, or interrupted installs would accumulate orphans in the
+	// spool until the disk fills.
+	defer func() {
+		if !installed && docPath != "" {
+			os.Remove(docPath)
+		}
+	}()
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, "reading install payload: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch part.FormName() {
+		case "doc":
+			if docPath != "" {
+				// A second doc part would orphan the first spool file
+				// (the cleanup defer only knows one path) — reject it.
+				http.Error(w, "duplicate doc part", http.StatusBadRequest)
+				return
+			}
+			docPath, err = s.spoolDoc(part)
+			if err != nil {
+				http.Error(w, "spooling document: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+		case "dtd":
+			if haveDTD {
+				http.Error(w, "duplicate dtd part", http.StatusBadRequest)
+				return
+			}
+			data, err := io.ReadAll(io.LimitReader(part, maxDTDBytes+1))
+			if err != nil {
+				http.Error(w, "reading dtd part: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if len(data) > maxDTDBytes {
+				http.Error(w, fmt.Sprintf("dtd part exceeds the %d byte limit", maxDTDBytes), http.StatusRequestEntityTooLarge)
+				return
+			}
+			dtdText, haveDTD = string(data), true
+		}
+	}
+	if docPath == "" || !haveDTD {
+		http.Error(w, "install needs both a doc and a dtd part", http.StatusBadRequest)
+		return
+	}
+	if err := s.cat.Add(doc, docPath, dtdText); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, flux.ErrDocExists) {
+			status = http.StatusConflict
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	installed = true
+	s.spool.Lock()
+	s.spool.files[doc] = docPath
+	s.spool.Unlock()
+	info, err := s.cat.Info(doc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, info)
+}
+
+// spoolDoc streams an install's document part to a fresh file under the
+// server's spool directory, created on first use.
+func (s *Server) spoolDoc(src io.Reader) (string, error) {
+	s.spool.Lock()
+	if s.spool.dir == "" {
+		dir, err := os.MkdirTemp("", "flux-spool-")
+		if err != nil {
+			s.spool.Unlock()
+			return "", err
+		}
+		s.spool.dir = dir
+	}
+	s.spool.seq++
+	path := fmt.Sprintf("%s/install-%d.xml", s.spool.dir, s.spool.seq)
+	s.spool.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	_, err = io.Copy(f, src)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	return path, nil
+}
+
+// handleRetire unregisters a document — the final step of a migration
+// on the source worker. Scans already holding the file finish on their
+// open handle (the same drain guarantee hot-swap relies on); later
+// requests answer 404. A copy this worker spooled at install time is
+// deleted from disk with it.
+func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST /admin/retire?doc=name", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := r.URL.Query().Get("doc")
+	if doc == "" {
+		http.Error(w, "the doc parameter is required", http.StatusBadRequest)
+		return
+	}
+	if err := s.cat.Remove(doc); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, flux.ErrDocNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.spool.Lock()
+	if path, ok := s.spool.files[doc]; ok {
+		delete(s.spool.files, doc)
+		os.Remove(path)
+	}
+	s.spool.Unlock()
+	writeJSON(w, map[string]string{"retired": doc})
+}
+
+// handleFetch streams a registered document's raw bytes (?part=doc, the
+// default) or its exact DTD text (?part=dtd) — the source half of a
+// migration copy. The document reader is taken through Catalog.Open, so
+// a concurrent swap or retire cannot disturb the stream.
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET /admin/fetch?doc=name&part=doc|dtd", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := r.URL.Query().Get("doc")
+	if doc == "" {
+		http.Error(w, "the doc parameter is required", http.StatusBadRequest)
+		return
+	}
+	switch part := r.URL.Query().Get("part"); part {
+	case "", "doc":
+		f, err := s.cat.Open(doc)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, flux.ErrDocNotFound) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		defer f.Close()
+		// Announce the exact size and abort the connection on a copy
+		// failure: a fetch that breaks mid-stream must never read as a
+		// complete (truncated) document to the installing side — it
+		// would migrate corrupt bytes.
+		fi, err := f.Stat()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		w.Header().Set("Content-Length", fmt.Sprint(fi.Size()))
+		if _, err := io.Copy(w, f); err != nil {
+			panic(http.ErrAbortHandler)
+		}
+	case "dtd":
+		text, err := s.cat.DTD(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Length", fmt.Sprint(len(text)))
+		if _, err := io.WriteString(w, text); err != nil {
+			panic(http.ErrAbortHandler)
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown part %q: want doc or dtd", part), http.StatusBadRequest)
+	}
+}
+
+// CleanupSpool deletes the server's spool directory — every document
+// copy installed and not yet retired. Call it when the worker process
+// is done serving; the catalog entries are not touched.
+func (s *Server) CleanupSpool() {
+	s.spool.Lock()
+	defer s.spool.Unlock()
+	if s.spool.dir != "" {
+		os.RemoveAll(s.spool.dir)
+		s.spool.dir = ""
+		s.spool.files = make(map[string]string)
+	}
+}
+
 // handleAdminDisabled answers /admin/* when the server runs without
 // Admin: the mutating endpoints accept server-side file paths and are
 // opt-in.
 func (s *Server) handleAdminDisabled(w http.ResponseWriter, r *http.Request) {
-	http.Error(w, "admin endpoints are disabled; start fluxd with -admin to enable hot-swap", http.StatusForbidden)
+	http.Error(w, "admin endpoints are disabled; start fluxd with -admin to enable hot-swap and migration", http.StatusForbidden)
 }
 
 // handleHealthz is the liveness probe.

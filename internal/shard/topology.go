@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Topology is the versioned placement table of the sharded tier: an
+// epoch-stamped sequence of immutable Map snapshots, advanced copy-on-
+// write by live document migrations. Readers (the router's query path)
+// call View once per request and route on a consistent snapshot without
+// locking; writers (the migration protocol) clone the current map, edit
+// the clone, and publish it under the next epoch.
+//
+// A migration walks a small state machine, one Topology transition per
+// step of the tier-level protocol:
+//
+//	Migrate(doc, from, to)  validate and register the migration; the
+//	                        document is being copied to the target, and
+//	                        routing is untouched ("copying")
+//	Cutover(mig)            publish epoch N+1 where doc routes to the
+//	                        target instead of the source; queries
+//	                        admitted under epochs <= N may still be
+//	                        scanning the source copy ("draining")
+//	Commit(mig)             the drain barrier has passed and the source
+//	                        copy is retired; the migration is done
+//	Abort(mig)              roll back: when already cut over, publish a
+//	                        further epoch restoring the source; either
+//	                        way the migration is forgotten
+//
+// Only one migration per document may be pending at a time; migrations
+// of distinct documents may proceed concurrently.
+type Topology struct {
+	mu      sync.Mutex
+	view    atomic.Pointer[View]
+	pending map[string]*Migration
+}
+
+// View is one immutable epoch of the placement table. All read methods
+// delegate to the epoch's Map snapshot; the snapshot never changes after
+// publication, so a View taken at the top of a request stays internally
+// consistent for the request's whole lifetime.
+type View struct {
+	epoch int64
+	m     *Map
+}
+
+// Epoch returns the view's epoch number. Epochs start at 1 and increase
+// by one per published placement change.
+func (v *View) Epoch() int64 { return v.epoch }
+
+// Shards returns the shard count.
+func (v *View) Shards() int { return v.m.Shards() }
+
+// Docs returns every mapped document name, sorted.
+func (v *View) Docs() []string { return v.m.Docs() }
+
+// Owners returns the shard ids doc routes to under this epoch.
+func (v *View) Owners(doc string) []int { return v.m.Owners(doc) }
+
+// DocsFor returns the documents shard id serves under this epoch.
+func (v *View) DocsFor(id int) []string { return v.m.DocsFor(id) }
+
+// Migration is one pending document move. It is created by Migrate and
+// retired by Commit or Abort; the exported fields are fixed at creation.
+type Migration struct {
+	// Doc is the document being moved.
+	Doc string
+	// From is the shard losing its copy, To the shard gaining one.
+	From, To int
+
+	state      migState
+	startEpoch int64 // epoch current when the migration began
+	drainEpoch int64 // epoch whose in-flight queries must drain; 0 until cutover
+}
+
+// migState is a Migration's position in the protocol.
+type migState int
+
+const (
+	migCopying  migState = iota // document copying to the target; routing untouched
+	migDraining                 // routing flipped; old-epoch queries finishing on the source
+	migDone                     // committed or aborted
+)
+
+// String renders the state the way /admin/shards reports it.
+func (s migState) String() string {
+	switch s {
+	case migCopying:
+		return "copying"
+	case migDraining:
+		return "draining"
+	default:
+		return "done"
+	}
+}
+
+// ErrMigrationPending is returned by Migrate when the document already
+// has a migration in progress; only one move per document may be
+// pending at a time.
+var ErrMigrationPending = fmt.Errorf("shard: migration already pending")
+
+// NewTopology wraps an initial placement map as epoch 1. The map must
+// not be mutated by the caller afterwards (ApplyOverrides before, not
+// after, handing it over).
+func NewTopology(m *Map) *Topology {
+	t := &Topology{pending: make(map[string]*Migration)}
+	t.view.Store(&View{epoch: 1, m: m})
+	return t
+}
+
+// View returns the current placement snapshot. The result is immutable;
+// take it once per request and route every decision of that request on
+// it.
+func (t *Topology) View() *View { return t.view.Load() }
+
+// Epoch returns the current epoch.
+func (t *Topology) Epoch() int64 { return t.View().epoch }
+
+// publish installs owners as the next epoch. Caller holds t.mu.
+func (t *Topology) publish(m *Map) *View {
+	v := &View{epoch: t.view.Load().epoch + 1, m: m}
+	t.view.Store(v)
+	return v
+}
+
+// Migrate validates and registers a move of doc from shard `from` to
+// shard `to`. Routing is not changed yet — the document is only being
+// copied — so a failure between here and Cutover needs no routing
+// rollback. It fails when the document is unknown, from is not an
+// owner, to already is one, either id is out of range, or another
+// migration of the same document is pending.
+func (t *Topology) Migrate(doc string, from, to int) (*Migration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.view.Load()
+	if from < 0 || from >= v.Shards() {
+		return nil, fmt.Errorf("shard: migrate %q: source shard %d out of range [0, %d)", doc, from, v.Shards())
+	}
+	if to < 0 || to >= v.Shards() {
+		return nil, fmt.Errorf("shard: migrate %q: target shard %d out of range [0, %d)", doc, to, v.Shards())
+	}
+	if from == to {
+		return nil, fmt.Errorf("shard: migrate %q: source and target are both shard %d", doc, from)
+	}
+	owners := v.Owners(doc)
+	if owners == nil {
+		return nil, fmt.Errorf("shard: migrate %q: unknown document", doc)
+	}
+	if !containsInt(owners, from) {
+		return nil, fmt.Errorf("shard: migrate %q: shard %d is not an owner (owners %v)", doc, from, owners)
+	}
+	if containsInt(owners, to) {
+		return nil, fmt.Errorf("shard: migrate %q: shard %d already owns a replica", doc, to)
+	}
+	if old, dup := t.pending[doc]; dup {
+		return nil, fmt.Errorf("%w: %q is migrating %d->%d (%s)", ErrMigrationPending, doc, old.From, old.To, old.state)
+	}
+	mig := &Migration{Doc: doc, From: from, To: to, state: migCopying, startEpoch: v.epoch}
+	t.pending[doc] = mig
+	return mig, nil
+}
+
+// Cutover publishes the dual-ownership drain epoch: from here on new
+// queries for the document route to the target replica set (owners with
+// the source replaced by the target), while queries admitted under
+// earlier epochs may still be scanning the source copy. It returns the
+// epoch whose in-flight queries must drain to zero before the source
+// copy can be retired — every epoch <= the returned value.
+func (t *Topology) Cutover(mig *Migration) (drainBelow int64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.expectState(mig, migCopying); err != nil {
+		return 0, err
+	}
+	old := t.view.Load()
+	next := old.m.clone()
+	next.owners[mig.Doc] = replaceOwner(next.owners[mig.Doc], mig.From, mig.To)
+	t.publish(next)
+	mig.state = migDraining
+	mig.drainEpoch = old.epoch
+	return old.epoch, nil
+}
+
+// Commit retires a drained migration: the source copy is gone, the
+// routing published at Cutover is final, and the document may migrate
+// again.
+func (t *Topology) Commit(mig *Migration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.expectState(mig, migDraining); err != nil {
+		return err
+	}
+	mig.state = migDone
+	delete(t.pending, mig.Doc)
+	return nil
+}
+
+// Abort rolls a migration back from either live state. A migration
+// still copying needs no routing change; one already cut over gets a
+// further epoch restoring the source replica set, so queries that
+// arrived during the drain window keep completing on the target (its
+// copy is intact) while new ones return to the source.
+func (t *Topology) Abort(mig *Migration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if mig.state == migDone {
+		return fmt.Errorf("shard: migration of %q already finished", mig.Doc)
+	}
+	if t.pending[mig.Doc] != mig {
+		return fmt.Errorf("shard: migration of %q is not pending", mig.Doc)
+	}
+	if mig.state == migDraining {
+		next := t.view.Load().m.clone()
+		next.owners[mig.Doc] = replaceOwner(next.owners[mig.Doc], mig.To, mig.From)
+		t.publish(next)
+	}
+	mig.state = migDone
+	delete(t.pending, mig.Doc)
+	return nil
+}
+
+// expectState verifies mig is the document's pending migration in the
+// given state. Caller holds t.mu.
+func (t *Topology) expectState(mig *Migration, want migState) error {
+	if t.pending[mig.Doc] != mig {
+		return fmt.Errorf("shard: migration of %q is not pending", mig.Doc)
+	}
+	if mig.state != want {
+		return fmt.Errorf("shard: migration of %q is %s, want %s", mig.Doc, mig.state, want)
+	}
+	return nil
+}
+
+// MigrationStatus is one pending migration as /admin/shards reports it.
+type MigrationStatus struct {
+	// Doc is the migrating document.
+	Doc string `json:"doc"`
+	// From is the shard losing its copy.
+	From int `json:"from"`
+	// To is the shard gaining one.
+	To int `json:"to"`
+	// State is "copying" (target copy being installed, routing
+	// untouched) or "draining" (routing flipped, old-epoch queries
+	// finishing on the source).
+	State string `json:"state"`
+	// StartEpoch is the epoch current when the migration began.
+	StartEpoch int64 `json:"start_epoch"`
+	// DrainEpoch is the epoch whose in-flight queries gate the source
+	// retire; 0 until cutover.
+	DrainEpoch int64 `json:"drain_epoch,omitempty"`
+}
+
+// Pending reports the in-progress migrations, sorted by document.
+func (t *Topology) Pending() []MigrationStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]MigrationStatus, 0, len(t.pending))
+	for _, mig := range t.pending {
+		out = append(out, MigrationStatus{
+			Doc: mig.Doc, From: mig.From, To: mig.To,
+			State: mig.state.String(), StartEpoch: mig.startEpoch, DrainEpoch: mig.drainEpoch,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+	return out
+}
+
+// replaceOwner swaps one shard id for another in a replica list,
+// keeping it sorted.
+func replaceOwner(ids []int, old, new int) []int {
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id != old {
+			out = append(out, id)
+		}
+	}
+	out = append(out, new)
+	sort.Ints(out)
+	return out
+}
+
+// containsInt reports whether ids contains id.
+func containsInt(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

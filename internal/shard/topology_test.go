@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// topo3 builds a topology over three documents pinned to known shards:
+// alpha on 0, beta on 1, gamma replicated on 0 and 2.
+func topo3(t *testing.T) *Topology {
+	t.Helper()
+	m, err := NewMapFromPlacement(map[string][]int{
+		"alpha": {0},
+		"beta":  {1},
+		"gamma": {0, 2},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTopology(m)
+}
+
+// TestTopologyMigrateProtocol walks the happy path: Migrate leaves
+// routing untouched, Cutover publishes the next epoch routing the
+// document to the target, Commit finalizes. Old views stay frozen.
+func TestTopologyMigrateProtocol(t *testing.T) {
+	topo := topo3(t)
+	v1 := topo.View()
+	if v1.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", v1.Epoch())
+	}
+
+	mig, err := topo.Migrate("alpha", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.View().Owners("alpha"); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("owners changed before cutover: %v", got)
+	}
+	if p := topo.Pending(); len(p) != 1 || p[0].State != "copying" || p[0].Doc != "alpha" {
+		t.Fatalf("pending = %+v, want alpha copying", p)
+	}
+
+	drainUpTo, err := topo.Cutover(mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drainUpTo != 1 {
+		t.Fatalf("drain epoch = %d, want 1", drainUpTo)
+	}
+	v2 := topo.View()
+	if v2.Epoch() != 2 {
+		t.Fatalf("post-cutover epoch = %d, want 2", v2.Epoch())
+	}
+	if got := v2.Owners("alpha"); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("post-cutover owners = %v, want [1]", got)
+	}
+	// The pre-cutover view is immutable — a request that took it keeps
+	// routing to the source.
+	if got := v1.Owners("alpha"); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("old view mutated: %v", got)
+	}
+	if p := topo.Pending(); len(p) != 1 || p[0].State != "draining" || p[0].DrainEpoch != 1 {
+		t.Fatalf("pending = %+v, want alpha draining from epoch 1", p)
+	}
+
+	if err := topo.Commit(mig); err != nil {
+		t.Fatal(err)
+	}
+	if p := topo.Pending(); len(p) != 0 {
+		t.Fatalf("pending after commit = %+v", p)
+	}
+	// The document may migrate again.
+	if _, err := topo.Migrate("alpha", 1, 2); err != nil {
+		t.Fatalf("second migration refused: %v", err)
+	}
+}
+
+// TestTopologyMigrateReplicated: migrating one replica of a replicated
+// document swaps only that replica.
+func TestTopologyMigrateReplicated(t *testing.T) {
+	topo := topo3(t)
+	mig, err := topo.Migrate("gamma", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Cutover(mig); err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.View().Owners("gamma"); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("owners = %v, want [1 2]", got)
+	}
+}
+
+// TestTopologyMigrateValidation: every bad transition is refused with a
+// named reason and leaves the topology untouched.
+func TestTopologyMigrateValidation(t *testing.T) {
+	topo := topo3(t)
+	cases := []struct {
+		name     string
+		doc      string
+		from, to int
+	}{
+		{"unknown doc", "nope", 0, 1},
+		{"not an owner", "alpha", 1, 2},
+		{"already an owner", "gamma", 0, 2},
+		{"source out of range", "alpha", -1, 1},
+		{"target out of range", "alpha", 0, 3},
+		{"self move", "alpha", 0, 0},
+	}
+	for _, tc := range cases {
+		if _, err := topo.Migrate(tc.doc, tc.from, tc.to); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if topo.Epoch() != 1 || len(topo.Pending()) != 0 {
+		t.Fatalf("failed validations mutated the topology: epoch %d, pending %v", topo.Epoch(), topo.Pending())
+	}
+
+	// Only one migration per document at a time.
+	mig, err := topo.Migrate("alpha", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Migrate("alpha", 0, 2); !errors.Is(err, ErrMigrationPending) {
+		t.Fatalf("concurrent migration of one doc: err = %v, want ErrMigrationPending", err)
+	}
+	// Distinct documents may migrate concurrently.
+	if _, err := topo.Migrate("beta", 1, 0); err != nil {
+		t.Fatalf("concurrent migration of another doc refused: %v", err)
+	}
+	_ = mig
+}
+
+// TestTopologyAbort: aborting before cutover changes nothing; aborting
+// mid-drain publishes a rollback epoch restoring the source.
+func TestTopologyAbort(t *testing.T) {
+	topo := topo3(t)
+	mig, err := topo.Migrate("alpha", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Abort(mig); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() != 1 || len(topo.Pending()) != 0 {
+		t.Fatalf("abort before cutover left epoch %d, pending %v", topo.Epoch(), topo.Pending())
+	}
+
+	mig, err = topo.Migrate("alpha", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Cutover(mig); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Abort(mig); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() != 3 {
+		t.Fatalf("rollback epoch = %d, want 3 (cutover then rollback)", topo.Epoch())
+	}
+	if got := topo.View().Owners("alpha"); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("rollback owners = %v, want the source restored", got)
+	}
+	// A finished migration cannot transition again.
+	if err := topo.Abort(mig); err == nil {
+		t.Error("double abort accepted")
+	}
+	if _, err := topo.Cutover(mig); err == nil {
+		t.Error("cutover after abort accepted")
+	}
+	if err := topo.Commit(mig); err == nil {
+		t.Error("commit after abort accepted")
+	}
+}
+
+// TestMapOwnersAliasing: Owners returns a copy — mutating the result
+// must not corrupt the map (the bug this PR fixes: the internal slice
+// used to be returned directly).
+func TestMapOwnersAliasing(t *testing.T) {
+	m, err := NewMapFromPlacement(map[string][]int{"doc": {0, 1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Owners("doc")
+	got[0] = 2
+	if fresh := m.Owners("doc"); !reflect.DeepEqual(fresh, []int{0, 1}) {
+		t.Fatalf("mutating Owners' result corrupted the map: %v", fresh)
+	}
+	// Docs and DocsFor build fresh slices; verify the same property.
+	docs := m.Docs()
+	docs[0] = "mutated"
+	if fresh := m.Docs(); !reflect.DeepEqual(fresh, []string{"doc"}) {
+		t.Fatalf("mutating Docs' result corrupted the map: %v", fresh)
+	}
+	docsFor := m.DocsFor(0)
+	docsFor[0] = "mutated"
+	if fresh := m.DocsFor(0); !reflect.DeepEqual(fresh, []string{"doc"}) {
+		t.Fatalf("mutating DocsFor's result corrupted the map: %v", fresh)
+	}
+}
+
+// TestEpochTrackerDrain: the drain barrier waits for in-flight queries
+// under old epochs, ignores newer epochs, and honors cancellation.
+func TestEpochTrackerDrain(t *testing.T) {
+	var tr epochTracker
+
+	// No in-flight work: drains immediately.
+	if err := tr.wait(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+
+	tr.enter(1)
+	tr.enter(2) // newer epoch; must not block a drain of <= 1
+	done := make(chan error, 1)
+	go func() { done <- tr.wait(context.Background(), 1) }()
+	select {
+	case err := <-done:
+		t.Fatalf("drain returned with epoch-1 work in flight: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	tr.exit(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("drain never released after the last epoch-1 query exited")
+	}
+	tr.exit(2)
+
+	// Cancellation unblocks a stuck drain and deregisters the waiter.
+	tr.enter(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { done <- tr.wait(ctx, 3) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled drain returned %v", err)
+	}
+	tr.exit(3) // must not panic on the removed waiter
+}
+
+// TestEpochTrackerConcurrent hammers the tracker from many goroutines
+// under -race while drains run against a moving frontier.
+func TestEpochTrackerConcurrent(t *testing.T) {
+	var tr epochTracker
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e := int64(1 + (g+i)%4)
+				tr.enter(e)
+				tr.exit(e)
+			}
+		}(g)
+	}
+	for d := 0; d < 4; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			tr.wait(ctx, 2)
+		}()
+	}
+	wg.Wait()
+	if err := tr.wait(context.Background(), 100); err != nil {
+		t.Fatalf("tracker not idle after the storm: %v", err)
+	}
+}
