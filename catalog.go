@@ -625,10 +625,29 @@ func (c *Catalog) AdmissionStats() AdmissionStats {
 // mis-predict in distinct ways — with a process-global EWMA as the
 // fallback for signatures that have not completed a scan yet (and the
 // only average for callers that do not pass a signature).
+//
+// The per-signature table is bounded by maxCalibSignatures with LRU
+// eviction, and idle rows decay toward the global factor (see decay),
+// so an ad-hoc workload — many one-off signatures — neither grows the
+// table without bound nor pins stale corrections against signatures
+// that stopped running long ago.
 type calibration struct {
-	mu     sync.Mutex
-	global calibEntry
-	sigs   map[string]*calibEntry
+	mu      sync.Mutex
+	global  calibEntry
+	sigs    map[string]*sigCalib
+	head    *sigCalib // most recently used signature row
+	tail    *sigCalib // least recently used; the eviction victim
+	tick    int64     // completed-scan counter; the clock decay runs on
+	evicted int64     // signature rows dropped by LRU eviction
+}
+
+// sigCalib is one signature's row in the table: its EWMA plus the
+// recency bookkeeping that lets the table evict and decay it.
+type sigCalib struct {
+	calibEntry
+	sig        string
+	tick       int64 // table tick at the last decay check
+	prev, next *sigCalib
 }
 
 // calibEntry is one EWMA of observed/predicted peak ratios.
@@ -653,13 +672,22 @@ func (e *calibEntry) fold(ratio float64) {
 // newCalibration returns the neutral state: factor 1, no samples, no
 // signatures.
 func newCalibration() *calibration {
-	return &calibration{global: calibEntry{factor: 1}, sigs: make(map[string]*calibEntry)}
+	return &calibration{global: calibEntry{factor: 1}, sigs: make(map[string]*sigCalib)}
 }
 
-// maxCalibSignatures bounds the per-signature table; a workload with
-// more distinct signatures than this calibrates the overflow at the
-// global factor instead of growing the table without bound.
+// maxCalibSignatures bounds the per-signature table. When a new
+// signature arrives at a full table, the least recently used row is
+// evicted — its evidence lives on in the global EWMA, which every
+// observation also feeds — rather than the newcomer being turned away.
 const maxCalibSignatures = 1024
+
+// calibDecayEvery is the decay interval in completed scans: a row not
+// observed or consulted for this many ticks loses half its sample count
+// and its factor moves halfway toward the global factor, per elapsed
+// interval. A row idle long enough to reach zero samples is cold again:
+// adjust falls back to the global factor and the next observation
+// re-seeds it directly.
+const calibDecayEvery = 256
 
 // calibAlpha is the EWMA weight of each new observation: small enough
 // that one outlier scan cannot yank admission around, large enough that
@@ -676,7 +704,8 @@ const (
 )
 
 // observe folds one completed scan's (predicted, observed) peak pair
-// into the signature's EWMA and the global fallback.
+// into the signature's EWMA and the global fallback, creating the
+// signature's row (evicting the LRU row from a full table) as needed.
 func (cl *calibration) observe(sig string, predicted, observed int64) {
 	if predicted <= 0 || observed < 0 {
 		return
@@ -685,17 +714,86 @@ func (cl *calibration) observe(sig string, predicted, observed int64) {
 	ratio = min(max(ratio, calibFactorMin), calibFactorMax)
 	cl.mu.Lock()
 	cl.global.fold(ratio)
+	cl.tick++
 	if sig != "" {
 		e := cl.sigs[sig]
-		if e == nil && len(cl.sigs) < maxCalibSignatures {
-			e = &calibEntry{factor: 1}
+		if e == nil {
+			if len(cl.sigs) >= maxCalibSignatures {
+				cl.evictLRU()
+			}
+			e = &sigCalib{calibEntry: calibEntry{factor: 1}, sig: sig, tick: cl.tick}
 			cl.sigs[sig] = e
+		} else {
+			cl.decay(e)
 		}
-		if e != nil {
-			e.fold(ratio)
-		}
+		e.fold(ratio)
+		cl.moveFront(e)
 	}
 	cl.mu.Unlock()
+}
+
+// evictLRU drops the least recently used signature row. Its evidence is
+// not lost outright: every observation that built it also fed the
+// global EWMA the evictee's future scans will fall back to.
+func (cl *calibration) evictLRU() {
+	victim := cl.tail
+	if victim == nil {
+		return
+	}
+	cl.unlink(victim)
+	delete(cl.sigs, victim.sig)
+	cl.evicted++
+}
+
+// decay ages a row by the decay intervals that elapsed since its last
+// check: per interval, the sample count halves and the factor moves
+// halfway toward the current global factor. Caller holds cl.mu.
+func (cl *calibration) decay(e *sigCalib) {
+	steps := (cl.tick - e.tick) / calibDecayEvery
+	if steps <= 0 {
+		return
+	}
+	e.tick += steps * calibDecayEvery // keep partial-interval progress
+	for ; steps > 0 && e.samples > 0; steps-- {
+		e.samples >>= 1
+		e.factor = (e.factor + cl.global.factor) / 2
+	}
+	if e.samples == 0 {
+		e.factor = 1 // fully cold: the next fold re-seeds it directly
+	}
+}
+
+// moveFront makes e the most recently used row. Caller holds cl.mu.
+func (cl *calibration) moveFront(e *sigCalib) {
+	if cl.head == e {
+		return
+	}
+	cl.unlink(e)
+	e.next = cl.head
+	if cl.head != nil {
+		cl.head.prev = e
+	}
+	cl.head = e
+	if cl.tail == nil {
+		cl.tail = e
+	}
+}
+
+// unlink removes e from the recency list. Caller holds cl.mu.
+func (cl *calibration) unlink(e *sigCalib) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if cl.head == e {
+		cl.head = e.next
+	}
+	if cl.tail == e {
+		cl.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
 }
 
 // adjust scales a prediction by the signature's correction factor,
@@ -709,8 +807,12 @@ func (cl *calibration) adjust(sig string, predicted int64) int64 {
 	}
 	cl.mu.Lock()
 	f, n := cl.global.factor, cl.global.samples
-	if e := cl.sigs[sig]; sig != "" && e != nil && e.samples > 0 {
-		f, n = e.factor, e.samples
+	if e := cl.sigs[sig]; sig != "" && e != nil {
+		cl.decay(e)
+		if e.samples > 0 {
+			f, n = e.factor, e.samples
+		}
+		cl.moveFront(e) // being admitted counts as use
 	}
 	cl.mu.Unlock()
 	if n == 0 {
@@ -724,13 +826,16 @@ func (cl *calibration) adjust(sig string, predicted int64) int64 {
 }
 
 // stats snapshots the calibration state, per-signature table included.
+// Rows are decayed before reporting, so a long-idle signature shows its
+// current (aged) correction rather than the one it last earned.
 func (cl *calibration) stats() CalibrationStats {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	st := CalibrationStats{Factor: cl.global.factor, Samples: cl.global.samples}
+	st := CalibrationStats{Factor: cl.global.factor, Samples: cl.global.samples, Evicted: cl.evicted}
 	if len(cl.sigs) > 0 {
 		st.Signatures = make(map[string]SigCalibration, len(cl.sigs))
 		for sig, e := range cl.sigs {
+			cl.decay(e)
 			st.Signatures[sig] = SigCalibration{Factor: e.factor, Samples: e.samples}
 		}
 	}
@@ -753,6 +858,10 @@ type CalibrationStats struct {
 	// signature key; admission prefers a signature's own factor over the
 	// global one once it has a sample.
 	Signatures map[string]SigCalibration `json:"signatures,omitempty"`
+	// Evicted counts signature rows dropped by LRU eviction since the
+	// catalog was created — nonzero means the workload has run more
+	// distinct plan shapes than the table holds at once.
+	Evicted int64 `json:"evicted,omitempty"`
 }
 
 // SigCalibration is one signature's row in the calibration table.

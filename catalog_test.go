@@ -3,6 +3,7 @@ package flux
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -519,5 +520,112 @@ func TestPerSignatureCalibration(t *testing.T) {
 	defer rel()
 	if got := cat.AdmissionStats().ResidentBufferBytes; got != 2000+500+1700 {
 		t.Fatalf("charged %d bytes, want 4200 (per-signature factors + global fallback)", got)
+	}
+}
+
+// TestCalibrationLRUEviction: the per-signature table holds at most
+// maxCalibSignatures rows and evicts the least recently used one for a
+// newcomer — not the newcomer itself, and not a row kept warm by
+// admission lookups.
+func TestCalibrationLRUEviction(t *testing.T) {
+	cl := newCalibration()
+	for i := 0; i < maxCalibSignatures; i++ {
+		cl.observe(fmt.Sprintf("sig-%d", i), 1000, 2000)
+	}
+	if got := len(cl.sigs); got != maxCalibSignatures {
+		t.Fatalf("table size = %d, want full at %d", got, maxCalibSignatures)
+	}
+
+	// sig-0 is the LRU; an adjust lookup refreshes it, making sig-1 the
+	// victim when a new signature arrives.
+	cl.adjust("sig-0", 1000)
+	cl.observe("fresh", 1000, 2000)
+	st := cl.stats()
+	if got := len(cl.sigs); got != maxCalibSignatures {
+		t.Fatalf("table size after overflow = %d, want still %d", got, maxCalibSignatures)
+	}
+	if st.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", st.Evicted)
+	}
+	if _, ok := st.Signatures["sig-1"]; ok {
+		t.Fatal("sig-1 survived eviction; it was the least recently used row")
+	}
+	for _, keep := range []string{"sig-0", "fresh", "sig-2"} {
+		if _, ok := st.Signatures[keep]; !ok {
+			t.Fatalf("%s was evicted; only the LRU row (sig-1) should be", keep)
+		}
+	}
+
+	// Overflow keeps evicting in recency order: the next newcomer drops
+	// sig-2, and an evicted signature that comes back is a newcomer too.
+	cl.observe("fresh2", 1000, 2000)
+	cl.observe("sig-1", 1000, 2000) // re-admitted, evicting sig-3
+	st = cl.stats()
+	if st.Evicted != 3 {
+		t.Fatalf("evicted = %d, want 3", st.Evicted)
+	}
+	for _, gone := range []string{"sig-2", "sig-3"} {
+		if _, ok := st.Signatures[gone]; ok {
+			t.Fatalf("%s survived; recency order says it should be gone", gone)
+		}
+	}
+	if e, ok := st.Signatures["sig-1"]; !ok || e.Samples != 1 {
+		t.Fatalf("re-admitted sig-1 = %+v, want a fresh single-sample row", e)
+	}
+}
+
+// TestCalibrationDecay: a signature row idle for calibDecayEvery
+// completed scans loses half its evidence and drifts toward the global
+// factor; idle long enough, it goes fully cold and admission falls back
+// to the global factor, un-pinning the stale correction.
+func TestCalibrationDecay(t *testing.T) {
+	cl := newCalibration()
+	// Build a confident hot signature: factor 2, several samples.
+	for i := 0; i < 4; i++ {
+		cl.observe("hot", 1000, 2000)
+	}
+	if e := cl.sigs["hot"]; e.samples != 4 || e.factor != 2 {
+		t.Fatalf("hot row = {factor %v, samples %d}, want {2, 4}", e.factor, e.samples)
+	}
+
+	// A different workload dominates for one decay interval; its scans
+	// run at the predicted peak, dragging the global factor toward 1.
+	for i := 0; i < calibDecayEvery; i++ {
+		cl.observe("other", 1000, 1000)
+	}
+	got := cl.adjust("hot", 1000)
+	e := cl.sigs["hot"]
+	if e.samples != 2 {
+		t.Fatalf("after one idle interval: samples = %d, want halved to 2", e.samples)
+	}
+	if e.factor >= 2 || e.factor <= 1 {
+		t.Fatalf("after one idle interval: factor = %v, want strictly between the global factor and 2", e.factor)
+	}
+	if want := int64(float64(1000)*e.factor + 0.5); got != want {
+		t.Fatalf("adjust used %d, want the decayed factor's %d", got, want)
+	}
+
+	// Two more idle intervals exhaust the remaining samples: the row is
+	// cold, adjust charges the global factor, and the next observation
+	// re-seeds the factor directly instead of folding into stale state.
+	for i := 0; i < 2*calibDecayEvery; i++ {
+		cl.observe("other", 1000, 1000)
+	}
+	if e := cl.sigs["hot"]; true {
+		cl.mu.Lock()
+		cl.decay(e)
+		cold := e.samples == 0 && e.factor == 1
+		cl.mu.Unlock()
+		if !cold {
+			t.Fatalf("after three idle intervals: {factor %v, samples %d}, want cold {1, 0}", e.factor, e.samples)
+		}
+	}
+	globalCharge := cl.adjust("", 1000)
+	if got := cl.adjust("hot", 1000); got != globalCharge {
+		t.Fatalf("cold row charged %d, want the global fallback %d", got, globalCharge)
+	}
+	cl.observe("hot", 1000, 4000)
+	if e := cl.sigs["hot"]; e.factor != 4 || e.samples != 1 {
+		t.Fatalf("re-seeded row = {factor %v, samples %d}, want {4, 1}", e.factor, e.samples)
 	}
 }

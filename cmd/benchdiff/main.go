@@ -5,7 +5,9 @@
 // Each regression is reported with the exact row (query/size/mode), its
 // baseline and observed values, and the allowed maximum.
 //
-// It also enforces three invariants on the fresh snapshot: wherever
+// It also enforces four invariants on the fresh snapshot: on every
+// (query, size) cell measured in both a flux row and a baseline row,
+// flux must be the fastest mode — the paper's headline claim; wherever
 // both fanout-all and fanout-selective rows exist, the selective row
 // must have delivered strictly fewer events; wherever both
 // served-single and served-sharded rows exist, the sharded tier must
@@ -56,6 +58,10 @@ func main() {
 	fmt.Printf("benchdiff: %d rows compared (%s -> %s), machine scale %.2f, threshold %.0f%%\n",
 		res.Compared, *oldPath, *newPath, res.Scale, *pct)
 	failed := false
+	if err := bench.CheckFluxFastest(newSnap); err != nil {
+		fmt.Println("benchdiff: FLUX-FASTEST INVARIANT VIOLATED:", err)
+		failed = true
+	}
 	if err := bench.CheckFanout(newSnap); err != nil {
 		fmt.Println("benchdiff: FANOUT INVARIANT VIOLATED:", err)
 		failed = true

@@ -37,6 +37,7 @@ func main() {
 		fanout      = flag.Bool("fanout", true, "add fan-out rows per size (disjoint-path batch, all vs selective event routing)")
 		sharded     = flag.Bool("sharded", true, "add serving-tier rows per size (query set over HTTP: single worker vs fluxrouter with 2 embedded shards)")
 		migrate     = flag.Bool("migrate", true, "add migration-under-load rows per size (fixed query stream with and without a live document migration racing it)")
+		percentiles = flag.Bool("percentiles", true, "add an open-loop serving-latency row per size (p50/p99 request latency and queries/sec)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 	cfg.Fanout = *fanout
 	cfg.Sharded = *sharded
 	cfg.Migrate = *migrate
+	cfg.Percentiles = *percentiles
 
 	// An interrupt abandons the sweep mid-document via the context path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

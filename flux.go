@@ -255,7 +255,13 @@ func (q *Query) RunContext(ctx context.Context, r io.Reader, w io.Writer, opt Op
 		st, err := dom.RunProjection(q.source, ctxReader(ctx, r), w, saxOpt)
 		return Stats{PeakBufferBytes: st.BufferBytes, OutputBytes: st.OutputBytes}, err
 	default:
-		st, err := engine.RunContext(ctx, q.plan, r, w, saxOpt)
+		// The streaming engine runs signature-routed: subtrees the query's
+		// projected-path signature provably cannot match are skipped in
+		// O(1) instead of streamed through the engine (the scan still
+		// tokenizes them). The interior of a skipped subtree is not
+		// validated against the DTD; ValidateDocument covers full-document
+		// validation.
+		st, err := engine.RunSelectiveContext(ctx, q.plan, r, w, saxOpt)
 		return Stats{PeakBufferBytes: st.PeakBufferBytes, OutputBytes: st.OutputBytes, Tokens: st.Tokens}, err
 	}
 }

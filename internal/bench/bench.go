@@ -50,6 +50,13 @@ const (
 	// shrinks, gated by CheckFanout.
 	ModeFanoutAll       Mode = "fanout-all"
 	ModeFanoutSelective Mode = "fanout-selective"
+	// ModeServedLatency is the open-loop latency measurement of the
+	// serving tier: requests are fired at a fixed arrival rate derived
+	// from a warmup estimate — independent of completions, so queueing
+	// shows up in the tail instead of being hidden by a closed loop —
+	// and the row records p50/p99 request latency and achieved
+	// queries/sec. Its rows use the synthetic query name "served".
+	ModeServedLatency Mode = "served-latency"
 	// ModeServedSingle and ModeServedSharded measure the serving tier
 	// end to end over HTTP: the benchmark document registered under two
 	// names ("x0", "x1") and the full query set executed against both,
@@ -128,6 +135,9 @@ type Config struct {
 	// per size: a fixed query stream through a 2-shard router, without
 	// and with a live document migration racing the stream.
 	Migrate bool
+	// Percentiles adds one ModeServedLatency row per size: open-loop
+	// request latency percentiles against a single embedded worker.
+	Percentiles bool
 }
 
 // Row is one table cell: a (query, size, mode) measurement.
@@ -141,6 +151,12 @@ type Row struct {
 	Output  int64
 	Tokens  int64 // events delivered to queries (fan-out rows)
 	Skipped bool  // baseline skipped at this size
+
+	// Latency percentiles and throughput, set by ModeServedLatency rows
+	// (zero elsewhere).
+	P50 time.Duration
+	P99 time.Duration
+	QPS float64
 }
 
 // Run executes the configured sweep.
@@ -190,17 +206,26 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 					rows = append(rows, row)
 					continue
 				}
-				st, elapsed, err := runOne(ctx, queryText, path, mode)
-				if err != nil {
-					return nil, fmt.Errorf("bench: %s %dMB %s: %w", qname, sizeMB, mode, err)
+				// Min-of-N like the shared-scan row: single-shot per-query
+				// wall times are too noisy to gate the flux-fastest
+				// invariant on (CheckFluxFastest).
+				for rep := 0; rep < fig4Repeats; rep++ {
+					st, elapsed, err := runOne(ctx, queryText, path, mode)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s %dMB %s: %w", qname, sizeMB, mode, err)
+					}
+					if rep == 0 || elapsed < row.Elapsed {
+						row.Elapsed = elapsed
+					}
+					if rep == 0 {
+						row.Buffer = st.PeakBufferBytes
+						row.Output = st.OutputBytes
+					}
 				}
-				row.Elapsed = elapsed
-				row.Buffer = st.PeakBufferBytes
-				row.Output = st.OutputBytes
 				rows = append(rows, row)
 				if cfg.Progress != nil {
 					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-13s %10.2fs %12s buffered\n",
-						qname, sizeMB, mode, elapsed.Seconds(), FormatBytes(st.PeakBufferBytes))
+						qname, sizeMB, mode, row.Elapsed.Seconds(), FormatBytes(row.Buffer))
 				}
 			}
 		}
@@ -239,6 +264,18 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12s output\n",
 						row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), FormatBytes(row.Output))
 				}
+			}
+		}
+		if cfg.Percentiles {
+			row, err := runPercentiles(ctx, workDir, path, sizeMB, docBytes, cfg.Queries)
+			if err != nil {
+				return nil, fmt.Errorf("bench: percentiles %dMB: %w", sizeMB, err)
+			}
+			rows = append(rows, row)
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s p50 %8.2fms p99 %8.2fms %8.1f qps\n",
+					row.Query, sizeMB, row.Mode, float64(row.P50.Microseconds())/1e3,
+					float64(row.P99.Microseconds())/1e3, row.QPS)
 			}
 		}
 		if cfg.Migrate {
@@ -487,11 +524,140 @@ func servedRequest(ctx context.Context, base, doc, queryText string) (r servedRe
 	return r
 }
 
+// fig4Repeats is how many times each per-query Figure 4 cell runs; the
+// row records the fastest, for the same reason as sharedRepeats below.
+const fig4Repeats = 3
+
 // sharedRepeats is how many times the shared-scan batch runs; the row
 // records the fastest. A single wall-clock sample of a small document
 // is too noisy to gate CI on at a 20% threshold — min-of-N damps
 // scheduler jitter while staying comparable across runs.
 const sharedRepeats = 3
+
+// percentileRequests is the number of open-loop requests per
+// ModeServedLatency row: enough samples for a meaningful p99 (the top
+// sample) without making the sweep interactive-slow.
+const percentileRequests = 64
+
+// percentileRepeats is how many open-loop passes the served-latency row
+// runs, keeping the elementwise best (min p50, min p99, max qps).
+// Contention from outside the process only ever inflates a pass, so the
+// minima are the tier's own latency — the same min-of-N discipline as
+// sharedRepeats and the Figure 4 cells.
+const percentileRepeats = 3
+
+// runPercentiles measures serving-tier request latency open-loop: one
+// embedded worker holds the document, a warmup pass estimates the mean
+// service time, and percentileRequests requests are then fired at a
+// fixed arrival interval of serviceTime/0.7 (≈70% utilization) — on
+// schedule whether or not earlier requests have completed, so queueing
+// delay lands in the measured tail exactly as it would for real
+// clients. The row records p50/p99 latency and achieved queries/sec.
+func runPercentiles(ctx context.Context, workDir, docPath string, sizeMB int, docBytes int64, qnames []string) (Row, error) {
+	row := Row{Query: ServedQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: ModeServedLatency}
+
+	dtdPath := filepath.Join(workDir, "xmark.dtd")
+	if err := os.WriteFile(dtdPath, []byte(xmark.DTD), 0o644); err != nil {
+		return row, err
+	}
+	specs := []shard.DocSpec{{Name: "x0", DocPath: docPath, DTDPath: dtdPath}}
+	m, err := shard.NewMapFromPlacement(map[string][]int{"x0": {0}}, 1)
+	if err != nil {
+		return row, err
+	}
+	workers, err := shard.SpawnEmbedded(m, specs, shard.EmbeddedOptions{
+		// A real serving window, unlike the served rows' dispatch-on-full
+		// batching: requests here arrive paced, not as one burst, so a
+		// long window would stall every lone request instead of batching.
+		Executor: flux.ExecutorOptions{Window: 2 * time.Millisecond, MaxBatch: len(qnames)},
+	})
+	if err != nil {
+		return row, err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	base := workers[0].Addr
+
+	// Warmup, which also estimates service time. Take the fastest of
+	// percentileRepeats rounds per query: the arrival interval below is
+	// derived from this estimate, and queueing makes p50 acutely
+	// sensitive to the arrival rate — a noisy one-shot estimate would
+	// make runs measure different workloads and be incomparable.
+	var service time.Duration
+	for round := 0; round < percentileRepeats; round++ {
+		warmStart := time.Now()
+		for _, qname := range qnames {
+			if r := servedRequest(ctx, base, "x0", xmark.Queries[qname]); r.err != nil {
+				return row, r.err
+			}
+		}
+		est := time.Since(warmStart) / time.Duration(len(qnames))
+		if round == 0 || est < service {
+			service = est
+		}
+	}
+	interval := service * 10 / 7
+
+	// Best of percentileRepeats open-loop passes, elementwise: external
+	// load can only inflate a pass's percentiles, so the minima estimate
+	// the tier's own latency — the same min-of-N discipline the Figure 4
+	// cells use, without which a 20% CI gate on p50/p99 flaps on shared
+	// runners.
+	for rep := 0; rep < percentileRepeats; rep++ {
+		lats := make([]time.Duration, percentileRequests)
+		errs := make([]error, percentileRequests)
+		var wg sync.WaitGroup
+		start := time.Now()
+		tick := time.NewTicker(interval)
+		for i := 0; i < percentileRequests; i++ {
+			wg.Add(1)
+			go func(slot int, queryText string) {
+				defer wg.Done()
+				reqStart := time.Now()
+				r := servedRequest(ctx, base, "x0", queryText)
+				lats[slot] = time.Since(reqStart)
+				errs[slot] = r.err
+			}(i, xmark.Queries[qnames[i%len(qnames)]])
+			if i < percentileRequests-1 {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					tick.Stop()
+					wg.Wait()
+					return row, ctx.Err()
+				}
+			}
+		}
+		wg.Wait()
+		tick.Stop()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return row, err
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50 := lats[len(lats)/2]
+		p99 := lats[min(len(lats)-1, len(lats)*99/100)]
+		qps := float64(percentileRequests) / elapsed.Seconds()
+		if rep == 0 || p50 < row.P50 {
+			row.P50 = p50
+		}
+		if rep == 0 || p99 < row.P99 {
+			row.P99 = p99
+		}
+		if rep == 0 || qps > row.QPS {
+			row.QPS = qps
+		}
+		if rep == 0 || elapsed < row.Elapsed {
+			row.Elapsed = elapsed
+		}
+	}
+	return row, nil
+}
 
 // runShared measures the serving path: every query of the sweep compiled
 // once and executed in a single shared pass of the document; elapsed is

@@ -84,6 +84,79 @@ func TestDiffIgnoresUnmatchedAndSkipped(t *testing.T) {
 	}
 }
 
+func TestDiffPercentileRegression(t *testing.T) {
+	lat := func(p50, p99 int64) SnapshotRow {
+		return SnapshotRow{Query: ServedQueryName, SizeMB: 1, Mode: ModeServedLatency,
+			P50NS: p50, P99NS: p99}
+	}
+	// Percentiles gate at percentileSlackFactor (2x) the threshold:
+	// +35% on both passes a 20% diff where elapsed_ns would not.
+	res := Diff(snap(100, lat(1000, 5000)), snap(100, lat(1350, 6750)), 20)
+	if res.Compared != 1 || len(res.Regressions) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// p99 blows the widened threshold while p50 holds: exactly the tail
+	// is named, and the reported limit is the widened one.
+	res = Diff(snap(100, lat(1000, 5000)), snap(100, lat(1100, 9000)), 20)
+	if len(res.Regressions) != 1 || res.Regressions[0].Metric != "p99_ns" {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Regressions[0].LimitPct != 40 {
+		t.Fatalf("percentile limit must be widened to 40%%, got %+v", res.Regressions[0])
+	}
+	// Both percentiles regress: both rows appear.
+	res = Diff(snap(100, lat(1000, 5000)), snap(100, lat(2000, 9000)), 20)
+	if len(res.Regressions) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Calibration scaling applies: a 2x slower machine with 2x latencies
+	// is not a regression.
+	if res := Diff(snap(100, lat(1000, 5000)), snap(200, lat(2000, 10000)), 20); len(res.Regressions) != 0 {
+		t.Fatalf("scaled percentiles must pass: %+v", res)
+	}
+	// Rows without percentiles (older snapshots) diff cleanly.
+	if res := Diff(snap(100, lat(0, 0)), snap(100, lat(1100, 9000)), 20); len(res.Regressions) != 0 {
+		t.Fatalf("missing baseline percentiles must not gate: %+v", res)
+	}
+}
+
+func TestCheckFluxFastest(t *testing.T) {
+	// Flux at or below both baselines on every cell: invariant holds
+	// (ties allowed — the gate is "not slower").
+	if err := CheckFluxFastest(snap(100,
+		row("q1", 1, ModeFluX, 1000, 0),
+		row("q1", 1, ModeNaive, 1000, 0),
+		row("q1", 1, ModeProjection, 1500, 0),
+		row("q8", 1, ModeFluX, 2000, 0),
+		row("q8", 1, ModeNaive, 9000, 0))); err != nil {
+		t.Fatalf("invariant must hold: %v", err)
+	}
+	// Flux slower than projection on one cell: violated, cell named.
+	err := CheckFluxFastest(snap(100,
+		row("q20", 2, ModeFluX, 3000, 0),
+		row("q20", 2, ModeNaive, 9000, 0),
+		row("q20", 2, ModeProjection, 2500, 0)))
+	if err == nil || !strings.Contains(err.Error(), "q20 2MB") {
+		t.Fatalf("projection win must violate the invariant naming the cell, got %v", err)
+	}
+	// Flux slower than naive: violated too.
+	if err := CheckFluxFastest(snap(100,
+		row("q1", 1, ModeFluX, 5000, 0),
+		row("q1", 1, ModeNaive, 4000, 0))); err == nil {
+		t.Fatal("naive win must violate the invariant")
+	}
+	// Skipped baselines (too large for in-memory modes) and cells with no
+	// flux row are ignored.
+	skipped := row("q1", 50, ModeNaive, 0, 0)
+	skipped.Skipped = true
+	if err := CheckFluxFastest(snap(100,
+		row("q1", 50, ModeFluX, 1000, 0),
+		skipped,
+		row("q8", 1, ModeNaive, 1, 0))); err != nil {
+		t.Fatalf("skipped/unmatched rows must pass: %v", err)
+	}
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	rows := []Row{

@@ -58,7 +58,12 @@ type SnapshotRow struct {
 	// TokensDelivered is the summed events delivered to the row's
 	// queries (fan-out rows only; see ModeFanoutAll/ModeFanoutSelective).
 	TokensDelivered int64 `json:"tokens_delivered,omitempty"`
-	Skipped         bool  `json:"skipped,omitempty"`
+	// P50NS/P99NS/QPS are the open-loop latency percentiles and achieved
+	// throughput of served-latency rows (see ModeServedLatency).
+	P50NS   int64   `json:"p50_ns,omitempty"`
+	P99NS   int64   `json:"p99_ns,omitempty"`
+	QPS     float64 `json:"qps,omitempty"`
+	Skipped bool    `json:"skipped,omitempty"`
 }
 
 // WriteJSON writes rows as a Snapshot to path.
@@ -80,6 +85,9 @@ func WriteJSON(path string, rows []Row) error {
 			BufferBytes:     r.Buffer,
 			OutputBytes:     r.Output,
 			TokensDelivered: r.Tokens,
+			P50NS:           r.P50.Nanoseconds(),
+			P99NS:           r.P99.Nanoseconds(),
+			QPS:             r.QPS,
 			Skipped:         r.Skipped,
 		})
 	}

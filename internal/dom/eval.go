@@ -174,8 +174,8 @@ func (ev *evaluator) operandValues(o xq.Operand, env map[string]*Node) ([]string
 	for _, m := range n.Select(o.Path, nil) {
 		v := m.StringValue()
 		if o.Scale != 0 {
-			f, err := strconv.ParseFloat(trimSpace(v), 64)
-			if err != nil {
+			f, ok := ParseNumber(v)
+			if !ok {
 				continue // non-numeric values contribute nothing under arithmetic
 			}
 			v = strconv.FormatFloat(o.Scale*f, 'f', -1, 64)
@@ -185,27 +185,59 @@ func (ev *evaluator) operandValues(o xq.Operand, env map[string]*Node) ([]string
 	return vals, nil
 }
 
+// ParseNumber parses an untyped value as a float after trimming XML
+// whitespace. It exists because comparisons are the hot path of join
+// queries: strconv.ParseFloat allocates an error object on every
+// non-numeric input, so a batch comparing string ids pays one allocation
+// per pair. ParseNumber rejects the common non-numeric case (names, ids)
+// with a one-byte check before strconv ever runs, and reports success
+// with a boolean instead of an error.
+func ParseNumber(s string) (float64, bool) {
+	s = trimSpace(s)
+	if len(s) == 0 {
+		return 0, false
+	}
+	switch c := s[0]; {
+	case c >= '0' && c <= '9':
+	case c == '+' || c == '-' || c == '.':
+	case c == 'i' || c == 'I' || c == 'n' || c == 'N':
+		// Possible Inf/NaN spellings; strconv decides.
+	default:
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// CompareNumbers applies a RelOp to two numeric values. It is the
+// numeric branch of CompareValues, exported so callers that already hold
+// parsed floats (the streaming engine's condition evaluator) need not
+// round-trip through strings.
+func CompareNumbers(l float64, op xq.RelOp, r float64) bool {
+	switch op {
+	case xq.OpEq:
+		return l == r
+	case xq.OpNe:
+		return l != r
+	case xq.OpLt:
+		return l < r
+	case xq.OpLe:
+		return l <= r
+	case xq.OpGt:
+		return l > r
+	default:
+		return l >= r
+	}
+}
+
 // CompareValues applies a RelOp to two untyped values: numerically when
 // both parse as numbers, as strings otherwise (the behaviour of the
 // paper's engine on XMark data, where compared fields are consistently
 // numeric or string).
 func CompareValues(l string, op xq.RelOp, r string) bool {
-	lf, lerr := strconv.ParseFloat(trimSpace(l), 64)
-	rf, rerr := strconv.ParseFloat(trimSpace(r), 64)
-	if lerr == nil && rerr == nil {
-		switch op {
-		case xq.OpEq:
-			return lf == rf
-		case xq.OpNe:
-			return lf != rf
-		case xq.OpLt:
-			return lf < rf
-		case xq.OpLe:
-			return lf <= rf
-		case xq.OpGt:
-			return lf > rf
-		default:
-			return lf >= rf
+	if lf, lok := ParseNumber(l); lok {
+		if rf, rok := ParseNumber(r); rok {
+			return CompareNumbers(lf, op, rf)
 		}
 	}
 	switch op {

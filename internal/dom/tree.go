@@ -95,14 +95,19 @@ func (n *Node) Bytes() int64 {
 }
 
 // StringValue returns the concatenated text content of the subtree (the
-// XPath string value).
+// XPath string value). Chains with a single child — the shape of every
+// leaf field a join compares, e.g. <person_id>person0</person_id> —
+// resolve without building anything.
 func (n *Node) StringValue() string {
-	if n.IsText() {
-		return n.Text
+	for !n.IsText() {
+		if len(n.Kids) != 1 {
+			var b strings.Builder
+			n.stringValue(&b)
+			return b.String()
+		}
+		n = n.Kids[0]
 	}
-	var b strings.Builder
-	n.stringValue(&b)
-	return b.String()
+	return n.Text
 }
 
 func (n *Node) stringValue(b *strings.Builder) {

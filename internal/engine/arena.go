@@ -1,0 +1,51 @@
+package engine
+
+import "unsafe"
+
+const (
+	// nodeBlockSize is the chunk size of the buffer-node slab: captured
+	// subtrees allocate nodes a block at a time instead of one heap
+	// object per element, which matters because buffering queries (Q20's
+	// return {$p}) create one node per captured element and text run.
+	nodeBlockSize = 256
+
+	// textBlockSize is the chunk size of the captured-text slab.
+	textBlockSize = 4 << 10
+)
+
+// newNode hands out one zeroed bufNode from the engine's chunked slab.
+// Nodes are never recycled individually: a block becomes garbage as a
+// whole once every tree referencing it is dropped, so discarding a
+// buffered subtree still frees its memory — the slab only batches the
+// allocations, it does not extend lifetimes beyond a block's slack.
+func (e *engine) newNode() *bufNode {
+	if len(e.nodeBlock) == 0 {
+		e.nodeBlock = make([]bufNode, nodeBlockSize)
+	}
+	n := &e.nodeBlock[0]
+	e.nodeBlock = e.nodeBlock[1:]
+	return n
+}
+
+// carveText copies borrowed text bytes into the engine's text slab and
+// returns them as a string, batching what would otherwise be one string
+// allocation per captured text event. Safety invariant for the
+// unsafe.String: the carved range [off, off+n) is never written again —
+// later carves only append past it, and a full block is replaced, never
+// rewound — so the returned string is as immutable as any other.
+func (e *engine) carveText(data []byte) string {
+	n := len(data)
+	if n == 0 {
+		return ""
+	}
+	if n >= textBlockSize/4 {
+		// Big values get their own allocation rather than hogging blocks.
+		return string(data)
+	}
+	if len(e.textBlock)+n > cap(e.textBlock) {
+		e.textBlock = make([]byte, 0, textBlockSize)
+	}
+	off := len(e.textBlock)
+	e.textBlock = append(e.textBlock, data...)
+	return unsafe.String(&e.textBlock[off], n)
+}

@@ -10,6 +10,7 @@ import (
 	"flux/internal/dom"
 	"flux/internal/dtd"
 	"flux/internal/sax"
+	"flux/internal/xq"
 )
 
 // Stats reports the resources a query execution used.
@@ -43,12 +44,16 @@ func Run(plan *Plan, r io.Reader, w io.Writer, opt sax.Options) (Stats, error) {
 // RunContext is Run with cancellation: once ctx is done the scan stops
 // at the next event batch and the error is ctx.Err(). On any failure the
 // returned Stats cover the stream prefix processed before the failure.
+//
+// The scan is batched (sax.ScanBatchedContext): events arrive in pooled
+// batches with arena-backed text payloads, which the session unpacks
+// without allocating a string per text node.
 func RunContext(ctx context.Context, plan *Plan, r io.Reader, w io.Writer, opt sax.Options) (Stats, error) {
 	s := NewSession(plan, w)
 	if err := s.Begin(); err != nil {
 		return s.Abort(), err
 	}
-	if err := sax.ScanContext(ctx, r, s, opt); err != nil {
+	if err := sax.ScanBatchedContext(ctx, r, s, opt); err != nil {
 		return s.Abort(), err
 	}
 	return s.Finish()
@@ -132,6 +137,14 @@ type frame struct {
 	state int
 	name  string
 
+	// One-entry transition memo: the last (state, child name) step taken
+	// from this frame, with the resolved child production. Sibling runs of
+	// the same element name skip the automaton and schema map lookups.
+	memoName string
+	memoFrom int
+	memoNext int
+	memoProd *dtd.Production
+
 	scope     *scopeRT // set if this element opened a scope
 	prevInst  *scopeRT // saved instance for the scope variable
 	scopeVar  string
@@ -154,6 +167,45 @@ type engine struct {
 	curBytes  int64
 	peakBytes int64
 	tokens    int64
+
+	// Condition-evaluation scratch. Join conditions run once per buffered
+	// item pair, so the node and value sequences they materialize are
+	// collected into these reusable slices instead of fresh allocations.
+	// Only one condition evaluates at a time (exec programs never nest
+	// through the event loop), so a single set per engine suffices.
+	selScratch []*bufNode
+	constRHS   [1]cmpVal
+
+	// Per-event cache of materialized comparison-operand values (see
+	// operandValues). Buffers only mutate between incoming events, so
+	// entries are valid for one event: navValsGen records the e.tokens
+	// value the entries belong to, and a lookup under a different token
+	// count clears the cache instead of trusting stale roots. Values
+	// live in cmpArena so a join burst costs one growing allocation, not
+	// one slice per operand/root pair.
+	navVals    map[navValsKey][]cmpVal
+	navValsGen int64
+	cmpArena   []cmpVal
+
+	// Per-operand one-entry memo in front of navVals, indexed by
+	// navOperand.idx: a join's loop-invariant side resolves to the same
+	// root on every inner iteration, so it hits two pointer compares here
+	// instead of a hashed map lookup per pair. An entry evicted within
+	// one generation spills to navVals (the cycling-roots join pattern);
+	// opMemoInMap avoids re-spilling entries the map already holds.
+	// Rolled with navValsGen.
+	opMemoRoot  []*bufNode
+	nodeBlock   []bufNode // chunked slab for captured-subtree nodes (arena.go)
+	textBlock   []byte    // chunked slab for captured text strings (arena.go)
+	opMemoVals  [][]cmpVal
+	opMemoInMap []bool
+}
+
+// navValsKey identifies one materialized operand value list: the
+// compiled operand and the buffer root it was resolved against.
+type navValsKey struct {
+	op   *navOperand
+	root *bufNode
 }
 
 func (e *engine) account(owner *scopeRT, delta int64) {
@@ -171,7 +223,8 @@ func (e *engine) newScopeRT(spec *scopeSpec, elemName string) *scopeRT {
 		fired: make([]bool, len(spec.handlers)),
 	}
 	if spec.bufTree != nil {
-		rt.bufRoot = &bufNode{Name: elemName}
+		rt.bufRoot = e.newNode()
+		rt.bufRoot.Name = elemName
 		e.account(rt, int64(2*len(elemName)+5))
 	}
 	return rt
@@ -213,13 +266,79 @@ func (e *engine) attachScope(f *frame, rt *scopeRT) error {
 	return nil
 }
 
+// pushFrame grows the frame stack by one and returns the new top, reset
+// for reuse. Popped frames park beyond len with their inner slice
+// capacity intact, so a sibling element at the same depth re-enters a
+// warm frame and the per-element capture/watch appends stop allocating.
+// Growth may move the backing array: callers must re-take any frame
+// pointers they hold after calling.
+func (e *engine) pushFrame() *frame {
+	if n := len(e.frames); n < cap(e.frames) {
+		e.frames = e.frames[:n+1]
+	} else {
+		e.frames = append(e.frames, frame{})
+	}
+	f := &e.frames[len(e.frames)-1]
+	f.prod = nil
+	f.state = 0
+	f.name = ""
+	f.memoName = "" // the memo is only valid for this frame's production
+	f.memoProd = nil
+	f.scope = nil
+	f.prevInst = nil
+	f.scopeVar = ""
+	f.copying = false
+	f.simple = nil
+	f.captures = f.captures[:0]
+	f.fills = f.fills[:0]
+	f.watch = f.watch[:0]
+	f.accs = f.accs[:0]
+	f.ownAccs = f.ownAccs[:0]
+	f.deferred = f.deferred[:0]
+	f.skipDepth = false
+	return f
+}
+
+// scrub zeroes a frame's pointer contents (including those parked beyond
+// the lengths of its inner slices) while keeping the slice capacity, so a
+// pooled engine pins no buffered subtrees between runs.
+func (f *frame) scrub() {
+	f.prod = nil
+	f.state = 0
+	f.name = ""
+	f.memoName = ""
+	f.memoFrom = 0
+	f.memoNext = 0
+	f.memoProd = nil
+	f.scope = nil
+	f.prevInst = nil
+	f.scopeVar = ""
+	f.copying = false
+	f.simple = nil
+	clear(f.captures[:cap(f.captures)])
+	f.captures = f.captures[:0]
+	clear(f.fills[:cap(f.fills)])
+	f.fills = f.fills[:0]
+	clear(f.watch[:cap(f.watch)])
+	f.watch = f.watch[:0]
+	clear(f.accs[:cap(f.accs)])
+	f.accs = f.accs[:0]
+	clear(f.ownAccs[:cap(f.ownAccs)])
+	f.ownAccs = f.ownAccs[:0]
+	clear(f.deferred[:cap(f.deferred)])
+	f.deferred = f.deferred[:0]
+	f.skipDepth = false
+}
+
 // begin sets up the synthetic document frame for the $ROOT scope.
 func (e *engine) begin() error {
 	docProd, _ := e.plan.schema.Production(dtd.DocumentVar)
-	f := frame{prod: docProd, state: docProd.Auto.Start(), name: dtd.DocumentVar}
-	e.frames = append(e.frames, f)
+	f := e.pushFrame()
+	f.prod = docProd
+	f.state = docProd.Auto.Start()
+	f.name = dtd.DocumentVar
 	rt := e.newScopeRT(e.plan.root, dtd.DocumentVar)
-	return e.attachScope(&e.frames[0], rt)
+	return e.attachScope(f, rt)
 }
 
 // finish closes the document scope at end of stream.
@@ -236,20 +355,37 @@ func (e *engine) StartElement(name string) error {
 	e.tokens++
 	top := &e.frames[len(e.frames)-1]
 
-	// Validating automaton step (also drives punctuation).
+	// Validating automaton step (also drives punctuation), fused with the
+	// child's production lookup. Repeated same-named siblings — the common
+	// shape of XMark containers — hit the frame's one-entry memo and skip
+	// both map lookups (the scanner interns names, so the string compare
+	// is usually a pointer compare).
 	prevState := top.state
-	next, ok := top.prod.Auto.Step(top.state, name)
-	if !ok {
-		return &RunError{Msg: fmt.Sprintf("element <%s> not allowed by content model %s of <%s>",
-			name, top.prod.Model, top.name)}
+	var next int
+	var childProd *dtd.Production
+	if name == top.memoName && prevState == top.memoFrom {
+		next = top.memoNext
+		childProd = top.memoProd
+	} else {
+		var ok bool
+		next, ok = top.prod.Auto.Step(top.state, name)
+		if !ok {
+			return &RunError{Msg: fmt.Sprintf("element <%s> not allowed by content model %s of <%s>",
+				name, top.prod.Model, top.name)}
+		}
+		childProd, ok = e.plan.schema.Production(name)
+		if !ok {
+			return &RunError{Msg: fmt.Sprintf("element <%s> is not declared in the DTD", name)}
+		}
+		top.memoName, top.memoFrom, top.memoNext, top.memoProd = name, prevState, next, childProd
 	}
 	top.state = next
 
-	childProd, ok := e.plan.schema.Production(name)
-	if !ok {
-		return &RunError{Msg: fmt.Sprintf("element <%s> is not declared in the DTD", name)}
-	}
-	child := frame{prod: childProd, state: childProd.Auto.Start(), name: name}
+	child := e.pushFrame()
+	top = &e.frames[len(e.frames)-2] // pushFrame may have moved the stack
+	child.prod = childProd
+	child.state = childProd.Auto.Start()
+	child.name = name
 
 	// Inherited sinks.
 	if top.copying {
@@ -259,14 +395,16 @@ func (e *engine) StartElement(name string) error {
 		}
 	}
 	for _, c := range top.captures {
-		n := &bufNode{Name: name}
+		n := e.newNode()
+		n.Name = name
 		c.node.Kids = append(c.node.Kids, n)
 		e.account(c.owner, int64(2*len(name)+5))
 		child.captures = append(child.captures, capRef{node: n, owner: c.owner})
 	}
 	for _, fp := range top.fills {
 		if kid, ok := fp.tree.kids[name]; ok {
-			n := &bufNode{Name: name}
+			n := e.newNode()
+			n.Name = name
 			fp.parent.Kids = append(fp.parent.Kids, n)
 			e.account(fp.owner, int64(2*len(name)+5))
 			if kid.mark {
@@ -300,12 +438,10 @@ func (e *engine) StartElement(name string) error {
 
 	// Scope handler scan for this child.
 	if top.scope != nil {
-		if err := e.scanHandlers(top.scope, name, prevState, next, &child); err != nil {
+		if err := e.scanHandlers(top.scope, name, prevState, next, child); err != nil {
 			return err
 		}
 	}
-
-	e.frames = append(e.frames, child)
 	return nil
 }
 
@@ -412,12 +548,49 @@ func (e *engine) Text(data string) error {
 		if k := len(c.node.Kids); k > 0 && c.node.Kids[k-1].IsText() {
 			c.node.Kids[k-1].Text += data
 		} else {
-			c.node.Kids = append(c.node.Kids, &bufNode{Text: data})
+			n := e.newNode()
+			n.Text = data
+			c.node.Kids = append(c.node.Kids, n)
 		}
 		e.account(c.owner, int64(len(data)))
 	}
 	for _, a := range top.accs {
 		a.sb.WriteString(data)
+	}
+	return nil
+}
+
+// textBytes is Text for arena-backed payloads from the batched scan
+// path. The token's bytes are only valid for the current batch window,
+// so every retention point — buffer captures and value accumulators —
+// copies here; the write-through path (w.TextBytes) and the whitespace
+// check consume the bytes without copying.
+func (e *engine) textBytes(data []byte) error {
+	e.tokens++
+	top := &e.frames[len(e.frames)-1]
+	if !top.prod.Mixed && top.prod.Name != dtd.DocumentVar && !allXMLSpaceBytes(data) {
+		return &RunError{Msg: fmt.Sprintf("character data not allowed inside <%s>", top.name)}
+	}
+	if top.copying {
+		if err := e.w.TextBytes(data); err != nil {
+			return err
+		}
+	}
+	if len(top.captures) > 0 {
+		txt := e.carveText(data) // one slab copy, shared by every capture
+		for _, c := range top.captures {
+			if k := len(c.node.Kids); k > 0 && c.node.Kids[k-1].IsText() {
+				c.node.Kids[k-1].Text += txt
+			} else {
+				n := e.newNode()
+				n.Text = txt
+				c.node.Kids = append(c.node.Kids, n)
+			}
+			e.account(c.owner, int64(len(data)))
+		}
+	}
+	for _, a := range top.accs {
+		a.sb.Write(data)
 	}
 	return nil
 }
@@ -488,19 +661,16 @@ func (a *valueAcc) finalize() {
 	case wExists:
 		a.flags[a.idx] = true
 	case wCmp:
-		v := a.sb.String()
-		if a.spec.scale != 0 {
-			fv, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-			if err != nil {
-				return
-			}
-			v = strconv.FormatFloat(a.spec.scale*fv, 'f', -1, 64)
+		v, ok := makeCmpVal(a.sb.String(), a.spec.scale)
+		if !ok {
+			return
 		}
-		l, r := v, a.spec.rhs
+		rc := a.spec.rhsCmp
+		l, r := &v, &rc
 		if a.spec.flip {
-			l, r = a.spec.rhs, v
+			l, r = &rc, &v
 		}
-		if dom.CompareValues(l, a.spec.op, r) {
+		if compareVals(l, a.spec.op, r) {
 			a.flags[a.idx] = true
 		}
 	}
@@ -508,31 +678,28 @@ func (a *valueAcc) finalize() {
 
 // --- Program execution over buffers -------------------------------------
 
-type execEnv struct {
-	eng    *engine
-	vars   map[string]*bufNode
-	simple *simpleRT
+// varBind is one loop-variable binding. Exec programs bind at most a
+// handful of nested loop variables, so bindings live in a small slice
+// scanned backwards (innermost first) instead of a map — a join loop
+// binding its variable once per buffered item must not pay a map
+// assign/delete per iteration.
+type varBind struct {
+	name string
+	node *bufNode
 }
 
-func (env *execEnv) bind(v string, n *bufNode) func() {
-	if env.vars == nil {
-		env.vars = make(map[string]*bufNode)
-	}
-	prev, had := env.vars[v]
-	env.vars[v] = n
-	return func() {
-		if had {
-			env.vars[v] = prev
-		} else {
-			delete(env.vars, v)
-		}
-	}
+type execEnv struct {
+	eng    *engine
+	vars   []varBind
+	simple *simpleRT
 }
 
 // resolve maps a variable to the buffered node it denotes.
 func (env *execEnv) resolve(v string) (*bufNode, error) {
-	if n, ok := env.vars[v]; ok {
-		return n, nil
+	for i := len(env.vars) - 1; i >= 0; i-- {
+		if env.vars[i].name == v {
+			return env.vars[i].node, nil
+		}
 	}
 	if rt, ok := env.eng.inst[v]; ok {
 		if rt.bufRoot == nil {
@@ -577,9 +744,10 @@ func (e *engine) runExec(p *execProg, env *execEnv) error {
 			if kid.Name != p.step {
 				continue
 			}
-			restore := env.bind(p.loopVar, kid)
+			mark := len(env.vars)
+			env.vars = append(env.vars, varBind{name: p.loopVar, node: kid})
 			err := e.runExec(p.body, env)
-			restore()
+			env.vars = env.vars[:mark]
 			if err != nil {
 				return err
 			}
@@ -651,19 +819,41 @@ func (e *engine) evalAtom(a *atomSpec, env *execEnv) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		return (len(nodes) > 0) != a.neg, nil
+		found := len(nodes) > 0
+		e.selScratch = nodes[:0]
+		return found != a.neg, nil
 	}
-	ls, err := e.navValues(a.lhs, env)
+	// General comparisons are existential: the atom holds if any lhs/rhs
+	// value pair satisfies the operator. Both sides are materialized
+	// through the per-event operand cache (see operandValues): in a join
+	// burst each distinct (operand, root) pair is navigated and parsed
+	// once, so a pair comparison allocates nothing and never re-parses.
+	if a.lhs.isConst && a.rhs.isConst {
+		return dom.CompareValues(a.lhs.constVal, a.op, a.rhs.constVal), nil
+	}
+	rs, err := e.operandValues(a.rhs, env)
 	if err != nil {
 		return false, err
 	}
-	rs, err := e.navValues(a.rhs, env)
+	if a.lhs.isConst {
+		l := a.lhs.constCmp
+		for i := range rs {
+			if compareVals(&l, a.op, &rs[i]) {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	if len(rs) == 0 {
+		return false, nil
+	}
+	ls, err := e.operandValues(a.lhs, env)
 	if err != nil {
 		return false, err
 	}
-	for _, l := range ls {
-		for _, r := range rs {
-			if dom.CompareValues(l, a.op, r) {
+	for i := range ls {
+		for j := range rs {
+			if compareVals(&ls[i], a.op, &rs[j]) {
 				return true, nil
 			}
 		}
@@ -671,35 +861,139 @@ func (e *engine) evalAtom(a *atomSpec, env *execEnv) (bool, error) {
 	return false, nil
 }
 
+// cmpVal is one comparison operand value, parsed once: its string form
+// and, when it has one, its numeric form. A scaled value (arithmetic in
+// the query, e.g. euro conversion) is numeric by construction and
+// formats its string form lazily — only the rare numeric-vs-non-numeric
+// pair ever needs it.
+type cmpVal struct {
+	str    string
+	num    float64
+	isNum  bool
+	scaled bool // str not yet formatted from num
+}
+
+// makeCmpVal parses one operand value. With a non-zero scale, values
+// that do not parse as numbers contribute nothing under arithmetic and
+// report ok == false.
+func makeCmpVal(s string, scale float64) (cmpVal, bool) {
+	f, isNum := dom.ParseNumber(s)
+	if scale != 0 {
+		if !isNum {
+			return cmpVal{}, false
+		}
+		return cmpVal{num: scale * f, isNum: true, scaled: true}, true
+	}
+	return cmpVal{str: s, num: f, isNum: isNum}, true
+}
+
+// text returns the value's string form, formatting a scaled number on
+// first use. FormatFloat with precision -1 round-trips exactly, so the
+// numeric and string forms always agree.
+func (v *cmpVal) text() string {
+	if v.scaled {
+		v.str = strconv.FormatFloat(v.num, 'f', -1, 64)
+		v.scaled = false
+	}
+	return v.str
+}
+
+// compareVals applies the operator to a parsed pair: numerically when
+// both sides are numbers, as strings otherwise — exactly
+// dom.CompareValues, minus the per-pair re-parsing.
+func compareVals(l *cmpVal, op xq.RelOp, r *cmpVal) bool {
+	if l.isNum && r.isNum {
+		return dom.CompareNumbers(l.num, op, r.num)
+	}
+	return dom.CompareValues(l.text(), op, r.text())
+}
+
+// navNodes selects the operand's node sequence into the engine's borrowed
+// selection scratch. The caller must return the slice via
+// e.selScratch = nodes[:0] before the next selection runs.
 func (e *engine) navNodes(o *navOperand, env *execEnv) ([]*bufNode, error) {
 	n, err := env.resolve(o.varName)
 	if err != nil {
 		return nil, err
 	}
-	return n.Select(o.path, nil), nil
+	out := e.selScratch[:0]
+	e.selScratch = nil // nested selection must not share the backing array
+	return n.Select(o.path, out), nil
 }
 
-func (e *engine) navValues(o *navOperand, env *execEnv) ([]string, error) {
+// rhsValues materializes a comparison's right-hand value sequence. The
+// results are cached per (operand, resolved root) for the duration of
+// the current event: a nested-loop join re-evaluates the same operands
+// against the same buffered roots — $p/id against every auction, and
+// every auction's $t/buyer against each person — and buffers only mutate
+// between incoming events, so within one evaluation burst each distinct
+// pair is navigated and parsed exactly once. The returned slice is owned
+// by the engine and valid until the next event.
+func (e *engine) operandValues(o *navOperand, env *execEnv) ([]cmpVal, error) {
 	if o.isConst {
-		return []string{o.constVal}, nil
+		e.constRHS[0] = o.constCmp
+		return e.constRHS[:1], nil
 	}
-	nodes, err := e.navNodes(o, env)
+	root, err := env.resolve(o.varName)
 	if err != nil {
 		return nil, err
 	}
-	vals := make([]string, 0, len(nodes))
-	for _, n := range nodes {
-		v := n.StringValue()
-		if o.scale != 0 {
-			fv, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-			if err != nil {
+	if e.navValsGen != e.tokens {
+		if len(e.navVals) > 0 {
+			clear(e.navVals)
+		}
+		e.cmpArena = e.cmpArena[:0]
+		clear(e.opMemoRoot)
+		e.navValsGen = e.tokens
+	}
+	if n := e.plan.numOperands; len(e.opMemoRoot) < n {
+		e.opMemoRoot = make([]*bufNode, n)
+		e.opMemoVals = make([][]cmpVal, n)
+		e.opMemoInMap = make([]bool, n)
+	}
+	if e.opMemoRoot[o.idx] == root {
+		return e.opMemoVals[o.idx], nil
+	}
+	vals, fromMap := []cmpVal(nil), false
+	if len(e.navVals) > 0 {
+		vals, fromMap = e.navVals[navValsKey{op: o, root: root}]
+	}
+	if !fromMap {
+		nodes := root.Select(o.path, e.selScratch[:0])
+		start := len(e.cmpArena)
+		for _, n := range nodes {
+			v, vok := makeCmpVal(n.StringValue(), o.scale)
+			if !vok {
 				continue
 			}
-			v = strconv.FormatFloat(o.scale*fv, 'f', -1, 64)
+			e.cmpArena = append(e.cmpArena, v)
 		}
-		vals = append(vals, v)
+		e.selScratch = nodes[:0]
+		vals = e.cmpArena[start:len(e.cmpArena):len(e.cmpArena)]
 	}
+	// Install in the one-entry memo. An entry evicted mid-generation
+	// belongs to a cycling-roots join loop: spill it to the map so the
+	// next pass finds it without re-navigating. (Entries evicted by a
+	// generation roll were already discarded with their buffers.)
+	if old := e.opMemoRoot[o.idx]; old != nil && !e.opMemoInMap[o.idx] {
+		if e.navVals == nil {
+			e.navVals = make(map[navValsKey][]cmpVal, 64)
+		}
+		e.navVals[navValsKey{op: o, root: old}] = e.opMemoVals[o.idx]
+	}
+	e.opMemoRoot[o.idx], e.opMemoVals[o.idx], e.opMemoInMap[o.idx] = root, vals, fromMap
 	return vals, nil
+}
+
+func allXMLSpaceBytes(s []byte) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func allXMLSpace(s string) bool {

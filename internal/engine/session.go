@@ -63,6 +63,50 @@ func (s *Session) EndElement(name string) error {
 	return s.eng.EndElement(name)
 }
 
+// TextBytes delivers a character-data event as a byte slice, the
+// batched-scan counterpart of Text. The engine treats data as borrowed:
+// anything it must retain past the call (buffered subtrees, value
+// accumulators) is copied, so the caller may reuse the backing array —
+// e.g. a sax batch arena — afterwards.
+func (s *Session) TextBytes(data []byte) error {
+	if s.done {
+		return errClosed
+	}
+	return s.eng.textBytes(data)
+}
+
+// HandleBatch implements sax.BatchHandler, unpacking a token batch into
+// the per-event engine entry points. Driving a session from
+// sax.ScanBatchedContext produces exactly the same execution as driving
+// it event-by-event from sax.ScanContext, minus the per-event dispatch
+// and text-string allocations. A SkipElement token — emitted by a scan
+// pruned with this plan's own signature (sax.Options.Prune) — maps to
+// one SkipSubtree step.
+func (s *Session) HandleBatch(b *sax.Batch) error {
+	if s.done {
+		return errClosed
+	}
+	e := s.eng
+	for i := range b.Tokens {
+		t := &b.Tokens[i]
+		var err error
+		switch t.Kind {
+		case sax.StartElement:
+			err = e.StartElement(t.Name)
+		case sax.EndElement:
+			err = e.EndElement(t.Name)
+		case sax.SkipElement:
+			err = e.skipSubtree(t.Name)
+		default:
+			err = e.textBytes(t.Data)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SkipSubtree consumes a complete element named name — start tag,
 // entire content, end tag — in a single step, without delivering its
 // interior events. It is the selective fan-out fast path: the caller
@@ -141,9 +185,26 @@ func newEngine(plan *Plan, w io.Writer) *engine {
 func (e *engine) release() {
 	e.plan = nil
 	e.w.Reset(nil)
-	clear(e.frames[:cap(e.frames)])
+	frames := e.frames[:cap(e.frames)]
+	for i := range frames {
+		frames[i].scrub()
+	}
 	e.frames = e.frames[:0]
 	clear(e.inst)
+	clear(e.selScratch[:cap(e.selScratch)])
+	e.selScratch = e.selScratch[:0]
+	e.constRHS[0] = cmpVal{}
+	if len(e.navVals) > 4096 {
+		e.navVals = nil // one huge join burst must not pin its table
+	} else {
+		clear(e.navVals)
+	}
+	e.navValsGen = -1
+	clear(e.cmpArena[:cap(e.cmpArena)])
+	e.cmpArena = e.cmpArena[:0]
+	clear(e.opMemoRoot)
+	clear(e.opMemoVals)
+	clear(e.opMemoInMap)
 	e.curBytes, e.peakBytes, e.tokens = 0, 0, 0
 	enginePool.Put(e)
 }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"flux/internal/sax"
 )
 
 // SigNode is one node of a plan's projected-path signature, a trie over
@@ -132,7 +134,22 @@ func (p *Plan) buildSignature() {
 	root.key(&b)
 	p.sig = root
 	p.sigKey = b.String()
+	p.prune = sigToPrune(root)
 	p.predicted = predictPeakBytes(p.root)
+}
+
+// sigToPrune mirrors a signature trie as a scanner prune trie
+// (sax.PruneNode), so batched scans can prune skippable subtrees at the
+// byte level instead of routing their tokens downstream.
+func sigToPrune(n *SigNode) *sax.PruneNode {
+	p := &sax.PruneNode{All: n.All}
+	if len(n.Kids) > 0 {
+		p.Kids = make(map[string]*sax.PruneNode, len(n.Kids))
+		for k, v := range n.Kids {
+			p.Kids[k] = sigToPrune(v)
+		}
+	}
+	return p
 }
 
 // addScopeSig records everything one scope observes: its buffer tree,
@@ -242,6 +259,15 @@ func (p *Plan) Signature() *SigNode { return p.sig }
 // with equal keys make identical skip decisions at every stream
 // position, so a multiplexer may route them as one group.
 func (p *Plan) SigKey() string { return p.sigKey }
+
+// Prune returns the plan's signature as a scanner prune trie, built once
+// at Compile time; like the signature itself it is shared across
+// executions and must be treated as read-only. Handing it to a batched
+// scan (sax.Options.Prune) makes the scanner itself collapse subtrees
+// the plan provably ignores into single SkipElement tokens — the same
+// skip decisions a downstream router would make, minus the cost of
+// tokenizing what gets thrown away.
+func (p *Plan) Prune() *sax.PruneNode { return p.prune }
 
 // PredictedPeakBytes returns the static estimate of the plan's peak
 // buffer consumption (see BufferReport.PredictedPeakBytes).

@@ -186,11 +186,17 @@ func (m *Mux) fail(i int, err error) {
 const ctxPollMask = 255
 
 // pollCtxs detaches every live slot whose context is done. Called at
-// event-batch granularity from the fan-out handlers.
+// event-batch granularity from the per-event fan-out handlers.
 func (m *Mux) pollCtxs() {
 	if m.nctx == 0 || m.events&ctxPollMask != 0 {
 		return
 	}
+	m.pollCtxsNow()
+}
+
+// pollCtxsNow is pollCtxs without the event-count gate; the batched
+// delivery path calls it once per batch.
+func (m *Mux) pollCtxsNow() {
 	for i, ctx := range m.ctxs {
 		if ctx == nil || !m.live[i] {
 			continue
@@ -199,6 +205,59 @@ func (m *Mux) pollCtxs() {
 			m.fail(i, err)
 		}
 	}
+}
+
+// HandleBatch implements sax.BatchHandler — the batched shared scan.
+// All-fanout delivery hands the whole batch to each live session in one
+// call, one dynamic dispatch per session per batch instead of one per
+// session per event; selective fan-out routes token by token, since
+// skip decisions are made per element. Per-slot cancellation is polled
+// once per batch.
+func (m *Mux) HandleBatch(b *sax.Batch) error {
+	m.events += int64(len(b.Tokens))
+	if m.nctx > 0 {
+		m.pollCtxsNow()
+	}
+	if m.selective {
+		return m.routeBatch(b)
+	}
+	for i, s := range m.sessions {
+		if !m.live[i] {
+			continue
+		}
+		if err := s.HandleBatch(b); err != nil {
+			m.fail(i, err)
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
+// routeBatch unpacks a batch through the selective router. Text tokens
+// keep their arena-backed payloads all the way into the sessions
+// (Session.TextBytes), so the batched selective scan allocates no text
+// strings either.
+func (m *Mux) routeBatch(b *sax.Batch) error {
+	for i := range b.Tokens {
+		t := &b.Tokens[i]
+		var err error
+		switch t.Kind {
+		case sax.StartElement:
+			err = m.routeStart(t.Name)
+		case sax.EndElement:
+			err = m.routeEnd(t.Name)
+		case sax.SkipElement:
+			err = m.routeSkip(t.Name)
+		default:
+			err = m.routeTextBytes(t.Data)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // StartElement implements sax.Handler.
@@ -314,6 +373,29 @@ func (m *Mux) routeText(data string) error {
 	return nil
 }
 
+// routeTextBytes is routeText for arena-backed batch payloads, fanning
+// the bytes to each group member without a string conversion.
+func (m *Mux) routeTextBytes(data []byte) error {
+	for _, g := range m.groups {
+		if g.skipUntil != 0 {
+			g.skipped++
+			continue
+		}
+		for _, i := range g.members {
+			if !m.live[i] {
+				continue
+			}
+			if err := m.sessions[i].TextBytes(data); err != nil {
+				m.fail(i, err)
+			}
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
+}
+
 // EndElement implements sax.Handler.
 func (m *Mux) EndElement(name string) error {
 	m.events++
@@ -384,6 +466,11 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 	}
 	if m.selective {
 		m.buildGroups()
+		// Prune, at the scan itself, the subtrees every group skips: their
+		// bytes are consumed raw and arrive as single SkipElement tokens
+		// instead of being tokenized and routed token by token. Subtrees
+		// only some groups skip are still routed here.
+		opt.Prune = m.unionPrune()
 	}
 	for i, s := range m.sessions {
 		if !m.live[i] {
@@ -394,7 +481,7 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 		}
 	}
 	if m.nlive > 0 {
-		if err := sax.ScanContext(ctx, r, m, opt); err != nil {
+		if err := sax.ScanBatchedContext(ctx, r, m, opt); err != nil {
 			m.fillSkipped()
 			if errors.Is(err, errAllFailed) {
 				return m.results, err
@@ -422,6 +509,70 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 	m.nlive = 0
 	m.fillSkipped()
 	return m.results, nil
+}
+
+// unionPrune merges the groups' signature tries into one scanner prune
+// trie: a position is pruned only when no group's signature can match
+// anything inside it. Returns nil (no pruning) if any plan lacks a
+// signature.
+func (m *Mux) unionPrune() *sax.PruneNode {
+	sigs := make([]*engine.SigNode, len(m.groups))
+	for i, g := range m.groups {
+		if g.stack[0] == nil {
+			return nil
+		}
+		sigs[i] = g.stack[0]
+	}
+	return unionSigs(sigs)
+}
+
+func unionSigs(nodes []*engine.SigNode) *sax.PruneNode {
+	p := &sax.PruneNode{}
+	kids := make(map[string][]*engine.SigNode)
+	for _, n := range nodes {
+		if n.All {
+			// Some group consumes everything below here: nothing under this
+			// position may be pruned, and Kids are irrelevant.
+			return &sax.PruneNode{All: true}
+		}
+		for k, v := range n.Kids {
+			kids[k] = append(kids[k], v)
+		}
+	}
+	if len(kids) > 0 {
+		p.Kids = make(map[string]*sax.PruneNode, len(kids))
+		for k, vs := range kids {
+			p.Kids[k] = unionSigs(vs)
+		}
+	}
+	return p
+}
+
+// routeSkip fans a scanner-pruned subtree (a SkipElement token) out as
+// one SkipSubtree step per live member of every group not already inside
+// a subtree it is skipping itself. The scan never tokenized the
+// element's interior, so each group's SkippedEvents counter advances by
+// one — the element itself — rather than by its (unknown) event count:
+// under scanner pruning the counter is a lower bound.
+func (m *Mux) routeSkip(name string) error {
+	for _, g := range m.groups {
+		g.skipped++
+		if g.skipUntil != 0 {
+			continue
+		}
+		for _, i := range g.members {
+			if !m.live[i] {
+				continue
+			}
+			if err := m.sessions[i].SkipSubtree(name); err != nil {
+				m.fail(i, err)
+			}
+		}
+	}
+	if m.nlive == 0 {
+		return errAllFailed
+	}
+	return nil
 }
 
 // fillSkipped copies each routing group's skip counter onto its

@@ -21,6 +21,11 @@ const (
 	EndElement
 	// Text is character data.
 	Text
+	// SkipElement stands in for an entire pruned element — start tag,
+	// content, end tag — in a batched scan with Options.Prune set. Name
+	// is the element's name; the consumer is expected to account for the
+	// element as a single skipped step (engine.Session.SkipSubtree).
+	SkipElement
 )
 
 // String returns a human-readable name for the event kind.
@@ -32,6 +37,8 @@ func (k Kind) String() string {
 		return "end"
 	case Text:
 		return "text"
+	case SkipElement:
+		return "skip"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -40,8 +47,11 @@ func (k Kind) String() string {
 // Event is a single SAX event. Name is set for element events, Data for
 // text events.
 type Event struct {
+	// Kind is the event type.
 	Kind Kind
+	// Name is the element name for StartElement/EndElement/SkipElement.
 	Name string
+	// Data is the decoded character data for Text events.
 	Data string
 }
 
@@ -64,17 +74,24 @@ func (e Event) String() string {
 // the scanner was built with interning enabled (the default), in which case
 // element names are stable; text data is always copied before delivery.
 type Handler interface {
+	// StartElement reports an opening tag.
 	StartElement(name string) error
+	// Text reports one run of decoded character data.
 	Text(data string) error
+	// EndElement reports a closing tag (or the close of a self-closing
+	// element).
 	EndElement(name string) error
 }
 
 // HandlerFuncs adapts three closures to the Handler interface. Nil funcs
 // ignore their events.
 type HandlerFuncs struct {
+	// Start receives StartElement events.
 	Start func(name string) error
+	// Chars receives Text events.
 	Chars func(data string) error
-	End   func(name string) error
+	// End receives EndElement events.
+	End func(name string) error
 }
 
 // StartElement implements Handler.
@@ -104,6 +121,7 @@ func (h HandlerFuncs) EndElement(name string) error {
 // Collector is a Handler that records all events, useful in tests and for
 // small in-memory documents.
 type Collector struct {
+	// Events are the recorded events, in stream order.
 	Events []Event
 }
 

@@ -10,22 +10,25 @@ import (
 	"testing"
 )
 
+// fuzzSeeds is the shared seed corpus for the scanner fuzzers.
+var fuzzSeeds = []string{
+	`<a>hi</a>`,
+	`<r><a>1</a><a>2</a><b>x</b></r>`,
+	`<a/>`,
+	`<a b="c" d='e'>t</a>`,
+	`<?xml version="1.0"?><!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>x</r>`,
+	`<a><!-- comment --><![CDATA[<raw>&amp;]]></a>`,
+	`<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x41;&unknown;</a>`,
+	`<a> <b></b>
+	</a>`,
+	`<a`,
+	`<a></b>`,
+	`text only`,
+	`<a>]]></a>`,
+}
+
 func FuzzScan(f *testing.F) {
-	for _, seed := range []string{
-		`<a>hi</a>`,
-		`<r><a>1</a><a>2</a><b>x</b></r>`,
-		`<a/>`,
-		`<a b="c" d='e'>t</a>`,
-		`<?xml version="1.0"?><!DOCTYPE r [<!ELEMENT r (#PCDATA)>]><r>x</r>`,
-		`<a><!-- comment --><![CDATA[<raw>&amp;]]></a>`,
-		`<a>&lt;&gt;&amp;&apos;&quot;&#65;&#x41;&unknown;</a>`,
-		`<a> <b></b>
-		</a>`,
-		`<a`,
-		`<a></b>`,
-		`text only`,
-		`<a>]]></a>`,
-	} {
+	for _, seed := range fuzzSeeds {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, doc string) {
@@ -88,6 +91,38 @@ func FuzzScan(f *testing.F) {
 		for i := range events.Events {
 			if events.Events[i] != again.Events[i] {
 				t.Fatalf("round trip changed event %d: %v vs %v", i, events.Events[i], again.Events[i])
+			}
+		}
+	})
+}
+
+// FuzzScanBatched: batched delivery is a pure transport change. For any
+// input — accepted or rejected — ScanBatched must produce exactly the
+// event stream and error of a per-event Scan: same events in order
+// (the flush-before-error contract makes the prefixes comparable), same
+// error text.
+func FuzzScanBatched(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		var legacy Collector
+		legacyErr := ScanString(doc, &legacy, Options{})
+		var batched batchCollector
+		batchedErr := ScanBatchedString(doc, &batched, Options{})
+
+		switch {
+		case (legacyErr == nil) != (batchedErr == nil):
+			t.Fatalf("errors diverged for %q: legacy %v, batched %v", doc, legacyErr, batchedErr)
+		case legacyErr != nil && legacyErr.Error() != batchedErr.Error():
+			t.Fatalf("error text diverged for %q: legacy %v, batched %v", doc, legacyErr, batchedErr)
+		}
+		if len(legacy.Events) != len(batched.Events) {
+			t.Fatalf("event count diverged for %q: legacy %v, batched %v", doc, legacy.Events, batched.Events)
+		}
+		for i := range legacy.Events {
+			if legacy.Events[i] != batched.Events[i] {
+				t.Fatalf("event %d diverged for %q: legacy %v, batched %v", i, doc, legacy.Events[i], batched.Events[i])
 			}
 		}
 	})

@@ -1,13 +1,14 @@
 package sax
 
 import (
-	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"sync"
+	"unicode/utf8"
 )
 
 // Options configures a scan.
@@ -22,12 +23,22 @@ type Options struct {
 	// XML whitespace. Element-content DTD productions treat such text as
 	// insignificant, so the engine enables this.
 	SkipWhitespaceText bool
+
+	// Prune, when non-nil, enables scanner-level subtree pruning for
+	// batched scans: an element with no entry in the trie is consumed
+	// raw and delivered as a single SkipElement token instead of being
+	// tokenized (see PruneNode). Per-event (Handler) scans ignore it —
+	// the Handler interface has no skip event.
+	Prune *PruneNode
 }
 
 // SyntaxError describes a malformed-XML failure with a byte offset.
 type SyntaxError struct {
+	// Offset is the byte position in the input where the error was
+	// detected.
 	Offset int64
-	Msg    string
+	// Msg describes what was malformed.
+	Msg string
 }
 
 // Error implements error.
@@ -35,18 +46,24 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("sax: syntax error at byte %d: %s", e.Offset, e.Msg)
 }
 
-// scannerPool recycles scanners — the 64 KB read buffer, the name
+// scannerPool recycles scanners — the 64 KB input block, the name
 // interning table, and the scratch buffers — so a resident server running
 // many scans does not re-allocate them per query batch.
 var scannerPool sync.Pool
+
+// inputBlockSize is the scanner's input buffer: input is consumed a
+// block at a time and scanned in place, and the context is polled once
+// per refilled block.
+const inputBlockSize = 64 << 10
 
 // maxPooledNames bounds the interning table carried across pooled scans;
 // a table blown up by one adversarial document is dropped rather than
 // pinned in memory forever.
 const maxPooledNames = 1 << 12
 
-// maxPooledScratch likewise bounds the pooled name/attribute scratch
-// buffer, which one huge attribute value would otherwise pin.
+// maxPooledScratch likewise bounds the pooled scratch buffers (name,
+// attribute, and text accumulation), which one huge value would
+// otherwise pin.
 const maxPooledScratch = 64 << 10
 
 // Scan reads the XML document from r and delivers SAX events to h.
@@ -57,28 +74,16 @@ func Scan(r io.Reader, h Handler, opt Options) error {
 	return ScanContext(context.Background(), r, h, opt)
 }
 
-// ctxPollByteMask batches cancellation polls: the context is checked
-// once every 64 KB of consumed input. Byte granularity (rather than
-// per-event) bounds the extra work after a cancellation even for
-// documents dominated by huge text nodes, where events are rare.
-const ctxPollByteMask = 1<<16 - 1
-
 // ScanContext is Scan with cancellation: the scan loop polls ctx at
-// input-batch granularity (every 64 KB consumed) and stops mid-stream
+// input-block granularity (every 64 KB consumed) and stops mid-stream
 // with ctx.Err() once the context is done, instead of burning through
 // the rest of the document. A nil ctx means the scan is never canceled.
 func ScanContext(ctx context.Context, r io.Reader, h Handler, opt Options) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s, _ := scannerPool.Get().(*scanner)
-	if s == nil {
-		s = &scanner{
-			r:     bufio.NewReaderSize(nil, 64<<10),
-			names: make(map[string]string, 64),
-		}
-	}
-	s.r.Reset(r)
+	s := getScanner()
+	s.rd = r
 	s.h = h
 	s.opt = opt
 	s.ctx = ctx
@@ -87,19 +92,41 @@ func ScanContext(ctx context.Context, r io.Reader, h Handler, opt Options) error
 	return err
 }
 
+func getScanner() *scanner {
+	s, _ := scannerPool.Get().(*scanner)
+	if s == nil {
+		s = &scanner{
+			in:    make([]byte, 0, inputBlockSize),
+			names: make(map[string]string, 64),
+		}
+	}
+	return s
+}
+
 // recycle clears per-scan state and returns the scanner to the pool. The
 // interning table is kept (element names repeat across scans of the same
 // corpus) unless it has grown past maxPooledNames.
 func (s *scanner) recycle() {
-	s.r.Reset(nil)
+	s.rd = nil
 	s.h = nil
+	s.bh = nil
 	s.ctx = nil
 	s.opt = Options{}
-	s.off = 0
+	s.in = s.in[:0]
+	s.pos, s.lim = 0, 0
+	s.base = 0
+	s.srcEOF = false
 	s.readErr = nil
+	s.nextErr = nil
 	clear(s.stack[:cap(s.stack)])
 	s.stack = s.stack[:0]
-	s.text.Reset()
+	clear(s.prune[:cap(s.prune)])
+	s.prune = s.prune[:0]
+	if cap(s.text) > maxPooledScratch {
+		s.text = nil
+	} else {
+		s.text = s.text[:0]
+	}
 	if cap(s.buf) > maxPooledScratch {
 		s.buf = nil
 	} else {
@@ -107,6 +134,7 @@ func (s *scanner) recycle() {
 	}
 	if len(s.names) > maxPooledNames {
 		s.names = make(map[string]string, 64)
+		s.nameCache = [nameCacheSize]string{}
 	}
 	scannerPool.Put(s)
 }
@@ -117,17 +145,44 @@ func ScanString(doc string, h Handler, opt Options) error {
 }
 
 type scanner struct {
-	r       *bufio.Reader
-	h       Handler
-	ctx     context.Context
-	opt     Options
-	off     int64
+	rd  io.Reader
+	h   Handler      // per-event delivery; nil in batched mode
+	bh  BatchHandler // batched delivery; nil in per-event mode
+	ctx context.Context
+	opt Options
+
+	// Input block. in[pos:lim] is unconsumed data; base is the absolute
+	// stream offset of in[0].
+	in     []byte
+	pos    int
+	lim    int
+	base   int64
+	srcEOF bool
+
 	readErr error // sticky non-EOF read failure (I/O error, cancellation)
-	stack   []string
-	text    strings.Builder
-	names   map[string]string // interning table for element names
-	buf     []byte            // scratch
+	nextErr error // read error delivered after its batch of bytes drains
+
+	stack []string
+	text  []byte            // character-data accumulation scratch
+	names map[string]string // interning table for element names
+	// nameCache is a direct-mapped cache in front of names: element names
+	// repeat constantly, and a cheap byte-derived index plus one string
+	// compare beats a hashed map lookup per tag.
+	nameCache [nameCacheSize]string
+	buf       []byte // name/attribute scratch
+
+	// prune, when non-empty, is the prune-trie cursor stack alongside
+	// stack (batched scans with Options.Prune only; see prune.go).
+	prune []*PruneNode
+
+	// Batched-mode state (see batch.go).
+	ring     [batchRingSize]*Batch
+	ringPos  int
+	bhFailed bool // HandleBatch returned an error; do not flush again
 }
+
+// offset is the absolute stream offset of the next unconsumed byte.
+func (s *scanner) offset() int64 { return s.base + int64(s.pos) }
 
 // errf builds a SyntaxError — unless the reader itself failed, in which
 // case that failure is the root cause and must not be masked as
@@ -137,47 +192,230 @@ func (s *scanner) errf(format string, args ...any) error {
 	if s.readErr != nil {
 		return s.readErr
 	}
-	return &SyntaxError{Offset: s.off, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Offset: s.offset(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// refill loads the next input block. It must only be called with the
+// current block fully consumed (pos == lim), and polls the context once
+// per block — the cancellation granularity of the whole scan.
+func (s *scanner) refill() error {
+	if s.readErr != nil {
+		return s.readErr
+	}
+	if s.nextErr != nil {
+		err := s.nextErr
+		s.nextErr = nil
+		if err != io.EOF {
+			s.readErr = err
+		} else {
+			s.srcEOF = true
+		}
+		return err
+	}
+	if s.srcEOF {
+		return io.EOF
+	}
+	if cerr := s.ctx.Err(); cerr != nil {
+		s.readErr = cerr
+		return cerr
+	}
+	s.base += int64(s.lim)
+	s.pos, s.lim = 0, 0
+	s.in = s.in[:cap(s.in)]
+	for {
+		n, err := s.rd.Read(s.in)
+		if n > 0 {
+			s.in = s.in[:n]
+			s.lim = n
+			if err != nil {
+				s.nextErr = err // deliver after these bytes drain
+			}
+			return nil
+		}
+		if err == io.EOF {
+			s.in = s.in[:0]
+			s.srcEOF = true
+			return io.EOF
+		}
+		if err != nil {
+			s.in = s.in[:0]
+			s.readErr = err
+			return err
+		}
+	}
 }
 
 func (s *scanner) readByte() (byte, error) {
-	b, err := s.r.ReadByte()
-	if err == nil {
-		s.off++
-		if s.off&ctxPollByteMask == 0 {
-			if cerr := s.ctx.Err(); cerr != nil {
-				s.readErr = cerr
-				return 0, cerr
-			}
-		}
+	if s.pos < s.lim {
+		b := s.in[s.pos]
+		s.pos++
 		return b, nil
 	}
-	if err != io.EOF {
-		s.readErr = err
+	if err := s.refill(); err != nil {
+		return 0, err
 	}
-	return 0, err
+	b := s.in[s.pos]
+	s.pos++
+	return b, nil
 }
 
-func (s *scanner) unreadByte() {
-	// bufio guarantees success right after a successful ReadByte.
-	_ = s.r.UnreadByte()
-	s.off--
+// unreadByte steps back one byte. It is only valid immediately after a
+// successful readByte, which guarantees pos > 0.
+func (s *scanner) unreadByte() { s.pos-- }
+
+const nameCacheSize = 512
+
+// nameCacheIdx derives a direct-mapped cache slot from cheap byte
+// features of a name; collisions just fall through to the map.
+func nameCacheIdx(b []byte) int {
+	return (int(b[0])*31 + int(b[len(b)-1])*7 + len(b)) & (nameCacheSize - 1)
 }
 
 // intern returns a canonical string for the name bytes, avoiding an
 // allocation per occurrence of a repeated element name.
 func (s *scanner) intern(b []byte) string {
-	if n, ok := s.names[string(b)]; ok { // no alloc: map lookup on []byte key
-		return n
+	i := nameCacheIdx(b)
+	if c := s.nameCache[i]; c == string(b) { // no alloc: comparison only
+		return c
 	}
-	n := string(b)
-	s.names[n] = n
+	n, ok := s.names[string(b)] // no alloc: map lookup on []byte key
+	if !ok {
+		n = string(b)
+		s.names[n] = n
+	}
+	s.nameCache[i] = n
 	return n
 }
+
+// --- Event emission ------------------------------------------------------
+//
+// The scanner body is delivery-agnostic: it parses markup and calls the
+// emit* methods, which either invoke the per-event Handler or append
+// Tokens to the current Batch (copying text into the batch arena).
+
+func (s *scanner) emitStart(name string) error {
+	if s.bh == nil {
+		return s.h.StartElement(name)
+	}
+	b := s.curBatch()
+	if len(b.Tokens) >= maxBatchTokens {
+		if err := s.flushBatch(); err != nil {
+			return err
+		}
+		b = s.curBatch()
+	}
+	b.Tokens = append(b.Tokens, Token{Kind: StartElement, Name: name})
+	return nil
+}
+
+func (s *scanner) emitEnd(name string) error {
+	if s.bh == nil {
+		return s.h.EndElement(name)
+	}
+	b := s.curBatch()
+	if len(b.Tokens) >= maxBatchTokens {
+		if err := s.flushBatch(); err != nil {
+			return err
+		}
+		b = s.curBatch()
+	}
+	b.Tokens = append(b.Tokens, Token{Kind: EndElement, Name: name})
+	return nil
+}
+
+// emitTextString delivers already-decoded character data held as a
+// string (attribute values under AttrsToSubelements).
+func (s *scanner) emitTextString(v string) error {
+	if s.bh == nil {
+		return s.h.Text(v)
+	}
+	if err := s.roomFor(len(v)); err != nil {
+		return err
+	}
+	b := s.curBatch()
+	start := len(b.arena)
+	b.arena = append(b.arena, v...)
+	b.Tokens = append(b.Tokens, Token{Kind: Text, Data: b.arena[start:len(b.arena):len(b.arena)]})
+	return nil
+}
+
+// flushText delivers the accumulated character data, decoding entity
+// references.
+func (s *scanner) flushText() error {
+	t := s.text
+	if len(t) == 0 {
+		return nil
+	}
+	s.text = s.text[:0]
+	return s.emitTextSeg(t)
+}
+
+// emitTextSeg delivers one complete character-data segment (t may point
+// into the input block or the text scratch; it is consumed before
+// return). In batched mode the decoded bytes go straight into the batch
+// arena: no string is allocated per text event.
+func (s *scanner) emitTextSeg(t []byte) error {
+	if s.opt.SkipWhitespaceText && isAllSpaceBytes(t) {
+		return nil
+	}
+	if s.bh == nil {
+		if bytes.IndexByte(t, '&') < 0 {
+			return s.h.Text(string(t))
+		}
+		return s.h.Text(decodeEntities(string(t)))
+	}
+	// Decoding only ever shrinks (every reference is at least as long as
+	// its replacement), so len(t) bounds the arena bytes needed.
+	if err := s.roomFor(len(t)); err != nil {
+		return err
+	}
+	b := s.curBatch()
+	start := len(b.arena)
+	if bytes.IndexByte(t, '&') < 0 {
+		b.arena = append(b.arena, t...)
+	} else {
+		b.arena = appendDecoded(b.arena, t)
+	}
+	b.Tokens = append(b.Tokens, Token{Kind: Text, Data: b.arena[start:len(b.arena):len(b.arena)]})
+	return nil
+}
+
+// flushTextRaw delivers accumulated CDATA text without entity decoding.
+func (s *scanner) flushTextRaw() error {
+	t := s.text
+	if len(t) == 0 {
+		return nil
+	}
+	s.text = s.text[:0]
+	if s.opt.SkipWhitespaceText && isAllSpaceBytes(t) {
+		return nil
+	}
+	if s.bh == nil {
+		return s.h.Text(string(t))
+	}
+	if err := s.roomFor(len(t)); err != nil {
+		return err
+	}
+	b := s.curBatch()
+	start := len(b.arena)
+	b.arena = append(b.arena, t...)
+	b.Tokens = append(b.Tokens, Token{Kind: Text, Data: b.arena[start:len(b.arena):len(b.arena)]})
+	return nil
+}
+
+// --- Scan loop -----------------------------------------------------------
 
 func (s *scanner) run() error {
 	sawRoot := false
 	for {
+		// Bulk-scan the current block for the next markup boundary,
+		// accumulating any character data in between.
+		if s.pos < s.lim && s.in[s.pos] != '<' {
+			if err := s.textRun(); err != nil {
+				return err
+			}
+			continue
+		}
 		b, err := s.readByte()
 		if err == io.EOF {
 			if len(s.stack) > 0 {
@@ -195,63 +433,113 @@ func (s *scanner) run() error {
 			if err := s.flushText(); err != nil {
 				return err
 			}
-			rootClosed, err := s.markup(&sawRoot)
-			if err != nil {
+			if err := s.markup(&sawRoot); err != nil {
 				return err
 			}
-			_ = rootClosed
-		} else {
-			if len(s.stack) == 0 {
-				if !isXMLSpace(b) {
-					return s.errf("character data %q outside document element", b)
-				}
-				continue
-			}
-			s.text.WriteByte(b)
+			continue
+		}
+		// Only reachable when the block was empty before readByte: put the
+		// byte back and take the bulk path.
+		s.unreadByte()
+		if err := s.textRun(); err != nil {
+			return err
 		}
 	}
 }
 
-func (s *scanner) flushText() error {
-	if s.text.Len() == 0 {
-		return nil
+// textRun consumes the maximal run of character data starting at the
+// current position — everything up to the next '<'. A run that lies
+// entirely within the current block is emitted straight from the input
+// buffer, skipping the text scratch; only block-straddling runs
+// accumulate. Outside the document element only whitespace is legal.
+func (s *scanner) textRun() error {
+	if len(s.text) == 0 && len(s.stack) > 0 {
+		chunk := s.in[s.pos:s.lim]
+		if i := bytes.IndexByte(chunk, '<'); i >= 0 {
+			s.pos += i
+			return s.emitTextSeg(chunk[:i])
+		}
 	}
-	t := s.text.String()
-	s.text.Reset()
-	if s.opt.SkipWhitespaceText && isAllSpace(t) {
-		return nil
+	for {
+		chunk := s.in[s.pos:s.lim]
+		i := bytes.IndexByte(chunk, '<')
+		seg := chunk
+		if i >= 0 {
+			seg = chunk[:i]
+		}
+		if len(s.stack) == 0 {
+			for j := 0; j < len(seg); j++ {
+				if !isXMLSpace(seg[j]) {
+					s.pos += j + 1
+					return s.errf("character data %q outside document element", seg[j])
+				}
+			}
+		} else {
+			s.text = append(s.text, seg...)
+		}
+		s.pos += len(seg)
+		if i >= 0 {
+			return nil
+		}
+		if err := s.refill(); err != nil {
+			if err == io.EOF {
+				return nil // run() handles end of stream
+			}
+			return err
+		}
 	}
-	return s.h.Text(decodeEntities(t))
 }
 
 // markup handles everything after a '<'.
-func (s *scanner) markup(sawRoot *bool) (bool, error) {
+func (s *scanner) markup(sawRoot *bool) error {
 	b, err := s.readByte()
 	if err != nil {
-		return false, s.errf("unexpected EOF after '<'")
+		return s.errf("unexpected EOF after '<'")
 	}
 	switch {
 	case b == '/':
 		return s.endTag()
 	case b == '?':
-		return false, s.skipPI()
+		return s.skipPI()
 	case b == '!':
-		return false, s.bangMarkup()
+		return s.bangMarkup()
 	default:
 		s.unreadByte()
 		if len(s.stack) == 0 && *sawRoot {
-			return false, s.errf("content after document element")
+			return s.errf("content after document element")
 		}
 		*sawRoot = true
-		return false, s.startTag()
+		return s.startTag()
 	}
 }
 
+// readName scans an element or attribute name. The fast path resolves
+// the whole name inside the current block; the scratch buffer is only
+// used when a name straddles a block boundary.
 func (s *scanner) readName() (string, error) {
-	s.buf = s.buf[:0]
+	i := s.pos
+	for i < s.lim && isNameByte(s.in[i]) {
+		i++
+	}
+	if i < s.lim {
+		if i == s.pos {
+			return "", s.errf("expected name")
+		}
+		n := s.intern(s.in[s.pos:i])
+		s.pos = i
+		return n, nil
+	}
+	// Name may continue into the next block: fall back to scratch.
+	s.buf = append(s.buf[:0], s.in[s.pos:i]...)
+	s.pos = i
 	for {
 		b, err := s.readByte()
 		if err != nil {
+			if err == io.EOF && len(s.buf) > 0 {
+				// A name ending exactly at EOF is always malformed markup —
+				// let the caller report the context.
+				return "", s.errf("unexpected EOF in name")
+			}
 			return "", s.errf("unexpected EOF in name")
 		}
 		if isNameByte(b) {
@@ -284,6 +572,18 @@ func (s *scanner) startTag() error {
 	name, err := s.readName()
 	if err != nil {
 		return err
+	}
+	// Prune-trie descent: an element the trie has no entry for collapses
+	// into one SkipElement token, its bytes consumed raw.
+	var pnext *PruneNode
+	if len(s.prune) > 0 {
+		cur := s.prune[len(s.prune)-1]
+		pnext = cur
+		if !cur.All {
+			if pnext = cur.Kids[name]; pnext == nil {
+				return s.skipElement(name)
+			}
+		}
 	}
 	type attr struct{ name, value string }
 	var attrs []attr
@@ -342,56 +642,65 @@ func (s *scanner) startTag() error {
 		}
 	}
 
-	if err := s.h.StartElement(name); err != nil {
+	if err := s.emitStart(name); err != nil {
 		return err
 	}
 	if s.opt.AttrsToSubelements {
 		for _, a := range attrs {
 			sub := s.intern(append(append(append(s.buf[:0], name...), '_'), a.name...))
-			if err := s.h.StartElement(sub); err != nil {
+			if pnext != nil && !pnext.All && pnext.Kids[sub] == nil {
+				if err := s.emitSkip(sub); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := s.emitStart(sub); err != nil {
 				return err
 			}
 			if a.value != "" {
-				if err := s.h.Text(a.value); err != nil {
+				if err := s.emitTextString(a.value); err != nil {
 					return err
 				}
 			}
-			if err := s.h.EndElement(sub); err != nil {
+			if err := s.emitEnd(sub); err != nil {
 				return err
 			}
 		}
 	}
 	if selfClose {
-		return s.h.EndElement(name)
+		return s.emitEnd(name)
 	}
 	s.stack = append(s.stack, name)
+	if pnext != nil {
+		s.prune = append(s.prune, pnext)
+	}
 	return nil
 }
 
-func (s *scanner) endTag() (bool, error) {
+func (s *scanner) endTag() error {
 	name, err := s.readName()
 	if err != nil {
-		return false, err
+		return err
 	}
 	if err := s.skipSpace(); err != nil {
-		return false, s.errf("unexpected EOF in </%s>", name)
+		return s.errf("unexpected EOF in </%s>", name)
 	}
 	b, err := s.readByte()
 	if err != nil || b != '>' {
-		return false, s.errf("expected '>' in </%s>", name)
+		return s.errf("expected '>' in </%s>", name)
 	}
 	if len(s.stack) == 0 {
-		return false, s.errf("close tag </%s> with no open element", name)
+		return s.errf("close tag </%s> with no open element", name)
 	}
 	top := s.stack[len(s.stack)-1]
 	if top != name {
-		return false, s.errf("close tag </%s> does not match open <%s>", name, top)
+		return s.errf("close tag </%s> does not match open <%s>", name, top)
 	}
 	s.stack = s.stack[:len(s.stack)-1]
-	if err := s.h.EndElement(name); err != nil {
-		return false, err
+	if len(s.prune) > 0 {
+		s.prune = s.prune[:len(s.prune)-1]
 	}
-	return len(s.stack) == 0, nil
+	return s.emitEnd(name)
 }
 
 // skipPI consumes a processing instruction (or XML declaration) up to "?>".
@@ -468,35 +777,19 @@ func (s *scanner) cdata() error {
 		switch {
 		case b == ']':
 			if brackets == 2 {
-				s.text.WriteByte(']')
+				s.text = append(s.text, ']')
 			} else {
 				brackets++
 			}
 		case b == '>' && brackets >= 2:
-			if err := s.flushTextRaw(); err != nil {
-				return err
-			}
-			return nil
+			return s.flushTextRaw()
 		default:
 			for ; brackets > 0; brackets-- {
-				s.text.WriteByte(']')
+				s.text = append(s.text, ']')
 			}
-			s.text.WriteByte(b)
+			s.text = append(s.text, b)
 		}
 	}
-}
-
-// flushTextRaw delivers accumulated CDATA text without entity decoding.
-func (s *scanner) flushTextRaw() error {
-	if s.text.Len() == 0 {
-		return nil
-	}
-	t := s.text.String()
-	s.text.Reset()
-	if s.opt.SkipWhitespaceText && isAllSpace(t) {
-		return nil
-	}
-	return s.h.Text(t)
 }
 
 // skipDoctype consumes a DOCTYPE declaration, including an internal subset.
@@ -524,7 +817,7 @@ func isXMLSpace(b byte) bool {
 	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
 }
 
-func isAllSpace(s string) bool {
+func isAllSpaceBytes(s []byte) bool {
 	for i := 0; i < len(s); i++ {
 		if !isXMLSpace(s[i]) {
 			return false
@@ -595,4 +888,55 @@ func decodeEntities(s string) string {
 		s = s[semi+1:]
 	}
 	return b.String()
+}
+
+// appendDecoded is decodeEntities over byte slices, appending the decoded
+// text to dst — the batched path's allocation-free variant. The decoded
+// form is never longer than the input.
+func appendDecoded(dst, s []byte) []byte {
+	for len(s) > 0 {
+		if s[0] != '&' {
+			next := bytes.IndexByte(s, '&')
+			if next < 0 {
+				return append(dst, s...)
+			}
+			dst = append(dst, s[:next]...)
+			s = s[next:]
+			continue
+		}
+		semi := bytes.IndexByte(s, ';')
+		if semi < 0 || semi > 12 {
+			dst = append(dst, '&')
+			s = s[1:]
+			continue
+		}
+		ent := s[1:semi]
+		switch {
+		case string(ent) == "lt":
+			dst = append(dst, '<')
+		case string(ent) == "gt":
+			dst = append(dst, '>')
+		case string(ent) == "amp":
+			dst = append(dst, '&')
+		case string(ent) == "apos":
+			dst = append(dst, '\'')
+		case string(ent) == "quot":
+			dst = append(dst, '"')
+		case len(ent) > 0 && ent[0] == '#':
+			num := ent[1:]
+			base := 10
+			if len(num) > 0 && (num[0] == 'x' || num[0] == 'X') {
+				num, base = num[1:], 16
+			}
+			if n, err := strconv.ParseInt(string(num), base, 32); err == nil && n >= 0 {
+				dst = utf8.AppendRune(dst, rune(n))
+			} else {
+				dst = append(dst, s[:semi+1]...)
+			}
+		default:
+			dst = append(dst, s[:semi+1]...)
+		}
+		s = s[semi+1:]
+	}
+	return dst
 }

@@ -350,12 +350,12 @@ func TestReadErrorNotMaskedAsSyntaxError(t *testing.T) {
 
 // TestScanContextNilCtx: a nil context means "never canceled", matching
 // mux.Run, and must not panic at the poll boundary — the document must
-// therefore exceed the 64 KB input-poll granularity so the poll site
+// therefore exceed the 64 KB input-block granularity so the poll site
 // actually executes.
 func TestScanContextNilCtx(t *testing.T) {
 	var sb strings.Builder
 	sb.WriteString("<r>")
-	for sb.Len() <= 2*(ctxPollByteMask+1) {
+	for sb.Len() <= 2*inputBlockSize {
 		sb.WriteString("<a>x</a>")
 	}
 	sb.WriteString("</r>")

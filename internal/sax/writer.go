@@ -2,6 +2,7 @@ package sax
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"strings"
 )
@@ -77,6 +78,50 @@ func (w *Writer) EndElement(name string) error {
 // Text implements Handler. Character data is escaped.
 func (w *Writer) Text(data string) error {
 	return w.writeString(EscapeText(data))
+}
+
+// TextBytes is Text for byte-slice payloads — the batched scan path's
+// arena-backed tokens are escaped and written without being converted to
+// a string first.
+func (w *Writer) TextBytes(data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !bytes.ContainsAny(data, "<>&") {
+		return w.write(data)
+	}
+	start := 0
+	for i := 0; i < len(data); i++ {
+		var esc string
+		switch data[i] {
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '&':
+			esc = "&amp;"
+		default:
+			continue
+		}
+		if err := w.write(data[start:i]); err != nil {
+			return err
+		}
+		if err := w.writeString(esc); err != nil {
+			return err
+		}
+		start = i + 1
+	}
+	return w.write(data[start:])
+}
+
+func (w *Writer) write(b []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	n, err := w.w.Write(b)
+	w.n += int64(n)
+	w.err = err
+	return err
 }
 
 // Raw writes a pre-formed string (e.g. a fixed output string from a query)

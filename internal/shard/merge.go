@@ -59,6 +59,7 @@ func Merge(per map[string]flux.ServerStats) MergedStats {
 		out.Rollup.Admission.Queued += st.Admission.Queued
 		out.Rollup.Admission.Admitted += st.Admission.Admitted
 		out.Rollup.Calibration.Samples += st.Calibration.Samples
+		out.Rollup.Calibration.Evicted += st.Calibration.Evicted
 		factorWeighted += st.Calibration.Factor * float64(st.Calibration.Samples)
 		for sig, sc := range st.Calibration.Signatures {
 			sigWeighted[sig] += sc.Factor * float64(sc.Samples)

@@ -17,8 +17,10 @@ import (
 
 // TestSelectiveEquivalenceXMark: every XMark query run in one selective
 // shared scan produces byte-identical output and identical peak buffer
-// bytes to its solo all-events run, while being delivered no more — and
-// for the narrow queries strictly fewer — events.
+// bytes to its solo run, while being delivered no more events (solo runs
+// are themselves signature-routed, so the counts typically match); the
+// narrow fan-out queries must see strictly fewer events than the stream
+// tokenizes.
 func TestSelectiveEquivalenceXMark(t *testing.T) {
 	doc := xmarkTestDoc(t, 96<<10)
 
@@ -79,18 +81,26 @@ func TestSelectiveEquivalenceXMark(t *testing.T) {
 		}
 	}
 	// The disjoint fan-out queries are narrow: each must be delivered
-	// strictly fewer events than a solo all-events run.
+	// strictly fewer events than the full stream tokenizes.
+	var total int64
+	n := func(string) error { total++; return nil }
+	if err := sax.Scan(strings.NewReader(doc), sax.HandlerFuncs{
+		Start: n, End: n, Chars: func(string) error { total++; return nil },
+	}, sax.Options{SkipWhitespaceText: true}); err != nil {
+		t.Fatal(err)
+	}
 	for i := len(xmark.QueryNames); i < len(queries); i++ {
-		if results[i].Stats.Tokens >= soloStats[i].Tokens {
-			t.Errorf("%s: selective delivered %d events, want < %d",
-				names[i], results[i].Stats.Tokens, soloStats[i].Tokens)
+		if results[i].Stats.Tokens >= total {
+			t.Errorf("%s: selective delivered %d events, want < %d (full stream)",
+				names[i], results[i].Stats.Tokens, total)
 		}
 	}
 }
 
 // TestSelectiveRunAllUnchanged: the public RunAll keeps all-fanout
 // semantics — every query sees every event, so per-query validation of
-// the full document is preserved for library users.
+// the full document is preserved for library users — while a solo Run
+// is signature-routed and sees strictly fewer events for a narrow query.
 func TestSelectiveRunAllUnchanged(t *testing.T) {
 	doc := xmarkTestDoc(t, 32<<10)
 	q, err := Prepare(xmark.Queries["q13"], xmark.DTD)
@@ -105,8 +115,8 @@ func TestSelectiveRunAllUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if results[0].Stats.Tokens != st.Tokens {
-		t.Fatalf("RunAll delivered %d events, solo %d; RunAll must stay all-fanout",
+	if results[0].Stats.Tokens <= st.Tokens {
+		t.Fatalf("RunAll delivered %d events, routed solo %d; RunAll must stay all-fanout",
 			results[0].Stats.Tokens, st.Tokens)
 	}
 }
