@@ -25,7 +25,7 @@ fmt-check:
 # resolve. go vet's comment checks run as part of `make vet`; doclint
 # covers what vet does not.
 lint-docs:
-	$(GO) run ./cmd/doclint -pkg . -pkg ./internal/shard -pkg ./internal/sax -pkg ./internal/mux -pkgtree . -md README.md -md ARCHITECTURE.md
+	$(GO) run ./cmd/doclint -pkg . -pkg ./internal/shard -pkg ./internal/sax -pkg ./internal/mux -pkg ./internal/stream -pkgtree . -md README.md -md ARCHITECTURE.md
 
 # Short-mode fuzz smoke: drives the native scanner fuzz target for a few
 # seconds on top of its checked-in seeds.

@@ -47,12 +47,15 @@ type Catalog struct {
 
 // catalogDoc is the registry entry for one named document. The path is
 // swapped atomically under the catalog lock; everything else is fixed at
-// Add time.
+// Add time. Stream-backed documents (AddStream) have no path: their
+// bytes arrive through the streaming hub, so Open fails for them while
+// Prepare, Schema, DTD, and admission work unchanged.
 type catalogDoc struct {
 	name   string
 	path   string
 	schema *schemaEntry
 	swaps  int64 // completed hot-swaps
+	stream bool  // registered by AddStream; no file binding
 }
 
 // schemaEntry parses one DTD text at most once, on first use.
@@ -117,6 +120,10 @@ func NewCatalog(opt CatalogOptions) *Catalog {
 var (
 	ErrDocNotFound = errors.New("flux: document not registered in catalog")
 	ErrDocExists   = errors.New("flux: document already registered in catalog")
+	// ErrDocStreamBacked rejects file operations (Open, Swap) on a
+	// document registered with AddStream: its bytes live in the stream
+	// that feeds it, not in any file.
+	ErrDocStreamBacked = errors.New("flux: document is stream-backed; it has no file binding")
 )
 
 // Add registers a document under name, bound to dtdText. The document
@@ -143,6 +150,30 @@ func (c *Catalog) Add(name, docPath, dtdText string) error {
 	return nil
 }
 
+// AddStream registers a stream-backed document under name, bound to
+// dtdText: a document whose bytes arrive through live ingestion (see
+// internal/stream) rather than from a file. Everything schema-shaped
+// works exactly as for a file-backed document — Prepare compiles and
+// caches queries against the shared parsed schema, DTD ships the exact
+// text, admission charges scans — but there is nothing to Open or Swap.
+func (c *Catalog) AddStream(name, dtdText string) error {
+	if name == "" {
+		return errors.New("flux: catalog document name must be non-empty")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.docs[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDocExists, name)
+	}
+	se, ok := c.schemas[dtdText]
+	if !ok {
+		se = &schemaEntry{dtdText: dtdText}
+		c.schemas[dtdText] = se
+	}
+	c.docs[name] = &catalogDoc{name: name, schema: se, stream: true}
+	return nil
+}
+
 // Swap atomically repoints the named document at path (hot-swap). The
 // new file is stat-checked before the switch; on any error the old
 // binding stays in place. In-flight scans of the old file complete
@@ -157,6 +188,9 @@ func (c *Catalog) Swap(name, path string) error {
 	d, ok := c.docs[name]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	if d.stream {
+		return fmt.Errorf("flux: swap %q: %w", name, ErrDocStreamBacked)
 	}
 	d.path = path
 	d.swaps++
@@ -204,6 +238,9 @@ type DocInfo struct {
 	Path string `json:"path"`
 	// Swaps counts completed hot-swaps since registration.
 	Swaps int64 `json:"swaps"`
+	// Stream marks a stream-backed document (AddStream): Path is empty
+	// and Open/Swap are rejected.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // Info reports the named document's current binding.
@@ -214,7 +251,7 @@ func (c *Catalog) Info(name string) (DocInfo, error) {
 	if !ok {
 		return DocInfo{}, fmt.Errorf("%w: %q", ErrDocNotFound, name)
 	}
-	return DocInfo{Name: d.name, Path: d.path, Swaps: d.swaps}, nil
+	return DocInfo{Name: d.name, Path: d.path, Swaps: d.swaps, Stream: d.stream}, nil
 }
 
 // DTD returns the exact DTD text the named document was registered
@@ -252,9 +289,13 @@ func (c *Catalog) Open(name string) (*os.File, error) {
 	if ok {
 		path = d.path
 	}
+	stream := ok && d.stream
 	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, name)
+	}
+	if stream {
+		return nil, fmt.Errorf("flux: open %q: %w", name, ErrDocStreamBacked)
 	}
 	return os.Open(path)
 }

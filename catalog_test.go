@@ -629,3 +629,58 @@ func TestCalibrationDecay(t *testing.T) {
 		t.Fatalf("re-seeded row = {factor %v, samples %d}, want {4, 1}", e.factor, e.samples)
 	}
 }
+
+// TestCatalogStreamDoc: a stream-backed document supports everything
+// schema-shaped (Prepare, Schema, DTD, shared schema entries) but has no
+// file to Open or Swap.
+func TestCatalogStreamDoc(t *testing.T) {
+	cat := NewCatalog(CatalogOptions{})
+	if err := cat.AddStream("", catDTD); err == nil {
+		t.Fatal("AddStream with empty name must fail")
+	}
+	if err := cat.AddStream("live", catDTD); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddStream("live", catDTD); !errors.Is(err, ErrDocExists) {
+		t.Fatalf("duplicate AddStream: err = %v, want ErrDocExists", err)
+	}
+
+	info, err := cat.Info("live")
+	if err != nil || !info.Stream || info.Path != "" {
+		t.Fatalf("Info = %+v, %v; want Stream=true, empty path", info, err)
+	}
+	if _, err := cat.Open("live"); !errors.Is(err, ErrDocStreamBacked) {
+		t.Fatalf("Open on stream doc: err = %v, want ErrDocStreamBacked", err)
+	}
+	if err := cat.Swap("live", writeTemp(t, "bib.xml", catDoc)); !errors.Is(err, ErrDocStreamBacked) {
+		t.Fatalf("Swap on stream doc: err = %v, want ErrDocStreamBacked", err)
+	}
+
+	q, err := cat.Prepare("live", "{ for $b in /bib/book return {$b/title} }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Plan() == nil {
+		t.Fatal("compiled query exposes no plan")
+	}
+	got, _, err := q.RunString(catDoc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "<title>FluX</title><title>XMark</title>"; got != want {
+		t.Fatalf("query over stream-doc schema = %q, want %q", got, want)
+	}
+
+	// A file-backed document with the same DTD text shares the parsed
+	// schema entry, so compiled queries are shared across both.
+	if err := cat.Add("bib", writeTemp(t, "bib2.xml", catDoc), catDTD); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := cat.Prepare("bib", "{ for $b in /bib/book return {$b/title} }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != q {
+		t.Fatal("stream and file docs with identical DTD text must share compiled queries")
+	}
+}

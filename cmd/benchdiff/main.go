@@ -5,17 +5,21 @@
 // Each regression is reported with the exact row (query/size/mode), its
 // baseline and observed values, and the allowed maximum.
 //
-// It also enforces four invariants on the fresh snapshot: on every
+// It also enforces five invariants on the fresh snapshot: on every
 // (query, size) cell measured in both a flux row and a baseline row,
 // flux must be the fastest mode — the paper's headline claim; wherever
 // both fanout-all and fanout-selective rows exist, the selective row
 // must have delivered strictly fewer events; wherever both
 // served-single and served-sharded rows exist, the sharded tier must
 // have produced identical output bytes and delivered identical tokens —
-// sharding must not change results; and wherever both migrate-static
+// sharding must not change results; wherever both migrate-static
 // and migrate-live rows exist, the query stream that raced a live
 // document migration must match the static topology's output and
-// tokens exactly — migration must be invisible to queries.
+// tokens exactly — migration must be invisible to queries; and
+// wherever both stream-static and stream-replay rows exist, the
+// standing subscriptions fed by the chunked replay must have produced
+// exactly the static scan's output bytes — live ingestion must not
+// change results either.
 //
 // Usage:
 //
@@ -72,6 +76,10 @@ func main() {
 	}
 	if err := bench.CheckMigrate(newSnap); err != nil {
 		fmt.Println("benchdiff: MIGRATE INVARIANT VIOLATED:", err)
+		failed = true
+	}
+	if err := bench.CheckStreamEquivalence(newSnap); err != nil {
+		fmt.Println("benchdiff: STREAM INVARIANT VIOLATED:", err)
 		failed = true
 	}
 	for _, r := range res.Regressions {

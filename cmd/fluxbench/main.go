@@ -38,6 +38,7 @@ func main() {
 		sharded     = flag.Bool("sharded", true, "add serving-tier rows per size (query set over HTTP: single worker vs fluxrouter with 2 embedded shards)")
 		migrate     = flag.Bool("migrate", true, "add migration-under-load rows per size (fixed query stream with and without a live document migration racing it)")
 		percentiles = flag.Bool("percentiles", true, "add an open-loop serving-latency row per size (p50/p99 request latency and queries/sec)")
+		streaming   = flag.Bool("stream", true, "add streaming-ingestion rows per size (static shared scan vs standing subscriptions over a chunked replay)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 	cfg.Sharded = *sharded
 	cfg.Migrate = *migrate
 	cfg.Percentiles = *percentiles
+	cfg.Stream = *streaming
 
 	// An interrupt abandons the sweep mid-document via the context path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -11,10 +11,14 @@
 //
 //	fluxd -dtd schema.dtd -doc data.xml [flags]     # single document
 //	fluxd -docroot corpus/ [flags]                  # every corpus/<name>.xml + <name>.dtd pair
+//	fluxd -stream-doc feed=schema.dtd [flags]       # stream-backed document, fed via /ingest
+//	fluxd -stream-doc feed=schema.dtd -tail feed=/path/to/fifo
+//	                                                # ... or from a named pipe
 //
 // Flags: [-addr :8700] [-window 2ms] [-max-batch 16] [-attrs] [-query-cache 256]
 // [-admin] [-batch-buffer-budget 0] [-max-scans-per-doc 0]
 // [-max-resident-buffer 0] [-all-fanout] [-shard-id -1] [-advertise addr]
+// [-stream-doc name=dtdpath ...] [-tail doc=path ...]
 //
 // Endpoints:
 //
@@ -43,6 +47,17 @@
 //	                       unregister a document; in-flight scans finish
 //	                       on their open handle, later requests 404.
 //	                       -admin gated
+//	POST /ingest?doc=name  feed a live document stream: the request body
+//	                       is consumed incrementally as it arrives, so
+//	                       the producer may hold the request open and
+//	                       trickle the document in. Responds with a JSON
+//	                       summary when the stream ends
+//	POST /subscribe?doc=name[&policy=block|drop]
+//	                       register the query in the body as a standing
+//	                       subscription; results stream back as matching
+//	                       subtrees complete, stats and any failure ride
+//	                       in HTTP trailers when the stream ends
+//	GET  /streamz          live ingests and parked subscriptions
 //	GET  /stats            the typed flux.ServerStats snapshot:
 //	                       per-document serving counters, compiled-query
 //	                       cache counters, scan admission counters, and
@@ -83,9 +98,26 @@ import (
 	"flux/internal/shard"
 )
 
+// streamDoc is one -stream-doc registration: a stream-backed document
+// that exists only as a live ingest target, schema-checked against the
+// DTD at dtdPath.
+type streamDoc struct {
+	name    string
+	dtdPath string
+}
+
+// tailSpec is one -tail binding: feed the named document's stream from
+// the file or named pipe at path.
+type tailSpec struct {
+	doc  string
+	path string
+}
+
 // config is the validated server configuration.
 type config struct {
 	docs        []shard.DocSpec
+	streamDocs  []streamDoc
+	tails       []tailSpec
 	window      time.Duration
 	maxBatch    int
 	attrs       bool
@@ -111,7 +143,7 @@ const maxSaneWindow = time.Minute
 // buildConfig validates the flag values and resolves the document set.
 // It is the startup gate: bad values produce errors here, not silent
 // defaults at serving time.
-func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatch, cacheCap int, attrs, admin bool, sched schedConfig, id shardConfig) (config, error) {
+func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatch, cacheCap int, attrs, admin bool, sched schedConfig, id shardConfig, streams streamFlags) (config, error) {
 	cfg := config{
 		window: window, maxBatch: maxBatch, attrs: attrs, cacheCap: cacheCap, admin: admin,
 		batchBudget: sched.batchBudget, maxScansDoc: sched.maxScansDoc,
@@ -151,11 +183,28 @@ func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatc
 	if cacheCap == 0 {
 		cfg.cacheCap = -1 // flag 0 = disabled; CatalogOptions negative = disabled
 	}
+	for _, v := range streams.streamDocs {
+		name, dtdPath, ok := strings.Cut(v, "=")
+		if !ok || name == "" || dtdPath == "" {
+			return cfg, fmt.Errorf("-stream-doc wants name=dtdpath, got %q", v)
+		}
+		if err := fsutil.CheckRegularFile(dtdPath); err != nil {
+			return cfg, fmt.Errorf("-stream-doc %s: %w", name, err)
+		}
+		cfg.streamDocs = append(cfg.streamDocs, streamDoc{name: name, dtdPath: dtdPath})
+	}
+	for _, v := range streams.tails {
+		doc, path, ok := strings.Cut(v, "=")
+		if !ok || doc == "" || path == "" {
+			return cfg, fmt.Errorf("-tail wants doc=path, got %q", v)
+		}
+		cfg.tails = append(cfg.tails, tailSpec{doc: doc, path: path})
+	}
 	if (dtdFile == "") != (docFile == "") {
 		return cfg, fmt.Errorf("-dtd and -doc must be given together")
 	}
-	if docFile == "" && docroot == "" {
-		return cfg, fmt.Errorf("no documents: give -dtd/-doc or -docroot")
+	if docFile == "" && docroot == "" && len(cfg.streamDocs) == 0 {
+		return cfg, fmt.Errorf("no documents: give -dtd/-doc, -docroot, or -stream-doc")
 	}
 	if docFile != "" {
 		if err := fsutil.CheckRegularFile(docFile); err != nil {
@@ -179,6 +228,17 @@ func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatc
 			return cfg, fmt.Errorf("duplicate document name %q (%s and %s)", d.Name, prev, d.DocPath)
 		}
 		seen[d.Name] = d.DocPath
+	}
+	for _, d := range cfg.streamDocs {
+		if prev, dup := seen[d.name]; dup {
+			return cfg, fmt.Errorf("duplicate document name %q (%s and -stream-doc)", d.name, prev)
+		}
+		seen[d.name] = "-stream-doc " + d.dtdPath
+	}
+	for _, tl := range cfg.tails {
+		if _, ok := seen[tl.doc]; !ok {
+			return cfg, fmt.Errorf("-tail %s=%s: no such document registered", tl.doc, tl.path)
+		}
 	}
 	return cfg, nil
 }
@@ -204,6 +264,25 @@ type shardConfig struct {
 	advertise string
 }
 
+// streamFlags bundles the raw repeatable streaming flag values, parsed
+// and validated by buildConfig.
+type streamFlags struct {
+	streamDocs []string // -stream-doc name=dtdpath, repeatable
+	tails      []string // -tail doc=path, repeatable
+}
+
+// repeatFlag collects every occurrence of a repeatable string flag.
+type repeatFlag []string
+
+// String implements flag.Value.
+func (f *repeatFlag) String() string { return strings.Join(*f, ",") }
+
+// Set implements flag.Value.
+func (f *repeatFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8700", "listen address")
@@ -223,7 +302,12 @@ func main() {
 
 		shardID   = flag.Int("shard-id", -1, "shard index this worker asserts at /shardz, for fluxrouter supervision (-1 = standalone)")
 		advertise = flag.String("advertise", "", "reachable base URL reported at /shardz, when the listen address is not routable as written")
+
+		streamDocs repeatFlag
+		tails      repeatFlag
 	)
+	flag.Var(&streamDocs, "stream-doc", "register a stream-backed document as name=dtdpath; it is served only by live ingestion (/ingest), never from a file (repeatable)")
+	flag.Var(&tails, "tail", "feed the named document's stream from a file or named pipe, as doc=path; a pipe is re-opened after each complete document (repeatable)")
 	flag.Parse()
 
 	cfg, err := buildConfig(*dtdFile, *docFile, *docroot, *window, *maxBatch, *cacheCap, *attrs, *admin, schedConfig{
@@ -231,7 +315,7 @@ func main() {
 		maxScansDoc: *maxScansDoc,
 		maxResident: *maxResident,
 		allFanout:   *allFanout,
-	}, shardConfig{shardID: *shardID, advertise: *advertise})
+	}, shardConfig{shardID: *shardID, advertise: *advertise}, streamFlags{streamDocs: streamDocs, tails: tails})
 	if err != nil {
 		fatal(err)
 	}
@@ -244,7 +328,10 @@ func main() {
 		role = fmt.Sprintf("shard %d", cfg.shardID)
 	}
 	log.Printf("fluxd: serving %d document(s) %v on %s (%s), batch window %s, max batch %d",
-		len(cfg.docs), s.Catalog().Docs(), *addr, role, cfg.window, cfg.maxBatch)
+		len(cfg.docs)+len(cfg.streamDocs), s.Catalog().Docs(), *addr, role, cfg.window, cfg.maxBatch)
+	for _, tl := range cfg.tails {
+		go runTail(s, tl)
+	}
 	if err := http.ListenAndServe(*addr, s); err != nil {
 		fatal(err)
 	}

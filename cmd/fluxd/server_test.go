@@ -472,7 +472,7 @@ func TestBuildConfigValidation(t *testing.T) {
 		{"ok docroot", "", "", dir, time.Millisecond, 16, 0, ""},
 	}
 	for _, tc := range cases {
-		_, err := buildConfig(tc.dtd, tc.doc, tc.docroot, tc.window, tc.maxBatch, tc.cacheCap, false, false, schedConfig{}, shardConfig{shardID: -1})
+		_, err := buildConfig(tc.dtd, tc.doc, tc.docroot, tc.window, tc.maxBatch, tc.cacheCap, false, false, schedConfig{}, shardConfig{shardID: -1}, streamFlags{})
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -507,7 +507,7 @@ func TestServerDuplicateDocName(t *testing.T) {
 	dir := t.TempDir()
 	docPath := writeDocPair(t, dir, "bib", serverDoc)
 	dtdPath := filepath.Join(dir, "bib.dtd")
-	_, err := buildConfig(dtdPath, docPath, dir, time.Millisecond, 16, 0, false, false, schedConfig{}, shardConfig{shardID: -1})
+	_, err := buildConfig(dtdPath, docPath, dir, time.Millisecond, 16, 0, false, false, schedConfig{}, shardConfig{shardID: -1}, streamFlags{})
 	if err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("err = %v, want duplicate-name error", err)
 	}
@@ -665,7 +665,7 @@ func TestSchedulingFlagValidation(t *testing.T) {
 		{"ok limits", schedConfig{batchBudget: 1 << 20, maxScansDoc: 4, maxResident: 1 << 24, allFanout: true}, ""},
 	}
 	for _, tc := range cases {
-		_, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false, tc.sched, shardConfig{shardID: -1})
+		_, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false, tc.sched, shardConfig{shardID: -1}, streamFlags{})
 		if tc.wantErr == "" {
 			if err != nil {
 				t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -714,7 +714,132 @@ func TestServerShardIdentity(t *testing.T) {
 	}
 
 	if _, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false,
-		schedConfig{}, shardConfig{shardID: -2}); err == nil || !strings.Contains(err.Error(), "-shard-id") {
+		schedConfig{}, shardConfig{shardID: -2}, streamFlags{}); err == nil || !strings.Contains(err.Error(), "-shard-id") {
 		t.Fatalf("shard-id -2: err = %v, want -shard-id validation error", err)
+	}
+}
+
+// TestStreamFlagValidation: -stream-doc and -tail parse and validate at
+// startup — malformed bindings, duplicate names, and tails against
+// unregistered documents are configuration errors, not serving-time
+// surprises.
+func TestStreamFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	dtdPath := filepath.Join(dir, "bib.dtd")
+
+	cases := []struct {
+		name    string
+		streams streamFlags
+		wantErr string
+	}{
+		{"malformed stream-doc", streamFlags{streamDocs: []string{"feedonly"}}, "-stream-doc wants name=dtdpath"},
+		{"empty stream-doc name", streamFlags{streamDocs: []string{"=" + dtdPath}}, "-stream-doc wants name=dtdpath"},
+		{"missing stream-doc dtd", streamFlags{streamDocs: []string{"feed=" + filepath.Join(dir, "nope.dtd")}}, "-stream-doc feed"},
+		{"duplicate vs file doc", streamFlags{streamDocs: []string{"bib=" + dtdPath}}, "duplicate document name"},
+		{"malformed tail", streamFlags{tails: []string{"bib"}}, "-tail wants doc=path"},
+		{"tail unknown doc", streamFlags{tails: []string{"nosuch=" + docPath}}, "no such document"},
+	}
+	for _, tc := range cases {
+		_, err := buildConfig(dtdPath, docPath, "", time.Millisecond, 16, 0, false, false,
+			schedConfig{}, shardConfig{shardID: -1}, tc.streams)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// A stream-doc-only server is a valid configuration: no file docs.
+	cfg, err := buildConfig("", "", "", time.Millisecond, 16, 0, false, false,
+		schedConfig{}, shardConfig{shardID: -1},
+		streamFlags{streamDocs: []string{"feed=" + dtdPath}, tails: []string{"feed=" + docPath}})
+	if err != nil {
+		t.Fatalf("stream-doc only: %v", err)
+	}
+	if len(cfg.streamDocs) != 1 || cfg.streamDocs[0].name != "feed" {
+		t.Fatalf("streamDocs = %+v", cfg.streamDocs)
+	}
+	if len(cfg.tails) != 1 || cfg.tails[0].doc != "feed" {
+		t.Fatalf("tails = %+v", cfg.tails)
+	}
+}
+
+// TestServerTailIngest: a -tail binding against a regular file ingests
+// the document once at startup, feeding parked subscriptions exactly as
+// an HTTP /ingest would.
+func TestServerTailIngest(t *testing.T) {
+	dir := t.TempDir()
+	docPath := writeDocPair(t, dir, "bib", serverDoc)
+	dtdPath := filepath.Join(dir, "bib.dtd")
+
+	cfg, err := buildConfig("", "", "", time.Millisecond, 16, 0, false, false,
+		schedConfig{}, shardConfig{shardID: -1},
+		streamFlags{streamDocs: []string{"feed=" + dtdPath}, tails: []string{"feed=" + docPath}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer func() {
+		s.Hub().Close()
+		ts.Close()
+	}()
+
+	// Subscribe first, then start the tail: the parked subscription
+	// activates when the tail's ingest begins.
+	type result struct {
+		body string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/subscribe?doc=feed", "text/plain",
+			strings.NewReader(`{ for $b in /bib/book return {$b/title} }`))
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ch <- result{body: string(body), err: err}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/streamz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Waiting int `json:"waiting_subscriptions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Waiting >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never parked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	go runTail(s, cfg.tails[0])
+
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		want := "<title>FluX</title><title>XMark</title><title>Galax</title>"
+		if res.body != want {
+			t.Fatalf("tail-fed subscription got %q, want %q", res.body, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscription never finished")
 	}
 }

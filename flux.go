@@ -390,6 +390,12 @@ func (q *Query) PlanText() string { return q.plan.Describe() }
 // any data.
 func (q *Query) BufferReport() engine.BufferReport { return q.plan.Report() }
 
+// Plan returns the compiled engine plan, for callers that drive their
+// own event delivery — the shared-scan multiplexer, the streaming hub.
+// The plan is stateless after compilation and shared by every execution
+// of the query; treat it as read-only.
+func (q *Query) Plan() *engine.Plan { return q.plan }
+
 // Explain combines the compilation stages into one report.
 func (q *Query) Explain() string {
 	var b strings.Builder

@@ -5,8 +5,11 @@
 package bench
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"fmt"
+	"hash"
 	"io"
 	"net"
 	"net/http"
@@ -20,6 +23,7 @@ import (
 
 	"flux"
 	"flux/internal/shard"
+	"flux/internal/stream"
 	"flux/internal/xmark"
 )
 
@@ -79,6 +83,21 @@ const (
 	// non-200 fails the whole run.
 	ModeMigrateStatic Mode = "migrate-static"
 	ModeMigrateLive   Mode = "migrate-live"
+	// ModeStreamStatic and ModeStreamReplay measure the live-ingestion
+	// subsystem against its equivalence guarantee: the sweep's queries
+	// once as a static shared scan of the document (static), and once as
+	// standing subscriptions over the same document replayed in
+	// streamChunkBytes chunks through a stream.Hub (replay). Their rows
+	// use the synthetic query name "stream"; Output and Buffer sum the
+	// per-query output bytes and engine peaks (the replay row's peaks are
+	// what admission charged each standing subscription for — the peak
+	// resident bytes the snapshot gate holds the streaming path to), and
+	// the replay row's P50/P99 are first-result latencies, the time a
+	// standing query waited for its first byte. runStream verifies
+	// per-query digest equality and first-result-before-end at run time;
+	// CheckStreamEquivalence re-verifies output equality on the snapshot.
+	ModeStreamStatic Mode = "stream-static"
+	ModeStreamReplay Mode = "stream-replay"
 )
 
 // SharedQueryName is the Row.Query value of ModeShared rows.
@@ -95,6 +114,10 @@ const ServedQueryName = "served"
 // MigrateQueryName is the Row.Query value of the migration-under-load
 // rows (ModeMigrateStatic / ModeMigrateLive).
 const MigrateQueryName = "migrate"
+
+// StreamQueryName is the Row.Query value of the streaming-ingestion
+// rows (ModeStreamStatic / ModeStreamReplay).
+const StreamQueryName = "stream"
 
 // AllModes lists the standard Figure 4 columns (FluX, Galax stand-in,
 // AnonX stand-in).
@@ -138,6 +161,11 @@ type Config struct {
 	// Percentiles adds one ModeServedLatency row per size: open-loop
 	// request latency percentiles against a single embedded worker.
 	Percentiles bool
+	// Stream adds one ModeStreamStatic and one ModeStreamReplay row per
+	// size: the sweep's queries as a static shared scan versus standing
+	// subscriptions over the document replayed in chunks through a
+	// streaming hub.
+	Stream bool
 }
 
 // Row is one table cell: a (query, size, mode) measurement.
@@ -291,8 +319,149 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 				}
 			}
 		}
+		if cfg.Stream {
+			srows, err := runStream(ctx, path, sizeMB, docBytes, cfg.Queries)
+			if err != nil {
+				return nil, fmt.Errorf("bench: stream %dMB: %w", sizeMB, err)
+			}
+			rows = append(rows, srows...)
+			if cfg.Progress != nil {
+				for _, row := range srows {
+					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12s buffered\n",
+						row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), FormatBytes(row.Buffer))
+				}
+			}
+		}
 	}
 	return rows, nil
+}
+
+// streamChunkBytes is the replay's write granularity: small enough that
+// every benchmark document crosses many chunk boundaries mid-token,
+// exercising the scanner's chunk tolerance, without making Write-call
+// overhead the measurement.
+const streamChunkBytes = 32 << 10
+
+// runStream measures the streaming-ingestion subsystem against its own
+// guarantee and returns both rows of the comparison. The static row
+// runs the query set as one shared scan of the document, hashing each
+// query's output. The replay row opens the same queries as standing
+// subscriptions on a stream.Hub, replays the document in
+// streamChunkBytes chunks through an ingest, and records the summed
+// subscription stats: Output/Buffer/Tokens, plus first-result latencies
+// as P50/P99 — the time a standing query waited between Subscribe and
+// its first delivered byte. Two invariants are enforced here rather
+// than left to the snapshot gate: every query's streamed output must
+// hash identically to its static output, and at least one subscription
+// must receive its first result before the stream ends — results flow
+// as matching subtrees complete, not at end of document.
+func runStream(ctx context.Context, docPath string, sizeMB int, docBytes int64, qnames []string) ([]Row, error) {
+	staticRow := Row{Query: StreamQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: ModeStreamStatic}
+	replayRow := Row{Query: StreamQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: ModeStreamReplay}
+
+	queries := make([]*flux.Query, len(qnames))
+	staticSums := make([]hash.Hash, len(qnames))
+	ws := make([]io.Writer, len(qnames))
+	for i, qname := range qnames {
+		q, err := flux.Prepare(xmark.Queries[qname], xmark.DTD)
+		if err != nil {
+			return nil, err
+		}
+		queries[i] = q
+		staticSums[i] = sha256.New()
+		ws[i] = staticSums[i]
+	}
+	f, err := os.Open(docPath)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	results, err := flux.RunAllContext(ctx, queries, f, flux.Options{}, ws...)
+	staticRow.Elapsed = time.Since(start)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		staticRow.Buffer += r.Stats.PeakBufferBytes
+		staticRow.Output += r.Stats.OutputBytes
+		staticRow.Tokens += r.Stats.Tokens
+	}
+
+	cat := flux.NewCatalog(flux.CatalogOptions{})
+	if err := cat.AddStream("s0", xmark.DTD); err != nil {
+		return nil, err
+	}
+	hub := stream.NewHub(cat, stream.Options{})
+	defer hub.Close()
+	subs := make([]*stream.Subscription, len(qnames))
+	subStarts := make([]time.Time, len(qnames))
+	replaySums := make([]hash.Hash, len(qnames))
+	for i, qname := range qnames {
+		replaySums[i] = sha256.New()
+		subStarts[i] = time.Now()
+		sub, err := hub.Subscribe(ctx, "s0", xmark.Queries[qname], replaySums[i], stream.PolicyBlock)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = sub
+	}
+
+	ing, err := hub.StartIngest(ctx, "s0")
+	if err != nil {
+		return nil, err
+	}
+	f, err = os.Open(docPath)
+	if err != nil {
+		ing.Abort(err)
+		return nil, err
+	}
+	start = time.Now()
+	_, err = io.CopyBuffer(ing, f, make([]byte, streamChunkBytes))
+	f.Close()
+	if err != nil {
+		ing.Abort(err)
+		return nil, err
+	}
+	if err := ing.Close(); err != nil {
+		return nil, err
+	}
+	streamEnd := time.Now()
+	replayRow.Elapsed = streamEnd.Sub(start)
+
+	var lats []time.Duration
+	early := 0
+	for i, sub := range subs {
+		<-sub.Done()
+		if err := sub.Err(); err != nil {
+			return nil, fmt.Errorf("stream %s: %w", qnames[i], err)
+		}
+		st := sub.Stats()
+		replayRow.Output += st.OutputBytes
+		replayRow.Buffer += st.PeakBufferBytes
+		replayRow.Tokens += st.Tokens
+		if st.FirstResult > 0 {
+			lats = append(lats, st.FirstResult)
+			if subStarts[i].Add(st.FirstResult).Before(streamEnd) {
+				early++
+			}
+		}
+		// Done has closed, so the drain goroutine's writes to the hash
+		// are complete and reading the sum is race-free.
+		if !bytes.Equal(replaySums[i].Sum(nil), staticSums[i].Sum(nil)) {
+			return nil, fmt.Errorf("stream %s: streamed output differs from static serving", qnames[i])
+		}
+	}
+	if early == 0 {
+		return nil, fmt.Errorf("stream: no subscription received a result before end of stream")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	replayRow.P50 = lats[len(lats)/2]
+	replayRow.P99 = lats[min(len(lats)-1, len(lats)*99/100)]
+	return []Row{staticRow, replayRow}, nil
 }
 
 // migrateWaves is how many waves of the query set the migration rows

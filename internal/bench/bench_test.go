@@ -175,6 +175,56 @@ func TestRunMigrateRows(t *testing.T) {
 	}
 }
 
+// TestRunStreamRows: the streaming-ingestion rows run the same query
+// set as a static shared scan and as standing subscriptions over a
+// chunked replay, produce identical output (runStream enforces digest
+// equality internally), and record first-result latencies on the
+// replay row.
+func TestRunStreamRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates documents")
+	}
+	rows, err := Run(Config{
+		SizesMB: []int{1},
+		Queries: []string{"q1", "q8", "q20"},
+		Modes:   []Mode{ModeFluX},
+		Seed:    1,
+		WorkDir: t.TempDir(),
+		Stream:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var static, replay *Row
+	for i := range rows {
+		switch rows[i].Mode {
+		case ModeStreamStatic:
+			static = &rows[i]
+		case ModeStreamReplay:
+			replay = &rows[i]
+		}
+	}
+	if static == nil || replay == nil {
+		t.Fatalf("missing stream rows in %+v", rows)
+	}
+	if static.Output == 0 {
+		t.Fatalf("static row measured nothing: %+v", *static)
+	}
+	if replay.Output != static.Output {
+		t.Fatalf("chunked replay changed the output: static %+v, replay %+v", *static, *replay)
+	}
+	if replay.P50 <= 0 || replay.P99 < replay.P50 {
+		t.Fatalf("replay first-result percentiles malformed: %+v", *replay)
+	}
+	snapRows := []SnapshotRow{
+		{Query: StreamQueryName, SizeMB: 1, Mode: ModeStreamStatic, OutputBytes: static.Output},
+		{Query: StreamQueryName, SizeMB: 1, Mode: ModeStreamReplay, OutputBytes: replay.Output},
+	}
+	if err := CheckStreamEquivalence(&Snapshot{Rows: snapRows}); err != nil {
+		t.Fatalf("CheckStreamEquivalence on fresh rows: %v", err)
+	}
+}
+
 func TestFormatBytes(t *testing.T) {
 	cases := map[int64]string{
 		0:          "0",

@@ -313,6 +313,45 @@ func CheckMigrate(snap *Snapshot) error {
 	return nil
 }
 
+// CheckStreamEquivalence verifies the streaming-ingestion invariant
+// within one snapshot: wherever both stream rows exist for a size, the
+// standing subscriptions fed by the chunked replay must have produced
+// exactly the static shared scan's output bytes — ingesting a document
+// as a live stream must not change what queries return. Output alone is
+// compared: the streaming path charges per-subscription engine peaks
+// and delivers every event to every standing query (no scanner-level
+// pruning), so buffer and token totals legitimately differ from the
+// static scan's. (runStream already verified per-query digest equality
+// when the rows were measured; this re-checks the byte totals that
+// survive into the snapshot.) Returns an error naming the offending
+// size and both values, or nil when the invariant holds (vacuously for
+// snapshots without stream rows).
+func CheckStreamEquivalence(snap *Snapshot) error {
+	static := make(map[int]SnapshotRow)
+	replay := make(map[int]SnapshotRow)
+	for _, r := range snap.Rows {
+		if r.Query != StreamQueryName || r.Skipped {
+			continue
+		}
+		switch r.Mode {
+		case ModeStreamStatic:
+			static[r.SizeMB] = r
+		case ModeStreamReplay:
+			replay[r.SizeMB] = r
+		}
+	}
+	for size, s := range static {
+		rp, ok := replay[size]
+		if !ok {
+			continue
+		}
+		if rp.OutputBytes != s.OutputBytes {
+			return fmt.Errorf("stream %dMB: streamed output %d bytes, static serving %d; chunked ingestion must not change results", size, rp.OutputBytes, s.OutputBytes)
+		}
+	}
+	return nil
+}
+
 // bufferSlackBytes ignores absolute buffer growth below this size, so a
 // query that buffered 0 bytes and now buffers a handful (or a generator
 // tweak shifting a small document) does not trip the percentage gate.

@@ -200,6 +200,31 @@ func TestCheckFanout(t *testing.T) {
 	}
 }
 
+func TestCheckStreamEquivalence(t *testing.T) {
+	st := func(mode Mode, size int, output int64) SnapshotRow {
+		return SnapshotRow{Query: StreamQueryName, SizeMB: size, Mode: mode, OutputBytes: output}
+	}
+	// Identical output holds the invariant; buffer and token divergence
+	// is expected (no scanner pruning on the streaming path) and ignored.
+	ok := st(ModeStreamReplay, 1, 9000)
+	ok.BufferBytes, ok.TokensDelivered = 555, 777
+	if err := CheckStreamEquivalence(snap(100, st(ModeStreamStatic, 1, 9000), ok)); err != nil {
+		t.Fatalf("equal output must pass: %v", err)
+	}
+	// Output divergence means chunked ingestion changed results.
+	err := CheckStreamEquivalence(snap(100, st(ModeStreamStatic, 1, 9000), st(ModeStreamReplay, 1, 8999)))
+	if err == nil || !strings.Contains(err.Error(), "stream 1MB") {
+		t.Fatalf("output mismatch must fail naming the size, got %v", err)
+	}
+	// Snapshots without stream rows (or with a lone mode) pass vacuously.
+	if err := CheckStreamEquivalence(snap(100, row("q1", 1, ModeFluX, 1000, 0))); err != nil {
+		t.Fatalf("vacuous snapshot must pass: %v", err)
+	}
+	if err := CheckStreamEquivalence(snap(100, st(ModeStreamReplay, 1, 9000))); err != nil {
+		t.Fatalf("lone replay row must pass: %v", err)
+	}
+}
+
 func TestRegressionString(t *testing.T) {
 	r := Regression{
 		Query: "shared", SizeMB: 1, Mode: ModeShared, Metric: "elapsed_ns",

@@ -123,9 +123,25 @@ func (s *Session) SkipSubtree(name string) error {
 	return s.eng.skipSubtree(name)
 }
 
+// Flush pushes buffered output through to the session's writer without
+// ending the stream. The engine emits results incrementally as matching
+// subtrees complete, but batches them in the writer's 64 KB buffer; a
+// streaming caller (a standing subscription over a live ingest) calls
+// Flush at its delivery granularity so subscribers see results as they
+// are produced rather than at end of document.
+func (s *Session) Flush() error {
+	if s.done {
+		return errClosed
+	}
+	return s.eng.w.Flush()
+}
+
 // Finish signals end of stream: the document scope closes (running any
 // remaining on-first handlers), output is flushed, and the execution
-// statistics are returned. The session is dead afterwards.
+// statistics are returned. The session is dead afterwards. Finish is the
+// end-of-document finalization point — for a stream-fed session it is
+// the "EndStream" event, the only place document-lifetime buffers are
+// released and end-of-stream handlers run.
 func (s *Session) Finish() (Stats, error) {
 	if s.done {
 		return Stats{}, errClosed

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"flux/internal/dtd"
 	"flux/internal/sax"
 )
 
@@ -31,6 +32,17 @@ import (
 type SigNode struct {
 	// All reports that every event below this position is consumed.
 	All bool
+	// DropText reports that character data arriving at this spine
+	// position may be withheld from the plan without changing its
+	// behavior. It is set from the DTD: at a mixed-content position text
+	// is always legal, and a spine position by construction consumes
+	// nothing (no copy, capture, or accumulator is live there), so the
+	// engine would validate the text and throw it away. At a non-mixed
+	// position the bit stays false — stray character data there is a
+	// validation error the plan must still observe, so routers keep
+	// delivering it (validation parity with all-fanout). Meaningless on
+	// All nodes, whose subtrees are delivered in full.
+	DropText bool
 	// Kids maps a child element name to its signature node; names absent
 	// from the map (under a node with All unset) are skippable subtrees.
 	Kids map[string]*SigNode
@@ -130,12 +142,32 @@ func (p *Plan) buildSignature() {
 	root := &SigNode{}
 	addScopeSig(root, p.root)
 	root.normalize()
+	markDropText(root, p.schema, dtd.DocumentVar)
 	var b strings.Builder
 	root.key(&b)
 	p.sig = root
 	p.sigKey = b.String()
 	p.prune = sigToPrune(root)
 	p.predicted = predictPeakBytes(p.root)
+}
+
+// markDropText fills each spine node's DropText bit from the schema:
+// text at a position is droppable when the position's production is
+// mixed (text always legal, never consumed at a spine position) or is
+// the synthetic document production (text outside the root element is
+// ignored by the engine). DropText is a pure function of (schema,
+// position), so plans grouped by equal signature keys agree on it; it
+// does not participate in the key.
+func markDropText(n *SigNode, schema *dtd.Schema, elem string) {
+	if n.All {
+		return
+	}
+	if prod, ok := schema.Production(elem); ok {
+		n.DropText = prod.Mixed || elem == dtd.DocumentVar
+	}
+	for name, kid := range n.Kids {
+		markDropText(kid, schema, name)
+	}
 }
 
 // sigToPrune mirrors a signature trie as a scanner prune trie

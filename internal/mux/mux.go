@@ -17,10 +17,14 @@
 // narrow queries then costs each query only the events its projection can
 // match, not the whole document. The trade: a plan no longer validates
 // the interior of subtrees its query provably ignores (the parent content
-// model still validates every skipped element's tag; events at observed
-// positions, including character data, are always delivered, so
-// validation there is unchanged). New preserves the deliver-everything
-// behavior, including full per-plan DTD validation.
+// model still validates every skipped element's tag; element events at
+// observed positions are always delivered, so validation there is
+// unchanged). Character data at an observed tags-only position is
+// delivered unless the DTD proves it irrelevant: at a mixed-content
+// spine position text is always legal and never consumed, so it is
+// withheld (engine.SigNode.DropText); at a non-mixed position stray
+// text must still fail validation, so it flows. New preserves the
+// deliver-everything behavior, including full per-plan DTD validation.
 package mux
 
 import (
@@ -67,6 +71,11 @@ type Mux struct {
 	groups    []*fanGroup
 	slotGroup []int // slot index -> group index
 	depth     int   // open elements in the scan
+
+	// stream is non-nil in streaming mode (NewStreaming): explicit
+	// BeginStream/EndStream lifecycle, mid-stream subscriptions, and a
+	// scan that survives having no live sessions. See stream.go.
+	stream *streamState
 }
 
 // fanGroup is one event-routing group: the plans sharing a signature,
@@ -156,7 +165,7 @@ func (m *Mux) buildGroups() {
 	byKey := make(map[string]int)
 	m.slotGroup = make([]int, len(m.plans))
 	for i, p := range m.plans {
-		key := fmt.Sprintf("%p|%s", p.Schema(), p.SigKey())
+		key := groupKey(p)
 		gi, ok := byKey[key]
 		if !ok {
 			gi = len(m.groups)
@@ -166,6 +175,15 @@ func (m *Mux) buildGroups() {
 		m.groups[gi].members = append(m.groups[gi].members, i)
 		m.slotGroup[i] = gi
 	}
+	if m.stream != nil {
+		m.stream.groupKeys = byKey // kept for mid-stream joins
+	}
+}
+
+// groupKey identifies a plan's event-routing group: plans compiled
+// against the same schema with equal signature keys route identically.
+func groupKey(p *engine.Plan) string {
+	return fmt.Sprintf("%p|%s", p.Schema(), p.SigKey())
 }
 
 // errAllFailed aborts the scan early once no session is listening.
@@ -178,6 +196,9 @@ func (m *Mux) fail(i int, err error) {
 	m.results[i].Stats = m.sessions[i].Abort()
 	m.live[i] = false
 	m.nlive--
+	if m.stream != nil && m.stream.onDetach != nil {
+		m.stream.onDetach(i, err)
+	}
 }
 
 // ctxPollMask batches per-slot cancellation polls: contexts are checked
@@ -218,6 +239,16 @@ func (m *Mux) HandleBatch(b *sax.Batch) error {
 	if m.nctx > 0 {
 		m.pollCtxsNow()
 	}
+	if m.stream != nil {
+		// Streaming: route, then push every live session's buffered
+		// output to its subscriber — results become visible at batch
+		// granularity, not end of document.
+		if err := m.routeBatch(b); err != nil {
+			return err
+		}
+		m.flushLive()
+		return nil
+	}
 	if m.selective {
 		return m.routeBatch(b)
 	}
@@ -242,6 +273,12 @@ func (m *Mux) HandleBatch(b *sax.Batch) error {
 func (m *Mux) routeBatch(b *sax.Batch) error {
 	for i := range b.Tokens {
 		t := &b.Tokens[i]
+		if m.stream != nil && m.depth <= 1 && m.stream.npend.Load() > 0 {
+			// A sync point: the stream is before the root or between
+			// complete top-level subtrees, so queued subscriptions can
+			// join here.
+			m.activatePending()
+		}
 		var err error
 		switch t.Kind {
 		case sax.StartElement:
@@ -287,6 +324,9 @@ func (m *Mux) StartElement(name string) error {
 // SkipSubtree step and withholds everything until the matching end tag.
 func (m *Mux) routeStart(name string) error {
 	m.depth++
+	if m.stream != nil && m.depth == 1 {
+		m.stream.rootName = name
+	}
 	for _, g := range m.groups {
 		if g.skipUntil != 0 {
 			g.skipped++
@@ -319,7 +359,7 @@ func (m *Mux) routeStart(name string) error {
 			}
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -347,14 +387,20 @@ func (m *Mux) Text(data string) error {
 }
 
 // routeText delivers character data to every group not inside a
-// skipped subtree. Spine positions get their text too, not just All
-// positions: in a valid document a non-mixed spine element holds only
-// whitespace (already dropped by the scanner), so this costs nothing —
-// and an invalid document with stray character data at an observed
-// element fails validation exactly as it does under all-fanout.
+// skipped subtree, except at spine positions whose production is mixed
+// (SigNode.DropText): there text is always legal and a spine position
+// consumes nothing, so the event is withheld and counted as skipped.
+// Non-mixed spine positions still get their text — in a valid document
+// that is only whitespace the scanner has not already dropped, and in an
+// invalid one it is stray character data that must fail validation
+// exactly as it does under all-fanout.
 func (m *Mux) routeText(data string) error {
 	for _, g := range m.groups {
 		if g.skipUntil != 0 {
+			g.skipped++
+			continue
+		}
+		if cur := g.stack[len(g.stack)-1]; !cur.All && cur.DropText {
 			g.skipped++
 			continue
 		}
@@ -367,7 +413,7 @@ func (m *Mux) routeText(data string) error {
 			}
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -381,6 +427,10 @@ func (m *Mux) routeTextBytes(data []byte) error {
 			g.skipped++
 			continue
 		}
+		if cur := g.stack[len(g.stack)-1]; !cur.All && cur.DropText {
+			g.skipped++
+			continue
+		}
 		for _, i := range g.members {
 			if !m.live[i] {
 				continue
@@ -390,7 +440,7 @@ func (m *Mux) routeTextBytes(data []byte) error {
 			}
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -440,7 +490,10 @@ func (m *Mux) routeEnd(name string) error {
 		}
 	}
 	m.depth--
-	if m.nlive == 0 {
+	if m.stream != nil && m.depth == 0 {
+		m.stream.rootClosed = true
+	}
+	if m.nlive == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -457,6 +510,9 @@ func (m *Mux) routeEnd(name string) error {
 // error, a done scan context, or all queries having failed. A nil ctx
 // means the scan itself is never canceled.
 func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, error) {
+	if m.stream != nil {
+		return nil, errors.New("mux: Run on a streaming mux (use BeginStream/EndStream)")
+	}
 	if m.ran {
 		return nil, errors.New("mux: Run called twice")
 	}
@@ -569,7 +625,7 @@ func (m *Mux) routeSkip(name string) error {
 			}
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil

@@ -451,3 +451,57 @@ func TestSelectiveSpineTextValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSelectiveMixedSpineTextWithheld: character data at a *mixed*
+// spine position is provably irrelevant — always legal, never consumed
+// — so selective routing withholds it (SigNode.DropText) while leaving
+// output identical to all-fanout.
+func TestSelectiveMixedSpineTextWithheld(t *testing.T) {
+	const mixedDTD = `
+<!ELEMENT r (#PCDATA|a|b)*>
+<!ELEMENT a (x)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT x (#PCDATA)>
+`
+	// Three non-whitespace text runs sit directly inside <r>, the narrow
+	// query's spine.
+	const doc = `<r>noise<a><x>v1</x></a>mid<a><x>v2</x></a>tail<b>bb</b></r>`
+	q := `{ ps $ROOT: on r as $r return { ps $r: on a as $a return { $a } } }`
+
+	run := func(selective bool) (string, mux.Result) {
+		m := mux.New()
+		if selective {
+			m = mux.NewSelective()
+		}
+		var out strings.Builder
+		m.Add(compile(t, mixedDTD, q), &out)
+		results, err := m.Run(nil, strings.NewReader(doc), scanOpt)
+		if err != nil {
+			t.Fatalf("selective=%v: %v", selective, err)
+		}
+		if results[0].Err != nil {
+			t.Fatalf("selective=%v: %v", selective, results[0].Err)
+		}
+		return out.String(), results[0]
+	}
+
+	allOut, allRes := run(false)
+	selOut, selRes := run(true)
+	if selOut != allOut {
+		t.Errorf("output diverged: selective %q, all-fanout %q", selOut, allOut)
+	}
+	// All-fanout delivers every event: <r> tags (2), two <a> subtrees
+	// (5 each), the <b> subtree (3), and the three text runs at <r>.
+	if want := int64(18); allRes.Stats.Tokens != want {
+		t.Fatalf("all-fanout tokens = %d, want %d", allRes.Stats.Tokens, want)
+	}
+	// Selective withholds the three spine text runs and collapses <b>
+	// into one skip step: 2 + 5 + 5 + 1 = 13.
+	if want := int64(13); selRes.Stats.Tokens != want {
+		t.Errorf("selective tokens = %d, want %d (spine text must be withheld)",
+			selRes.Stats.Tokens, want)
+	}
+	if selRes.SkippedEvents == 0 {
+		t.Error("SkippedEvents = 0, want > 0 (withheld text counts as skipped)")
+	}
+}

@@ -1,0 +1,96 @@
+package sax
+
+import (
+	"context"
+	"io"
+)
+
+// ChunkScanner is the push-mode face of the batched scanner: instead of
+// the scanner pulling bytes from an io.Reader, the caller pushes the
+// document in arbitrary chunks with Write and signals end of stream with
+// Close. Events are delivered to the BatchHandler exactly as a one-shot
+// ScanBatched of the concatenated chunks would deliver them — chunk
+// boundaries are invisible to the token stream (the scanner's refill
+// loop already tolerates arbitrary short reads), which is what lets a
+// network ingest feed the engine without reassembling the document.
+//
+// Internally the scanner still pulls: StartChunked connects it to the
+// read side of an in-process pipe and runs it on its own goroutine, and
+// Write feeds the write side. Backpressure is therefore natural: a Write
+// blocks while the scan (or a downstream consumer of its events) is
+// busy, so a slow consumer throttles the producer instead of buffering
+// unboundedly.
+//
+// A ChunkScanner is single-use and not safe for concurrent Writes; the
+// one supported concurrency is Abort from another goroutine.
+type ChunkScanner struct {
+	pw   *io.PipeWriter
+	done chan struct{}
+	err  error // scan result, valid after done is closed
+}
+
+// StartChunked starts a batched scan fed by Write calls, delivering
+// event batches to h under opt (see ScanBatchedContext for the
+// batch-delivery and cancellation contract). The scan runs until Close
+// or Abort is called, the context is done, the input is exhausted by a
+// syntax error, or the handler fails.
+func StartChunked(ctx context.Context, h BatchHandler, opt Options) *ChunkScanner {
+	opt.EagerFlush = true // deliver parsed events before blocking on the feed
+	pr, pw := io.Pipe()
+	cs := &ChunkScanner{pw: pw, done: make(chan struct{})}
+	go func() {
+		defer close(cs.done)
+		cs.err = ScanBatchedContext(ctx, pr, h, opt)
+		// Unblock any in-flight or future Write: the scan is over, so
+		// pushed bytes have nowhere to go. Writers see the scan error
+		// rather than a generic closed-pipe error.
+		if cs.err != nil {
+			pr.CloseWithError(cs.err)
+		} else {
+			pr.Close()
+		}
+	}()
+	return cs
+}
+
+// Write pushes the next chunk of the document into the scan. It blocks
+// until the scanner has consumed the bytes (or the scan has ended) and
+// returns the scan's error if the scan is no longer accepting input —
+// so a producer that keeps writing after a mid-stream syntax error or
+// handler failure observes that failure, not a success.
+func (cs *ChunkScanner) Write(p []byte) (int, error) {
+	return cs.pw.Write(p)
+}
+
+// Close signals end of input, waits for the scan to drain every pushed
+// byte, and returns the scan's result: nil for a well-formed document
+// whose events were all accepted, otherwise the scan or handler error.
+// Close is idempotent.
+func (cs *ChunkScanner) Close() error {
+	cs.pw.Close()
+	<-cs.done
+	return cs.err
+}
+
+// Abort ends the scan without signaling a well-formed end of input: the
+// scanner observes err (io.ErrUnexpectedEOF if nil) as a read failure at
+// the current position and unwinds. Use it when the producer dies
+// mid-document — a connection drop, a server shutdown. Abort waits for
+// the scan goroutine to exit and returns the scan's result.
+func (cs *ChunkScanner) Abort(err error) error {
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	cs.pw.CloseWithError(err)
+	<-cs.done
+	return cs.err
+}
+
+// Done returns a channel closed when the scan goroutine has exited —
+// after end of input, an error, or an Abort. Err is valid once Done is
+// closed.
+func (cs *ChunkScanner) Done() <-chan struct{} { return cs.done }
+
+// Err returns the scan result; it is meaningful only after Done is
+// closed (Close and Abort return the same value and also wait).
+func (cs *ChunkScanner) Err() error { return cs.err }

@@ -1,0 +1,249 @@
+package sax
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scanChunked runs a chunked scan of doc split at the given offsets and
+// returns the collected events and the scan result.
+func scanChunked(t *testing.T, doc string, offsets ...int) ([]Event, error) {
+	t.Helper()
+	var got batchCollector
+	cs := StartChunked(context.Background(), &got, Options{})
+	prev := 0
+	writeErr := func(p string) error {
+		if p == "" {
+			return nil
+		}
+		_, err := io.WriteString(cs, p)
+		return err
+	}
+	var werr error
+	for _, off := range offsets {
+		if werr = writeErr(doc[prev:off]); werr != nil {
+			break
+		}
+		prev = off
+	}
+	if werr == nil {
+		werr = writeErr(doc[prev:])
+	}
+	err := cs.Close()
+	if werr != nil && err == nil {
+		t.Fatalf("write failed (%v) but scan succeeded", werr)
+	}
+	return got.Events, err
+}
+
+// TestScanChunkedEveryOffset splits each corpus document at every byte
+// offset (two chunks) and asserts the token stream and error are
+// identical to a one-shot scan: chunk boundaries must be invisible,
+// including ones that land inside tags, entity references, CDATA
+// markers, and multi-byte runes.
+func TestScanChunkedEveryOffset(t *testing.T) {
+	docs := append([]string{}, batchDocs[:8]...) // skip the two bigDocs: quadratic in size
+	docs = append(docs,
+		"<a>é世界</a>",                        // multi-byte runes
+		`<a><b>x</b><!-- c --><b>y</b></a>`, // boundary inside comment
+	)
+	for _, doc := range docs {
+		var want batchCollector
+		wantErr := ScanBatchedString(doc, &want, Options{})
+		for off := 0; off <= len(doc); off++ {
+			got, err := scanChunked(t, doc, off)
+			if (wantErr == nil) != (err == nil) || (wantErr != nil && wantErr.Error() != err.Error()) {
+				t.Fatalf("split at %d of %q: error diverged: one-shot %v, chunked %v", off, doc, wantErr, err)
+			}
+			if len(got) != len(want.Events) {
+				t.Fatalf("split at %d of %q: %d events, one-shot %d", off, doc, len(got), len(want.Events))
+			}
+			for i := range got {
+				if got[i] != want.Events[i] {
+					t.Fatalf("split at %d of %q: event %d = %v, one-shot %v", off, doc, i, got[i], want.Events[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScanChunkedBytewise drives a larger document one byte at a time —
+// the worst-case chunking — through a full batch-ring wrap.
+func TestScanChunkedBytewise(t *testing.T) {
+	doc := bigDoc(200)
+	var want batchCollector
+	if err := ScanBatchedString(doc, &want, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var got batchCollector
+	cs := StartChunked(context.Background(), &got, Options{})
+	for i := 0; i < len(doc); i++ {
+		if _, err := cs.Write([]byte{doc[i]}); err != nil {
+			t.Fatalf("write byte %d: %v", i, err)
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("bytewise scan: %d events, one-shot %d", len(got.Events), len(want.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("bytewise event %d = %v, one-shot %v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+// TestScanChunkedWriteAfterError: once the scan has died on a syntax
+// error, further Writes must fail with that error rather than block.
+func TestScanChunkedWriteAfterError(t *testing.T) {
+	var got batchCollector
+	cs := StartChunked(context.Background(), &got, Options{})
+	if _, err := io.WriteString(cs, `<a></b>`); err == nil {
+		// The pipe may accept the chunk before the scanner hits the
+		// mismatch; the next write must observe the failure.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, err := io.WriteString(cs, `x`); err != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("writes kept succeeding after scan error")
+			}
+		}
+	}
+	if err := cs.Close(); err == nil {
+		t.Fatal("Close reported success for a malformed document")
+	}
+}
+
+// TestScanChunkedAbort: a producer dying mid-document surfaces as a scan
+// failure, with the abort reason preserved.
+func TestScanChunkedAbort(t *testing.T) {
+	cause := errors.New("connection dropped")
+	var got batchCollector
+	cs := StartChunked(context.Background(), &got, Options{})
+	if _, err := io.WriteString(cs, `<a><b>partial`); err != nil {
+		t.Fatal(err)
+	}
+	err := cs.Abort(cause)
+	if err == nil {
+		t.Fatal("Abort mid-document reported success")
+	}
+	if !strings.Contains(err.Error(), cause.Error()) {
+		t.Fatalf("abort cause lost: %v", err)
+	}
+	select {
+	case <-cs.Done():
+	default:
+		t.Fatal("Done not closed after Abort")
+	}
+}
+
+// TestScanChunkedHandlerBackpressure: Write blocks while the handler is
+// busy (the push path buffers nothing beyond the scanner's own window),
+// and unblocks when the handler drains.
+func TestScanChunkedHandlerBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 64)
+	h := batchFunc(func(b *Batch) error {
+		entered <- struct{}{}
+		<-gate
+		return nil
+	})
+	cs := StartChunked(context.Background(), h, Options{})
+	// Enough records to force several batch deliveries.
+	doc := bigDoc(5000)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := io.WriteString(cs, doc)
+		wrote <- err
+	}()
+	<-entered // handler is now parked on the gate
+	select {
+	case err := <-wrote:
+		t.Fatalf("full-document write completed while handler blocked (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-wrote; err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzScanChunked: chunking is a pure transport change. For any document
+// and any single split offset, the chunked scan must produce exactly the
+// event stream and error of a one-shot batched scan.
+func FuzzScanChunked(f *testing.F) {
+	for i, seed := range fuzzSeeds {
+		f.Add(seed, i)
+	}
+	f.Fuzz(func(t *testing.T, doc string, off int) {
+		if off < 0 {
+			off = -off
+		}
+		if len(doc) > 0 {
+			off %= len(doc) + 1
+		} else {
+			off = 0
+		}
+		var want batchCollector
+		wantErr := ScanBatchedString(doc, &want, Options{})
+		got, err := scanChunked(t, doc, off)
+		switch {
+		case (wantErr == nil) != (err == nil):
+			t.Fatalf("split at %d of %q: errors diverged: one-shot %v, chunked %v", off, doc, wantErr, err)
+		case wantErr != nil && wantErr.Error() != err.Error():
+			t.Fatalf("split at %d of %q: error text diverged: one-shot %v, chunked %v", off, doc, wantErr, err)
+		}
+		if len(got) != len(want.Events) {
+			t.Fatalf("split at %d of %q: event count diverged: %d vs %d", off, doc, len(got), len(want.Events))
+		}
+		for i := range got {
+			if got[i] != want.Events[i] {
+				t.Fatalf("split at %d of %q: event %d diverged: %v vs %v", off, doc, i, got[i], want.Events[i])
+			}
+		}
+	})
+}
+
+// TestScanChunkedEagerDelivery: events parsed from the bytes received so
+// far must reach the handler before end of stream — the scanner flushes
+// its batch before blocking on the next chunk (Options.EagerFlush, set
+// by StartChunked).
+func TestScanChunkedEagerDelivery(t *testing.T) {
+	tokens := make(chan int, 64)
+	h := batchFunc(func(b *Batch) error {
+		tokens <- len(b.Tokens)
+		return nil
+	})
+	cs := StartChunked(context.Background(), h, Options{})
+	if _, err := io.WriteString(cs, `<r><a>1</a><a>2</a>`); err != nil {
+		t.Fatal(err)
+	}
+	// No Close yet: the complete subtrees already pushed must arrive.
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got < 7 { // <r> <a> "1" </a> <a> "2" </a>
+		select {
+		case n := <-tokens:
+			got += n
+		case <-deadline:
+			t.Fatalf("only %d tokens delivered before end of stream, want 7", got)
+		}
+	}
+	if _, err := io.WriteString(cs, `</r>`); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,6 +30,16 @@ type Options struct {
 	// tokenized (see PruneNode). Per-event (Handler) scans ignore it —
 	// the Handler interface has no skip event.
 	Prune *PruneNode
+
+	// EagerFlush makes a batched scan deliver its accumulated batch
+	// before every input refill — i.e. before any read that might block.
+	// Pull scans over complete documents leave this off: batches fill to
+	// their token/arena limits, amortizing delivery. Push scans over
+	// live feeds (StartChunked) turn it on, so events parsed from the
+	// bytes received so far reach the handler even when the next chunk
+	// is minutes away; the cost is smaller batches when the producer is
+	// slower than the scanner. Per-event scans ignore it.
+	EagerFlush bool
 }
 
 // SyntaxError describes a malformed-XML failure with a byte offset.
@@ -218,6 +228,17 @@ func (s *scanner) refill() error {
 	if cerr := s.ctx.Err(); cerr != nil {
 		s.readErr = cerr
 		return cerr
+	}
+	if s.opt.EagerFlush && s.bh != nil {
+		// About to read — possibly block — on a live feed: hand the
+		// events parsed so far to the handler first. A handler failure
+		// here is a delivery failure, not malformed input; recording it
+		// as the read error keeps errf from dressing it as a syntax
+		// error.
+		if ferr := s.flushBatch(); ferr != nil {
+			s.readErr = ferr
+			return ferr
+		}
 	}
 	s.base += int64(s.lim)
 	s.pos, s.lim = 0, 0

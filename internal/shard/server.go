@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"flux"
+	"flux/internal/stream"
 )
 
 // Server is the HTTP serving surface of one worker process: the thin
@@ -20,7 +21,9 @@ import (
 // handlers only translate HTTP.
 //
 // Endpoints: POST /query?doc=, GET /docs, GET /stats (flux.ServerStats
-// JSON), GET /healthz, GET /shardz (Identity JSON), and — when
+// JSON), POST /ingest?doc= and POST /subscribe?doc= (live document
+// streams and standing queries — see stream.go), GET /streamz,
+// GET /healthz, GET /shardz (Identity JSON), and — when
 // ServerOptions.Admin is set — the mutating surface live migration
 // rides on: POST /admin/swap (hot-swap), POST /admin/install (register
 // a shipped document copy), POST /admin/retire (unregister one), GET
@@ -29,6 +32,7 @@ import (
 type Server struct {
 	cat    *flux.Catalog
 	ex     *flux.Executor
+	hub    *stream.Hub
 	routes *http.ServeMux
 
 	id        int
@@ -60,6 +64,10 @@ type ServerOptions struct {
 	// worker, reported at /shardz. Useful when the listen address (":0",
 	// "0.0.0.0:...") is not routable as written.
 	Advertise string
+	// Stream overrides the streaming hub behind /ingest and /subscribe;
+	// it must be built over this server's catalog. Nil means a hub with
+	// default options is created.
+	Stream *stream.Hub
 }
 
 // NewServer builds the HTTP surface over an executor (and its catalog).
@@ -76,9 +84,16 @@ func NewServer(ex *flux.Executor, opt ServerOptions) *Server {
 	if opt.ShardID < 0 {
 		s.id = -1
 	}
+	s.hub = opt.Stream
+	if s.hub == nil {
+		s.hub = stream.NewHub(s.cat, stream.Options{})
+	}
 	s.spool.files = make(map[string]string)
 	s.routes.HandleFunc("/query", s.handleQuery)
 	s.routes.HandleFunc("/docs", s.handleDocs)
+	s.routes.HandleFunc("/ingest", s.handleIngest)
+	s.routes.HandleFunc("/subscribe", s.handleSubscribe)
+	s.routes.HandleFunc("/streamz", s.handleStreamz)
 	if opt.Admin {
 		s.routes.HandleFunc("/admin/swap", s.handleSwap)
 		s.routes.HandleFunc("/admin/install", s.handleInstall)
@@ -95,6 +110,10 @@ func NewServer(ex *flux.Executor, opt ServerOptions) *Server {
 
 // Catalog returns the catalog this server serves from.
 func (s *Server) Catalog() *flux.Catalog { return s.cat }
+
+// Hub returns the streaming hub behind /ingest and /subscribe. Close it
+// (stream.Hub.Close) when the server shuts down so open streams unwind.
+func (s *Server) Hub() *stream.Hub { return s.hub }
 
 // defaultDoc implements the fluxd rule against the live catalog:
 // /query without ?doc= resolves to the single registered document —

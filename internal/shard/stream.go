@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"flux"
+	"flux/internal/stream"
+)
+
+// Streaming endpoints: the HTTP face of the live-ingestion subsystem
+// (internal/stream). POST /ingest?doc= feeds a document stream — the
+// request body is consumed chunk by chunk as it arrives, so a producer
+// can hold the request open and trickle the document in. POST
+// /subscribe?doc= registers a standing query; its results stream back
+// in the response as matching subtrees complete, with execution stats
+// in HTTP trailers once the stream ends. GET /streamz reports the
+// hub's live state.
+
+// failIngest answers an /ingest request with an error. Every /ingest
+// error path must come through here: the producer may be holding the
+// request body open, and without Connection: close the server drains
+// the unread body — blocking on a silent producer — before it will
+// send any response at all.
+func failIngest(w http.ResponseWriter, msg string, status int) {
+	w.Header().Set("Connection", "close")
+	http.Error(w, msg, status)
+}
+
+// handleIngest consumes one live document stream from the request body.
+// The response is written only when the stream ends: a JSON summary for
+// a complete well-formed document, an error status otherwise. A client
+// disconnect mid-body aborts the stream, failing its subscriptions.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		failIngest(w, "POST the document stream to /ingest?doc=name", http.StatusMethodNotAllowed)
+		return
+	}
+	doc, err := resolveDoc(r, s.defaultDoc)
+	if err != nil {
+		failIngest(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ing, err := s.hub.StartIngest(r.Context(), doc)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, flux.ErrDocNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, stream.ErrIngestActive):
+			status = http.StatusConflict
+		}
+		failIngest(w, err.Error(), status)
+		return
+	}
+	// Copy in a goroutine and watch the ingest's Dead channel alongside:
+	// if the stream is unwound from elsewhere (hub shutdown) while the
+	// producer is idle, the handler must not stay parked in a body read
+	// that nothing will ever satisfy. Returning closes the request body,
+	// which unblocks the copy goroutine.
+	type copyOutcome struct {
+		n   int64
+		err error
+	}
+	copied := make(chan copyOutcome, 1)
+	go func() {
+		n, err := io.Copy(ing, r.Body)
+		copied <- copyOutcome{n, err}
+	}()
+	var out copyOutcome
+	select {
+	case out = <-copied:
+	case <-ing.Dead():
+		failIngest(w, fmt.Sprintf("ingest aborted: %v", ing.Err()), http.StatusBadRequest)
+		return
+	}
+	if out.err != nil {
+		// The producer died mid-document (or a subscriber failure
+		// propagated back): unwind the stream with the cause.
+		err := ing.Abort(out.err)
+		if r.Context().Err() != nil {
+			return // client gone; no one to report to
+		}
+		failIngest(w, fmt.Sprintf("ingest failed after %d bytes: %v", out.n, err), http.StatusBadRequest)
+		return
+	}
+	if err := ing.Close(); err != nil {
+		failIngest(w, fmt.Sprintf("ingest failed after %d bytes: %v", out.n, err), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, IngestSummary{Doc: doc, Bytes: out.n, Events: ing.Events()})
+}
+
+// IngestSummary is the /ingest success payload.
+type IngestSummary struct {
+	// Doc is the document the stream fed.
+	Doc string `json:"doc"`
+	// Bytes is the number of document bytes ingested.
+	Bytes int64 `json:"bytes"`
+	// Events is the number of SAX events the shared scan tokenized.
+	Events int64 `json:"events"`
+}
+
+// handleSubscribe registers the posted query as a standing subscription
+// and streams its results for as long as the subscription lives — into
+// a live ingest if one is running, else parked until the document's
+// next ingest begins. The 200 is committed as soon as the subscription
+// is accepted; each delivery is then flushed to the client immediately,
+// and final stats — plus any failure, in X-Flux-Error — ride in
+// trailers. ?policy=drop trades lost
+// result bytes (counted in X-Flux-Dropped-Bytes) for never stalling
+// the stream; the default (block) applies backpressure to the producer
+// instead.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST the query text to /subscribe?doc=name", http.StatusMethodNotAllowed)
+		return
+	}
+	doc, err := resolveDoc(r, s.defaultDoc)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var pol stream.Policy
+	switch p := r.URL.Query().Get("policy"); p {
+	case "", "block":
+		pol = stream.PolicyBlock
+	case "drop":
+		pol = stream.PolicyDrop
+	default:
+		http.Error(w, fmt.Sprintf("unknown policy %q: want block or drop", p), http.StatusBadRequest)
+		return
+	}
+	body, status, err := ReadQueryBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Header().Set("Trailer", "X-Flux-Error, X-Flux-Peak-Buffer-Bytes, X-Flux-Tokens, X-Flux-Output-Bytes, X-Flux-Dropped-Bytes, X-Flux-First-Result-Ns")
+	fw := &flushWriter{w: w}
+	fw.f, _ = w.(http.Flusher)
+
+	sub, err := s.hub.Subscribe(r.Context(), doc, string(body), fw, pol)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, flux.ErrDocNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, "subscribing: "+err.Error(), status)
+		return
+	}
+	// The subscription stands; commit the response now so the client
+	// learns it was accepted without waiting for the first result (the
+	// document's ingest may not even have begun). From here the status
+	// is fixed: later failures report through the X-Flux-Error trailer,
+	// or — if results already streamed — an aborted connection, so the
+	// truncation is visible at the transport, exactly as /query does.
+	fw.commit()
+	<-sub.Done()
+	if err := sub.Err(); err != nil {
+		if r.Context().Err() != nil {
+			return // the subscriber disconnected; nothing to report
+		}
+		if fw.wrote() > 0 {
+			panic(http.ErrAbortHandler)
+		}
+		w.Header().Set("X-Flux-Error", err.Error())
+	}
+	st := sub.Stats()
+	w.Header().Set("X-Flux-Peak-Buffer-Bytes", fmt.Sprint(st.PeakBufferBytes))
+	w.Header().Set("X-Flux-Tokens", fmt.Sprint(st.Tokens))
+	w.Header().Set("X-Flux-Output-Bytes", fmt.Sprint(st.OutputBytes))
+	w.Header().Set("X-Flux-Dropped-Bytes", fmt.Sprint(st.DroppedBytes))
+	w.Header().Set("X-Flux-First-Result-Ns", fmt.Sprint(int64(st.FirstResult)))
+}
+
+// handleStreamz reports the streaming hub's live state.
+func (s *Server) handleStreamz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.hub.Stats())
+}
+
+// flushWriter pushes every subscription delivery through to the client
+// immediately — a standing query's results must not sit in the HTTP
+// server's response buffer until the stream ends. The mutex serializes
+// the subscription's drain goroutine against the handler goroutine's
+// header commit: an http.ResponseWriter is not safe for concurrent use.
+type flushWriter struct {
+	mu        sync.Mutex
+	w         http.ResponseWriter
+	f         http.Flusher
+	n         int64
+	committed bool
+}
+
+// commit writes the 200 and flushes it to the client, once.
+func (fw *flushWriter) commit() {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.commitLocked()
+}
+
+func (fw *flushWriter) commitLocked() {
+	if fw.committed {
+		return
+	}
+	fw.committed = true
+	fw.w.WriteHeader(http.StatusOK)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+}
+
+// wrote reports the result bytes delivered so far.
+func (fw *flushWriter) wrote() int64 {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.n
+}
+
+// Write implements io.Writer.
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.commitLocked()
+	n, err := fw.w.Write(p)
+	fw.n += int64(n)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
