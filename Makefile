@@ -19,18 +19,21 @@ fmt-check:
 
 # Documentation gate: every exported identifier in the public (root)
 # package, the sharded-tier package, and the hot-path packages (the
-# sax batch/arena API and the mux fan-out API) needs a doc comment,
-# every Go package in the repository needs a package-level doc comment,
-# and every relative link in the top-level markdown documents must
-# resolve. go vet's comment checks run as part of `make vet`; doclint
-# covers what vet does not.
+# sax batch/arena API, the mux fan-out API, and the merged path
+# automaton) needs a doc comment, every Go package in the repository
+# needs a package-level doc comment, and every relative link in the
+# top-level markdown documents must resolve. go vet's comment checks
+# run as part of `make vet`; doclint covers what vet does not.
 lint-docs:
-	$(GO) run ./cmd/doclint -pkg . -pkg ./internal/shard -pkg ./internal/sax -pkg ./internal/mux -pkg ./internal/stream -pkgtree . -md README.md -md ARCHITECTURE.md
+	$(GO) run ./cmd/doclint -pkg . -pkg ./internal/shard -pkg ./internal/sax -pkg ./internal/mux -pkg ./internal/stream -pkg ./internal/autom -pkgtree . -md README.md -md ARCHITECTURE.md
 
-# Short-mode fuzz smoke: drives the native scanner fuzz target for a few
-# seconds on top of its checked-in seeds.
+# Short-mode fuzz smoke: the native scanner targets (pull and chunked
+# push modes) and the automaton-dispatch equivalence target, each for a
+# few seconds on top of their checked-in seeds.
 fuzz:
 	$(GO) test ./internal/sax -run='^FuzzScan$$' -fuzz='^FuzzScan$$' -fuzztime=10s
+	$(GO) test ./internal/sax -run='^FuzzScanChunked$$' -fuzz='^FuzzScanChunked$$' -fuzztime=10s
+	$(GO) test . -run='^FuzzAutomatonDispatch$$' -fuzz='^FuzzAutomatonDispatch$$' -fuzztime=10s
 
 # Benchmark smoke: a 1 MB Figure 4 sweep (plus the serving rows)
 # written to a fresh BENCH_NEW.json, then one pass over every Go

@@ -1,0 +1,207 @@
+package flux
+
+// Differential testing of the merged path automaton: random query
+// batches (disjoint, overlapping, and identical-signature mixes) run
+// through automaton dispatch (mux.NewSelective), the per-group trie
+// walk it replaced (mux.NewSelectiveGrouped), and naive all-fanout
+// (mux.New). The two selective paths must agree exactly — stream error,
+// per-query errors, output bytes, and SkippedEvents — and both must
+// reproduce all-fanout's output byte for byte wherever the queries
+// succeed.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flux/internal/autom"
+	"flux/internal/dtd"
+	"flux/internal/mux"
+	"flux/internal/sax"
+	"flux/internal/xq"
+)
+
+// batchRun is one mux execution of a query batch over one document.
+type batchRun struct {
+	outs    []string
+	results []mux.Result
+	err     error
+}
+
+// runQueryBatch executes the batch through a fresh mux of the given
+// construction over doc.
+func runQueryBatch(newMux func() *mux.Mux, qs []*Query, doc string) batchRun {
+	m := newMux()
+	sbs := make([]*strings.Builder, len(qs))
+	for i, q := range qs {
+		sbs[i] = &strings.Builder{}
+		m.Add(q.plan, sbs[i])
+	}
+	results, err := m.Run(nil, strings.NewReader(doc), sax.Options{SkipWhitespaceText: true})
+	out := batchRun{results: results, err: err, outs: make([]string, len(qs))}
+	for i, sb := range sbs {
+		out.outs[i] = sb.String()
+	}
+	return out
+}
+
+// genQueryBatch compiles a random batch of 2–6 queries against schema,
+// mixing fresh random queries (overlapping or disjoint paths as the
+// generator falls) with occasional exact duplicates (identical
+// signatures, exercising multi-member groups). Returns nil when fewer
+// than two generated queries compile.
+func genQueryBatch(r *rand.Rand, schema *dtd.Schema) []*Query {
+	n := 2 + r.Intn(5)
+	var qs []*Query
+	for len(qs) < n {
+		if len(qs) > 0 && r.Intn(4) == 0 {
+			qs = append(qs, qs[r.Intn(len(qs))]) // identical-signature member
+			continue
+		}
+		g := &queryGen{r: rand.New(rand.NewSource(r.Int63())), schema: schema}
+		ast := g.build([]binding{{xq.RootVar, dtd.DocumentVar}}, 4)
+		q, err := PrepareWithSchema(xq.Print(ast), schema)
+		if err != nil {
+			n-- // engine limitation; shrink the batch rather than spin
+			if n < 2 {
+				break
+			}
+			continue
+		}
+		qs = append(qs, q)
+	}
+	if len(qs) < 2 {
+		return nil
+	}
+	return qs
+}
+
+// prebuiltMachine compiles the batch's merged automaton the way the
+// executor's cache does — distinct group keys in sorted order — so the
+// differential also covers the SetMachine installation path.
+func prebuiltMachine(qs []*Query) *autom.Machine {
+	seen := make(map[string]bool)
+	var groups []autom.Group
+	for _, q := range qs {
+		key := mux.GroupKey(q.plan)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		groups = append(groups, autom.Group{Key: key, Sig: q.plan.Signature()})
+	}
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j].Key < groups[j-1].Key; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+	return autom.Build(groups)
+}
+
+// checkAutomatonAgainst compares an automaton run against the grouped
+// selective run (exact agreement, including skip counts) and the
+// all-fanout run (byte equality wherever both succeeded; an automaton
+// success never hides an output difference).
+func checkAutomatonAgainst(t *testing.T, label string, auto, grouped, all batchRun) {
+	t.Helper()
+	if (auto.err != nil) != (grouped.err != nil) {
+		t.Fatalf("%s: stream error disagreement: automaton %v, grouped %v", label, auto.err, grouped.err)
+	}
+	for i := range auto.results {
+		ar, gr := auto.results[i], grouped.results[i]
+		if (ar.Err != nil) != (gr.Err != nil) {
+			t.Fatalf("%s: query %d error disagreement: automaton %v, grouped %v", label, i, ar.Err, gr.Err)
+		}
+		if auto.outs[i] != grouped.outs[i] {
+			t.Fatalf("%s: query %d output differs from grouped routing\nautomaton: %q\ngrouped:   %q",
+				label, i, auto.outs[i], grouped.outs[i])
+		}
+		// The automaton reproduces the per-group walk's skip accounting
+		// exactly (the ISSUE's ≥ bound holds as equality by construction;
+		// a drop below would mean the automaton delivered extra events).
+		if ar.SkippedEvents != gr.SkippedEvents {
+			t.Fatalf("%s: query %d skipped %d events under the automaton, %d under grouped routing",
+				label, i, ar.SkippedEvents, gr.SkippedEvents)
+		}
+		if all.err == nil && auto.err == nil && ar.Err == nil && all.results[i].Err == nil {
+			if auto.outs[i] != all.outs[i] {
+				t.Fatalf("%s: query %d output differs from all-fanout\nautomaton:  %q\nall-fanout: %q",
+					label, i, auto.outs[i], all.outs[i])
+			}
+		}
+	}
+}
+
+// TestAutomatonDifferential is the tentpole's backbone: N random query
+// batches per fuzz schema, each over several random valid documents,
+// through all three dispatch paths.
+func TestAutomatonDifferential(t *testing.T) {
+	const batchesPerSchema = 40
+	const docsPerBatch = 2
+	batches := 0
+	for si, dtdText := range fuzzSchemas {
+		schema := dtd.MustParse(dtdText)
+		for seed := 0; seed < batchesPerSchema; seed++ {
+			r := rand.New(rand.NewSource(int64(si*7919 + seed)))
+			qs := genQueryBatch(r, schema)
+			if qs == nil {
+				continue
+			}
+			batches++
+			for d := 0; d < docsPerBatch; d++ {
+				doc := dtd.RandomDocument(schema, int64(seed*107+d), dtd.GenOptions{})
+				label := t.Name()
+				all := runQueryBatch(mux.New, qs, doc)
+				grouped := runQueryBatch(mux.NewSelectiveGrouped, qs, doc)
+				auto := runQueryBatch(mux.NewSelective, qs, doc)
+				checkAutomatonAgainst(t, label, auto, grouped, all)
+				// Every other document: the executor's cache path — a
+				// machine prebuilt from sorted distinct keys and installed
+				// via SetMachine must route identically to the fresh build.
+				if d%2 == 1 {
+					mach := prebuiltMachine(qs)
+					installed := runQueryBatch(func() *mux.Mux {
+						m := mux.NewSelective()
+						m.SetMachine(mach)
+						return m
+					}, qs, doc)
+					checkAutomatonAgainst(t, label+" (SetMachine)", installed, grouped, all)
+				}
+			}
+		}
+	}
+	if batches*2 < batchesPerSchema*len(fuzzSchemas) {
+		t.Errorf("too few batches compiled: %d of %d possible", batches, batchesPerSchema*len(fuzzSchemas))
+	}
+	t.Logf("automaton differential: %d batches", batches)
+}
+
+// FuzzAutomatonDispatch fuzzes the document bytes under seeded query
+// batches: whatever the input — malformed XML included — automaton
+// dispatch must agree exactly with grouped selective routing, and must
+// match all-fanout output wherever both succeed (all-fanout tokenizes
+// regions the selective paths prune, so it may legitimately catch
+// malformations they never see).
+func FuzzAutomatonDispatch(f *testing.F) {
+	for si := range fuzzSchemas {
+		schema := dtd.MustParse(fuzzSchemas[si])
+		doc := dtd.RandomDocument(schema, int64(si), dtd.GenOptions{})
+		f.Add(si, int64(si*13+1), doc)
+		f.Add(si, int64(si*13+2), doc+"<trailing-garbage>")
+		f.Add(si, int64(si*13+3), strings.Replace(doc, "</", "<", 1))
+	}
+	f.Fuzz(func(t *testing.T, si int, qseed int64, doc string) {
+		if si < 0 || si >= len(fuzzSchemas) {
+			t.Skip()
+		}
+		schema := dtd.MustParse(fuzzSchemas[si])
+		qs := genQueryBatch(rand.New(rand.NewSource(qseed)), schema)
+		if qs == nil {
+			t.Skip()
+		}
+		all := runQueryBatch(mux.New, qs, doc)
+		grouped := runQueryBatch(mux.NewSelectiveGrouped, qs, doc)
+		auto := runQueryBatch(mux.NewSelective, qs, doc)
+		checkAutomatonAgainst(t, "fuzz", auto, grouped, all)
+	})
+}

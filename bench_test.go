@@ -250,9 +250,11 @@ func BenchmarkCompile(b *testing.B) {
 
 // BenchmarkSelectiveFanout measures event routing for a wide batch of
 // narrow, disjoint-path queries: every event fanned to every query
-// (all) versus signature-routed delivery (selective). events-per-query
-// is the average number of SAX events delivered to each query — the
-// quantity selective routing shrinks; outputs are identical either way.
+// (all), signature-routed delivery by per-group trie walks (selective),
+// and merged-automaton dispatch (automaton, the serving default).
+// events-per-query is the average number of SAX events delivered to
+// each query — the quantity selective routing shrinks; outputs are
+// identical in every mode.
 func BenchmarkSelectiveFanout(b *testing.B) {
 	doc := benchDocument(b)
 	queries := make([]*Query, len(xmark.FanoutQueries))
@@ -263,6 +265,28 @@ func BenchmarkSelectiveFanout(b *testing.B) {
 		}
 		queries[i] = q
 	}
+	benchFanout(b, doc, queries)
+}
+
+// BenchmarkSharedPrefixFanout is BenchmarkSelectiveFanout over the
+// 64-query shared-prefix batch (every query iterating
+// /site/people/person): the shape where the merged automaton's
+// one-traversal dispatch wins over per-group walks.
+func BenchmarkSharedPrefixFanout(b *testing.B) {
+	doc := benchDocument(b)
+	texts := xmark.SharedPrefixQueries(64)
+	queries := make([]*Query, len(texts))
+	for i, qt := range texts {
+		q, err := Prepare(qt, xmark.DTD)
+		if err != nil {
+			b.Fatalf("query %d: %v", i, err)
+		}
+		queries[i] = q
+	}
+	benchFanout(b, doc, queries)
+}
+
+func benchFanout(b *testing.B, doc string, queries []*Query) {
 	run := func(b *testing.B, newMux func() *mux.Mux) {
 		b.SetBytes(int64(len(doc)))
 		var delivered int64
@@ -286,5 +310,6 @@ func BenchmarkSelectiveFanout(b *testing.B) {
 		b.ReportMetric(float64(delivered)/float64(len(queries)), "events-per-query")
 	}
 	b.Run("all", func(b *testing.B) { run(b, mux.New) })
-	b.Run("selective", func(b *testing.B) { run(b, mux.NewSelective) })
+	b.Run("selective", func(b *testing.B) { run(b, mux.NewSelectiveGrouped) })
+	b.Run("automaton", func(b *testing.B) { run(b, mux.NewSelective) })
 }

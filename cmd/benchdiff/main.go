@@ -5,11 +5,16 @@
 // Each regression is reported with the exact row (query/size/mode), its
 // baseline and observed values, and the allowed maximum.
 //
-// It also enforces five invariants on the fresh snapshot: on every
+// It also enforces six invariants on the fresh snapshot: on every
 // (query, size) cell measured in both a flux row and a baseline row,
 // flux must be the fastest mode — the paper's headline claim; wherever
 // both fanout-all and fanout-selective rows exist, the selective row
 // must have delivered strictly fewer events; wherever both
+// fanout-selective and fanout-automaton rows exist (the disjoint
+// "fanout" set and the shared-prefix "fanout-wide" set alike), the
+// merged-automaton routing must have delivered no more events than the
+// per-group selective walk with byte-identical output — the shared
+// dispatch structure must not change routing; wherever both
 // served-single and served-sharded rows exist, the sharded tier must
 // have produced identical output bytes and delivered identical tokens —
 // sharding must not change results; wherever both migrate-static
@@ -68,6 +73,10 @@ func main() {
 	}
 	if err := bench.CheckFanout(newSnap); err != nil {
 		fmt.Println("benchdiff: FANOUT INVARIANT VIOLATED:", err)
+		failed = true
+	}
+	if err := bench.CheckAutomaton(newSnap); err != nil {
+		fmt.Println("benchdiff: AUTOMATON INVARIANT VIOLATED:", err)
 		failed = true
 	}
 	if err := bench.CheckSharded(newSnap); err != nil {

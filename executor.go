@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flux/internal/autom"
+	"flux/internal/engine"
 	"flux/internal/mux"
 	"flux/internal/sax"
 )
@@ -27,9 +30,15 @@ import (
 // path of a group's signature can match is skipped for that group in a
 // single step, so each query of a wide batch is delivered only the
 // events its projection can reach (DocStats.EventsSkipped counts the
-// rest). Set ExecutorOptions.DisableSelectiveFanout to deliver every
-// event to every query, which also restores full per-query DTD
-// validation of subtrees a query ignores.
+// rest). Routing decisions are made by one merged path automaton per
+// batch (internal/autom), compiled once per distinct (document,
+// signature-set) pair and cached until the document is swapped —
+// DocStats.AutomatonHits counts cache reuse. Set
+// ExecutorOptions.GroupRouting to route by per-group signature walks
+// instead (identical results, one trie cursor per group), or
+// ExecutorOptions.DisableSelectiveFanout to deliver every event to
+// every query, which also restores full per-query DTD validation of
+// subtrees a query ignores.
 //
 // Dispatch is cost-based: each compiled plan carries a static predicted
 // peak buffer size (BufferReport.PredictedPeakBytes); when a batch's
@@ -56,6 +65,13 @@ type Executor struct {
 
 	mu      sync.Mutex
 	pending map[string]*docBatch // open batch per document name
+
+	// autoCache memoizes merged path automata by (document, swap count,
+	// sorted signature-key set): a steady workload of repeating query
+	// batches compiles its automaton once. Swapping a document changes
+	// the key, so stale machines age out naturally.
+	autoMu    sync.Mutex
+	autoCache map[string]*autom.Machine
 
 	stats sync.Map // doc name -> *docCounters
 }
@@ -85,6 +101,13 @@ type ExecutorOptions struct {
 	// This restores full per-query DTD validation of subtrees a query
 	// ignores, at the cost of fanning the whole document to every query.
 	DisableSelectiveFanout bool
+	// GroupRouting keeps selective fan-out but evaluates routing by
+	// walking each event-routing group's signature trie individually
+	// instead of through the batch's merged path automaton. Results and
+	// skip behavior are identical; the option exists for benchmarking
+	// the two dispatch structures against each other. Ignored when
+	// DisableSelectiveFanout is set.
+	GroupRouting bool
 }
 
 // Defaults for ExecutorOptions zero values.
@@ -114,9 +137,10 @@ func NewExecutor(cat *Catalog, opt ExecutorOptions) (*Executor, error) {
 		opt.MaxBatch = DefaultMaxBatch
 	}
 	return &Executor{
-		cat:     cat,
-		opt:     opt,
-		pending: make(map[string]*docBatch),
+		cat:       cat,
+		opt:       opt,
+		pending:   make(map[string]*docBatch),
+		autoCache: make(map[string]*autom.Machine),
 	}, nil
 }
 
@@ -371,9 +395,21 @@ func (e *Executor) runScan(doc string, reqs []*execRequest) {
 	}
 	defer f.Close()
 
-	m := mux.NewSelective()
-	if e.opt.DisableSelectiveFanout {
+	var m *mux.Mux
+	switch {
+	case e.opt.DisableSelectiveFanout:
 		m = mux.New()
+	case e.opt.GroupRouting:
+		m = mux.NewSelectiveGrouped()
+	default:
+		m = mux.NewSelective()
+		if mach, hit := e.machineFor(doc, reqs); mach != nil {
+			m.SetMachine(mach)
+			c.autoStates.Store(int64(mach.States()))
+			if hit {
+				c.autoHits.Add(1)
+			}
+		}
 	}
 	for _, req := range reqs {
 		m.AddContext(req.ctx, req.q.plan, req.w)
@@ -416,6 +452,53 @@ func (e *Executor) runScan(doc string, reqs []*execRequest) {
 	}
 }
 
+// autoCacheCap bounds the automaton cache; at the cap the whole cache
+// is dropped (distinct batch shapes per process are few — an eviction
+// storm here would mean the workload has no repeating batches to serve
+// from cache anyway).
+const autoCacheCap = 256
+
+// machineFor returns the merged path automaton for this batch's
+// signature-key set against doc's current version, building and caching
+// it on first sight. The second result reports a cache hit. Returns nil
+// when the document is unknown (the scan will fail on Open anyway; the
+// Mux then builds its own machine).
+func (e *Executor) machineFor(doc string, reqs []*execRequest) (*autom.Machine, bool) {
+	info, err := e.cat.Info(doc)
+	if err != nil {
+		return nil, false
+	}
+	sigs := make(map[string]*engine.SigNode, len(reqs))
+	keys := make([]string, 0, len(reqs))
+	for _, req := range reqs {
+		key := mux.GroupKey(req.q.plan)
+		if _, ok := sigs[key]; !ok {
+			sigs[key] = req.q.plan.Signature()
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	cacheKey := fmt.Sprintf("%s\x00%d\x00%s", doc, info.Swaps, strings.Join(keys, "\x1e"))
+	e.autoMu.Lock()
+	mach, ok := e.autoCache[cacheKey]
+	e.autoMu.Unlock()
+	if ok {
+		return mach, true
+	}
+	groups := make([]autom.Group, len(keys))
+	for i, key := range keys {
+		groups[i] = autom.Group{Key: key, Sig: sigs[key]}
+	}
+	mach = autom.Build(groups)
+	e.autoMu.Lock()
+	if len(e.autoCache) >= autoCacheCap {
+		clear(e.autoCache)
+	}
+	e.autoCache[cacheKey] = mach
+	e.autoMu.Unlock()
+	return mach, false
+}
+
 // --- per-document counters ----------------------------------------------
 
 // DocStats are one document's serving counters.
@@ -433,7 +516,9 @@ type DocStats struct {
 	Canceled int64 `json:"canceled"`
 	// EventsSkipped counts scan events selective fan-out withheld from
 	// queries whose projection could not match them, summed over all
-	// queries; always 0 with DisableSelectiveFanout.
+	// queries; a lower bound when scanner pruning collapsed skipped
+	// subtrees into single tokens (see mux.Result.SkippedEvents); always
+	// 0 with DisableSelectiveFanout.
 	EventsSkipped int64 `json:"events_skipped"`
 	// BatchSplits counts the extra scans forced by BatchBufferBudget
 	// (each split batch contributes its sub-batch count minus one).
@@ -441,6 +526,14 @@ type DocStats struct {
 	// Deferred counts queries moved behind another scan by a budget
 	// split instead of running in their batch's first scan.
 	Deferred int64 `json:"queries_deferred"`
+	// AutomatonStates is the state count of the most recent merged path
+	// automaton a batch against this document compiled (or fetched from
+	// cache) — a size gauge for the shared dispatch structure. 0 until
+	// an automaton-routed scan runs.
+	AutomatonStates int64 `json:"automaton_states"`
+	// AutomatonHits counts scans that reused a cached merged automaton
+	// instead of compiling one.
+	AutomatonHits int64 `json:"automaton_hits"`
 }
 
 type docCounters struct {
@@ -452,6 +545,8 @@ type docCounters struct {
 	eventsSkipped atomic.Int64
 	splits        atomic.Int64
 	deferred      atomic.Int64
+	autoStates    atomic.Int64
+	autoHits      atomic.Int64
 }
 
 func (e *Executor) counters(doc string) *docCounters {
@@ -469,14 +564,16 @@ func (e *Executor) Stats() map[string]DocStats {
 	e.stats.Range(func(k, v any) bool {
 		c := v.(*docCounters)
 		out[k.(string)] = DocStats{
-			Queries:       c.queries.Load(),
-			Scans:         c.scans.Load(),
-			Shared:        c.shared.Load(),
-			PeakBatch:     c.peakBatch.Load(),
-			Canceled:      c.canceled.Load(),
-			EventsSkipped: c.eventsSkipped.Load(),
-			BatchSplits:   c.splits.Load(),
-			Deferred:      c.deferred.Load(),
+			Queries:         c.queries.Load(),
+			Scans:           c.scans.Load(),
+			Shared:          c.shared.Load(),
+			PeakBatch:       c.peakBatch.Load(),
+			Canceled:        c.canceled.Load(),
+			EventsSkipped:   c.eventsSkipped.Load(),
+			BatchSplits:     c.splits.Load(),
+			Deferred:        c.deferred.Load(),
+			AutomatonStates: c.autoStates.Load(),
+			AutomatonHits:   c.autoHits.Load(),
 		}
 		return true
 	})

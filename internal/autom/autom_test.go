@@ -1,0 +1,309 @@
+package autom
+
+import (
+	"testing"
+
+	"flux/internal/engine"
+	"flux/internal/sax"
+)
+
+// sig builds a signature trie from path strings like "a/b/c"; a path
+// ending in "*" marks its last node All (consume the whole subtree).
+func sig(paths ...string) *engine.SigNode {
+	root := &engine.SigNode{Kids: map[string]*engine.SigNode{}}
+	for _, p := range paths {
+		cur := root
+		start := 0
+		for i := 0; i <= len(p); i++ {
+			if i != len(p) && p[i] != '/' {
+				continue
+			}
+			step := p[start:i]
+			start = i + 1
+			if step == "*" {
+				cur.All = true
+				cur.Kids = nil
+				break
+			}
+			if cur.Kids == nil {
+				cur.Kids = map[string]*engine.SigNode{}
+			}
+			next := cur.Kids[step]
+			if next == nil {
+				next = &engine.SigNode{Kids: map[string]*engine.SigNode{}}
+				cur.Kids[step] = next
+			}
+			cur = next
+		}
+	}
+	return root
+}
+
+func maskBits(m Mask, n int) []int {
+	var out []int
+	for g := 0; g < n; g++ {
+		if m.Has(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func eqBits(a []int, b ...int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildMergesSharedPrefixes(t *testing.T) {
+	// Two groups sharing the r/a prefix, one disjoint group under r/c.
+	m := Build([]Group{
+		{Key: "g0", Sig: sig("r/a/x/*")},
+		{Key: "g1", Sig: sig("r/a/y/*")},
+		{Key: "g2", Sig: sig("r/c/*")},
+	})
+	if m.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3", m.NumGroups())
+	}
+	// root, r, a, x, y, c — the shared r and a are merged, not duplicated.
+	if m.States() != 6 {
+		t.Fatalf("States = %d, want 6", m.States())
+	}
+	if gi, ok := m.GroupIndex("g1"); !ok || gi != 1 {
+		t.Fatalf("GroupIndex(g1) = %d, %v", gi, ok)
+	}
+	if _, ok := m.GroupIndex("nope"); ok {
+		t.Fatal("GroupIndex(nope) reported ok")
+	}
+	p := m.Prune()
+	if p == nil {
+		t.Fatal("Prune = nil with all groups signed")
+	}
+	// r/b is observed by nobody: prunable (absent from the trie).
+	r := p.Kids["r"]
+	if r == nil || r.All {
+		t.Fatalf("prune at r = %+v", r)
+	}
+	if _, ok := r.Kids["b"]; ok {
+		t.Fatal("r/b present in prune trie; should be prunable by absence")
+	}
+	if c := r.Kids["c"]; c == nil || !c.All {
+		t.Fatalf("prune at r/c = %+v, want All", c)
+	}
+}
+
+func TestNilSignatureDisablesPrune(t *testing.T) {
+	m := Build([]Group{
+		{Key: "g0", Sig: sig("r/a/*")},
+		{Key: "g1", Sig: nil},
+	})
+	if m.Prune() != nil {
+		t.Fatal("Prune != nil with an unsigned group")
+	}
+	// The unsigned group is delivered everything.
+	mt := m.NewMatcher()
+	deliver, skip := mt.Start("r")
+	if !eqBits(maskBits(deliver, 2), 0, 1) || skip.Any() {
+		t.Fatalf("r: deliver %v skip %v", maskBits(deliver, 2), maskBits(skip, 2))
+	}
+	deliver, skip = mt.Start("zzz")
+	if !eqBits(maskBits(deliver, 2), 1) || !eqBits(maskBits(skip, 2), 0) {
+		t.Fatalf("zzz: deliver %v skip %v", maskBits(deliver, 2), maskBits(skip, 2))
+	}
+}
+
+func TestMatcherDeliveryAndSkipAccounting(t *testing.T) {
+	// g0 watches r/a entirely, g1 watches r/b entirely.
+	m := Build([]Group{
+		{Key: "g0", Sig: sig("r/a/*")},
+		{Key: "g1", Sig: sig("r/b/*")},
+	})
+	mt := m.NewMatcher()
+
+	deliver, skip := mt.Start("r") // ev 1
+	if !eqBits(maskBits(deliver, 2), 0, 1) || skip.Any() {
+		t.Fatalf("r: deliver %v skip %v", maskBits(deliver, 2), maskBits(skip, 2))
+	}
+	deliver, skip = mt.Start("a") // ev 2: g1 deactivates here
+	if !eqBits(maskBits(deliver, 2), 0) || !eqBits(maskBits(skip, 2), 1) {
+		t.Fatalf("a: deliver %v skip %v", maskBits(deliver, 2), maskBits(skip, 2))
+	}
+	if mt.Active(1) {
+		t.Fatal("g1 active inside a")
+	}
+	if d := mt.Text(); !eqBits(maskBits(d, 2), 0) { // ev 3: interior of a
+		t.Fatalf("text in a: %v", maskBits(d, 2))
+	}
+	if d := mt.End(); !eqBits(maskBits(d, 2), 0) { // ev 4: g1 reactivates
+		t.Fatalf("end a: %v", maskBits(d, 2))
+	}
+	// g1 skipped ev 3 and 4: the interior plus the closing end tag, with
+	// the start tag uncharged (it was the SkipSubtree step).
+	if got := mt.Skipped(1); got != 2 {
+		t.Fatalf("g1 skipped = %d, want 2", got)
+	}
+	if got := mt.Skipped(0); got != 0 {
+		t.Fatalf("g0 skipped = %d, want 0", got)
+	}
+
+	deliver = mt.Skip() // ev 5: a scanner-pruned subtree at depth 1
+	if !eqBits(maskBits(deliver, 2), 0, 1) {
+		t.Fatalf("skip token: %v", maskBits(deliver, 2))
+	}
+	// SkipElement charges every group exactly one.
+	if mt.Skipped(0) != 1 || mt.Skipped(1) != 3 {
+		t.Fatalf("after skip token: g0 %d g1 %d", mt.Skipped(0), mt.Skipped(1))
+	}
+	mt.End() // ev 6: close r
+	mt.Flush()
+	if mt.Skipped(0) != 1 || mt.Skipped(1) != 3 {
+		t.Fatalf("after flush: g0 %d g1 %d", mt.Skipped(0), mt.Skipped(1))
+	}
+}
+
+func TestFlushSettlesOpenInterval(t *testing.T) {
+	m := Build([]Group{
+		{Key: "g0", Sig: sig("r/a/*")},
+		{Key: "g1", Sig: sig("r/b/*")},
+	})
+	mt := m.NewMatcher()
+	mt.Start("r") // ev 1
+	mt.Start("a") // ev 2: g1 deactivates
+	mt.Text()     // ev 3
+	// Scan dies here; Flush must settle g1's open interval (ev 3 only —
+	// the start tag stays uncharged).
+	mt.Flush()
+	if got := mt.Skipped(1); got != 1 {
+		t.Fatalf("g1 skipped = %d, want 1", got)
+	}
+	mt.Flush() // idempotent
+	if got := mt.Skipped(1); got != 1 {
+		t.Fatalf("g1 skipped after second flush = %d, want 1", got)
+	}
+}
+
+func TestDropTextAtSpine(t *testing.T) {
+	s := sig("r/a/*")
+	s.Kids["r"].DropText = true // r is a non-All spine node with DropText
+	m := Build([]Group{
+		{Key: "g0", Sig: s},
+		{Key: "g1", Sig: sig("r/*")},
+	})
+	mt := m.NewMatcher()
+	mt.Start("r") // ev 1
+	d := mt.Text()
+	if !eqBits(maskBits(d, 2), 1) {
+		t.Fatalf("text at dropped spine: deliver %v, want g1 only", maskBits(d, 2))
+	}
+	if mt.Skipped(0) != 1 {
+		t.Fatalf("g0 skipped = %d, want 1", mt.Skipped(0))
+	}
+}
+
+func TestExtendMidStream(t *testing.T) {
+	m1 := Build([]Group{{Key: "g0", Sig: sig("r/a/*")}})
+	mt := m1.NewMatcher()
+	mt.Start("r") // ev 1, depth 1 — a sync point
+
+	// A subscriber with a new signature joins: rebuild with g0 first.
+	m2 := Build([]Group{
+		{Key: "g0", Sig: sig("r/a/*")},
+		{Key: "g1", Sig: sig("r/b/*")},
+		{Key: "g2", Sig: sig("x/*")}, // cannot match the open root
+	})
+	mt.Extend(m2, "r")
+	if !mt.Active(0) || !mt.Active(1) || mt.Active(2) {
+		t.Fatalf("post-extend active: g0 %v g1 %v g2 %v",
+			mt.Active(0), mt.Active(1), mt.Active(2))
+	}
+	mt.Start("b") // ev 2: g0 deactivates, g1 tracks in
+	if mt.Active(0) || !mt.Active(1) {
+		t.Fatal("inside b: want g1 only")
+	}
+	mt.End() // ev 3: close b — g0 charged interior+end = 1
+	mt.End() // ev 4: close r
+	mt.Flush()
+	if mt.Skipped(0) != 1 {
+		t.Fatalf("g0 skipped = %d, want 1", mt.Skipped(0))
+	}
+	// g2 was deactivated at Extend time (after ev 1): it missed ev 2–4.
+	if mt.Skipped(2) != 3 {
+		t.Fatalf("g2 skipped = %d, want 3", mt.Skipped(2))
+	}
+}
+
+func TestEmptyMachine(t *testing.T) {
+	m := Build(nil)
+	if m.NumGroups() != 0 {
+		t.Fatalf("NumGroups = %d", m.NumGroups())
+	}
+	mt := m.NewMatcher()
+	deliver, skip := mt.Start("r")
+	if deliver.Any() || skip.Any() {
+		t.Fatal("empty machine delivered something")
+	}
+	mt.Text()
+	mt.End()
+	mt.Flush()
+
+	// Extend from empty — the streaming "first subscriber joins
+	// mid-stream" path.
+	m2 := Build([]Group{{Key: "g0", Sig: sig("r/a/*")}})
+	mt.Start("r")
+	mt.Extend(m2, "r")
+	if !mt.Active(0) {
+		t.Fatal("g0 inactive after extend onto open root")
+	}
+}
+
+func TestPruneMatchesMachineSkips(t *testing.T) {
+	// Prune trie must mark prunable exactly the positions where Start
+	// would deactivate every group.
+	m := Build([]Group{
+		{Key: "g0", Sig: sig("r/a/x/*", "r/c/*")},
+		{Key: "g1", Sig: sig("r/a/y/*")},
+	})
+	p := m.Prune()
+	r := p.Kids["r"]
+	a := r.Kids["a"]
+	if a.All {
+		t.Fatal("r/a marked All in prune trie")
+	}
+	// r/a/z is observed by nobody.
+	if _, ok := a.Kids["z"]; ok {
+		t.Fatal("r/a/z present in prune trie")
+	}
+	if x := a.Kids["x"]; x == nil || !x.All {
+		t.Fatalf("r/a/x = %+v, want All", x)
+	}
+	if c := r.Kids["c"]; c == nil || !c.All {
+		t.Fatalf("r/c = %+v, want All", c)
+	}
+	var checkAgainstMatcher func(pn *sax.PruneNode, path []string)
+	checkAgainstMatcher = func(pn *sax.PruneNode, path []string) {
+		if pn.All {
+			return
+		}
+		for name, kid := range pn.Kids {
+			checkAgainstMatcher(kid, append(path, name))
+		}
+		// A name absent from pn.Kids at this position deactivates every
+		// group in the matcher.
+		mt := m.NewMatcher()
+		for _, step := range path {
+			mt.Start(step)
+		}
+		deliver, _ := mt.Start("unobserved-name")
+		if deliver.Any() {
+			t.Fatalf("at %v: prune trie would drop a subtree the matcher delivers to %v",
+				path, maskBits(deliver, 2))
+		}
+	}
+	checkAgainstMatcher(p, nil)
+}

@@ -45,15 +45,22 @@ const (
 	// the whole batch and Buffer the summed per-query peaks — the
 	// actual resident footprint of the batch.
 	ModeShared Mode = "shared-scan"
-	// ModeFanoutAll and ModeFanoutSelective measure event routing on the
-	// serving path: the disjoint-path FanoutQueries executed as one
-	// Executor batch with every event fanned to every query (all) versus
-	// signature-routed selective fan-out (selective). Their rows use the
-	// synthetic query name "fanout"; Tokens is the summed events
-	// delivered across the batch — the quantity selective fan-out
-	// shrinks, gated by CheckFanout.
+	// ModeFanoutAll, ModeFanoutSelective, and ModeFanoutAutomaton
+	// measure event routing on the serving path: a query batch executed
+	// as one Executor batch with every event fanned to every query
+	// (all), signature-routed selective fan-out via per-group trie walks
+	// (selective, ExecutorOptions.GroupRouting), or via the batch's
+	// merged path automaton (automaton, the serving default). The
+	// disjoint-path xmark.FanoutQueries run under the synthetic query
+	// name "fanout" in all three modes; the 64-query shared-prefix set
+	// (xmark.SharedPrefixQueries) runs under "fanout-wide" in the two
+	// selective modes. Tokens is the summed events delivered across the
+	// batch — the quantity selective routing shrinks, gated by
+	// CheckFanout, with automaton-vs-selective parity gated by
+	// CheckAutomaton.
 	ModeFanoutAll       Mode = "fanout-all"
 	ModeFanoutSelective Mode = "fanout-selective"
+	ModeFanoutAutomaton Mode = "fanout-automaton"
 	// ModeServedLatency is the open-loop latency measurement of the
 	// serving tier: requests are fired at a fixed arrival rate derived
 	// from a warmup estimate — independent of completions, so queueing
@@ -103,9 +110,18 @@ const (
 // SharedQueryName is the Row.Query value of ModeShared rows.
 const SharedQueryName = "shared"
 
-// FanoutQueryName is the Row.Query value of fan-out rows; the queries
-// themselves are xmark.FanoutQueries.
+// FanoutQueryName is the Row.Query value of fan-out rows over the
+// disjoint-path xmark.FanoutQueries.
 const FanoutQueryName = "fanout"
+
+// FanoutWideQueryName is the Row.Query value of fan-out rows over the
+// 64-query shared-prefix set (xmark.SharedPrefixQueries) — the
+// batch shape where shared-prefix dispatch matters most.
+const FanoutWideQueryName = "fanout-wide"
+
+// fanoutWideQueries is how many shared-prefix queries the fanout-wide
+// rows batch.
+const fanoutWideQueries = 64
 
 // ServedQueryName is the Row.Query value of the HTTP serving-tier rows
 // (ModeServedSingle / ModeServedSharded).
@@ -146,9 +162,12 @@ type Config struct {
 	// sweep in a single shared pass, the serving-path measurement the
 	// perf trajectory tracks.
 	SharedScan bool
-	// Fanout adds one ModeFanoutAll and one ModeFanoutSelective row per
-	// size: the disjoint-path FanoutQueries as one Executor batch, with
-	// and without selective event routing.
+	// Fanout adds the event-routing rows per size: the disjoint-path
+	// FanoutQueries as one Executor batch in all three routing modes
+	// (all/selective/automaton), plus the 64-query shared-prefix set in
+	// the two selective modes (query name "fanout-wide"; all-fanout of
+	// 64 near-whole-document queries would dominate the sweep's wall
+	// clock without informing any invariant).
 	Fanout bool
 	// Sharded adds one ModeServedSingle and one ModeServedSharded row
 	// per size: the sweep's queries over two document registrations,
@@ -269,15 +288,27 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 			}
 		}
 		if cfg.Fanout {
-			for _, selective := range []bool{false, true} {
-				row, err := runFanout(ctx, path, sizeMB, docBytes, selective)
-				if err != nil {
-					return nil, fmt.Errorf("bench: fanout %dMB: %w", sizeMB, err)
-				}
-				rows = append(rows, row)
-				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12d events delivered\n",
-						row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), row.Tokens)
+			fanoutSets := []struct {
+				qname   string
+				queries []string
+				modes   []Mode
+			}{
+				{FanoutQueryName, xmark.FanoutQueries,
+					[]Mode{ModeFanoutAll, ModeFanoutSelective, ModeFanoutAutomaton}},
+				{FanoutWideQueryName, xmark.SharedPrefixQueries(fanoutWideQueries),
+					[]Mode{ModeFanoutSelective, ModeFanoutAutomaton}},
+			}
+			for _, set := range fanoutSets {
+				for _, mode := range set.modes {
+					row, err := runFanout(ctx, path, sizeMB, docBytes, set.qname, set.queries, mode)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s %dMB: %w", set.qname, sizeMB, err)
+					}
+					rows = append(rows, row)
+					if cfg.Progress != nil {
+						fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12d events delivered\n",
+							row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), row.Tokens)
+					}
 				}
 			}
 		}
@@ -872,18 +903,15 @@ func runShared(ctx context.Context, qnames []string, docPath string, sizeMB int,
 	return row, nil
 }
 
-// runFanout measures event routing on the serving path: the disjoint
-// FanoutQueries submitted concurrently to one Executor batch (MaxBatch
-// equal to the query count, so exactly one dispatch decision), with
-// selective fan-out on or off. Elapsed is the best of sharedRepeats
+// runFanout measures event routing on the serving path: queries
+// submitted concurrently to one Executor batch (MaxBatch equal to the
+// query count, so exactly one dispatch decision) under one routing mode
+// — all-fanout, per-group selective walks (GroupRouting), or the merged
+// path automaton (the default). Elapsed is the best of sharedRepeats
 // batch wall-clocks; Tokens (summed events delivered) and Buffer
 // (summed per-query peaks) are deterministic and recorded once.
-func runFanout(ctx context.Context, docPath string, sizeMB int, docBytes int64, selective bool) (Row, error) {
-	mode := ModeFanoutAll
-	if selective {
-		mode = ModeFanoutSelective
-	}
-	row := Row{Query: FanoutQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: mode}
+func runFanout(ctx context.Context, docPath string, sizeMB int, docBytes int64, qname string, queries []string, mode Mode) (Row, error) {
+	row := Row{Query: qname, SizeMB: sizeMB, Bytes: docBytes, Mode: mode}
 
 	cat := flux.NewCatalog(flux.CatalogOptions{})
 	if err := cat.Add("doc", docPath, xmark.DTD); err != nil {
@@ -891,18 +919,19 @@ func runFanout(ctx context.Context, docPath string, sizeMB int, docBytes int64, 
 	}
 	ex, err := flux.NewExecutor(cat, flux.ExecutorOptions{
 		Window:                 30 * time.Second, // dispatch on MaxBatch, not the window
-		MaxBatch:               len(xmark.FanoutQueries),
-		DisableSelectiveFanout: !selective,
+		MaxBatch:               len(queries),
+		DisableSelectiveFanout: mode == ModeFanoutAll,
+		GroupRouting:           mode == ModeFanoutSelective,
 	})
 	if err != nil {
 		return row, err
 	}
 	for rep := 0; rep < sharedRepeats; rep++ {
-		results := make([]flux.ExecResult, len(xmark.FanoutQueries))
-		errs := make([]error, len(xmark.FanoutQueries))
+		results := make([]flux.ExecResult, len(queries))
+		errs := make([]error, len(queries))
 		var wg sync.WaitGroup
 		start := time.Now()
-		for i, q := range xmark.FanoutQueries {
+		for i, q := range queries {
 			wg.Add(1)
 			go func(i int, q string) {
 				defer wg.Done()

@@ -238,6 +238,51 @@ func CheckFanout(snap *Snapshot) error {
 	return nil
 }
 
+// CheckAutomaton verifies the merged-automaton invariant within one
+// snapshot: on every (query, size) cell — both the disjoint "fanout"
+// set and the shared-prefix "fanout-wide" set — where a
+// fanout-automaton row and a fanout-selective row exist, the automaton
+// must have delivered no more events than the per-group selective walk
+// and produced byte-identical output. The two routings make the same
+// skip decisions, so delivery parity is the expectation and any excess
+// is a dispatch bug, not a tuning miss. It returns an error naming the
+// offending cell and values, or nil when the invariant holds (vacuously
+// for snapshots without automaton rows).
+func CheckAutomaton(snap *Snapshot) error {
+	type cell struct {
+		query string
+		size  int
+	}
+	sel := make(map[cell]SnapshotRow)
+	auto := make(map[cell]SnapshotRow)
+	for _, r := range snap.Rows {
+		if (r.Query != FanoutQueryName && r.Query != FanoutWideQueryName) || r.Skipped {
+			continue
+		}
+		switch r.Mode {
+		case ModeFanoutSelective:
+			sel[cell{r.Query, r.SizeMB}] = r
+		case ModeFanoutAutomaton:
+			auto[cell{r.Query, r.SizeMB}] = r
+		}
+	}
+	for c, a := range auto {
+		s, ok := sel[c]
+		if !ok {
+			continue
+		}
+		if a.TokensDelivered > s.TokensDelivered {
+			return fmt.Errorf("%s %dMB: automaton delivered %d events, selective %d; automaton must not deliver more",
+				c.query, c.size, a.TokensDelivered, s.TokensDelivered)
+		}
+		if a.OutputBytes != s.OutputBytes {
+			return fmt.Errorf("%s %dMB: automaton produced %d output bytes, selective %d; outputs must be identical",
+				c.query, c.size, a.OutputBytes, s.OutputBytes)
+		}
+	}
+	return nil
+}
+
 // CheckSharded verifies the sharded-serving invariant within one
 // snapshot: wherever both served rows exist for a size, the sharded
 // tier must have produced exactly the single node's output bytes and

@@ -15,7 +15,18 @@
 // group's signature can match is delivered to that group as a single
 // Session.SkipSubtree step instead of event by event. A wide batch of
 // narrow queries then costs each query only the events its projection can
-// match, not the whole document. The trade: a plan no longer validates
+// match, not the whole document.
+//
+// Selective routing is evaluated by one merged path automaton per batch
+// (internal/autom): the groups' signature tries are merged into a
+// single trie with per-group accept bitsets, so each token updates one
+// cursor and yields the whole batch's delivery decision as a mask —
+// shared path prefixes cost one traversal no matter how many groups
+// share them. NewSelectiveGrouped retains the older per-group trie walk
+// (one cursor per group); both make identical routing decisions and it
+// exists as a benchmarking and differential-testing baseline.
+//
+// The trade of selective routing: a plan no longer validates
 // the interior of subtrees its query provably ignores (the parent content
 // model still validates every skipped element's tag; element events at
 // observed positions are always delivered, so validation there is
@@ -32,7 +43,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 
+	"flux/internal/autom"
 	"flux/internal/engine"
 	"flux/internal/sax"
 )
@@ -48,7 +61,12 @@ type Result struct {
 	Err error
 	// SkippedEvents counts the scan events selective fan-out withheld
 	// from this plan (the interior of subtrees its signature cannot
-	// match). Always 0 for a Mux created with New.
+	// match). Under scanner-level pruning (the batched Run), a subtree
+	// every group skips is consumed raw and arrives as one SkipElement
+	// token, advancing this counter by one instead of by the subtree's
+	// true event count — the value is a lower bound on the events an
+	// all-fanout scan would have delivered, not an exact count. Always 0
+	// for a Mux created with New.
 	SkippedEvents int64
 }
 
@@ -68,9 +86,16 @@ type Mux struct {
 
 	// Selective fan-out state (selective Muxes only).
 	selective bool
+	grouped   bool // route by per-group trie walks instead of the automaton
 	groups    []*fanGroup
 	slotGroup []int // slot index -> group index
 	depth     int   // open elements in the scan
+
+	// Automaton routing state (selective, non-grouped): the merged
+	// machine (built by buildGroups, or installed by SetMachine from the
+	// executor's cache) and its per-scan matcher.
+	machine *autom.Machine
+	matcher *autom.Matcher
 
 	// stream is non-nil in streaming mode (NewStreaming): explicit
 	// BeginStream/EndStream lifecycle, mid-stream subscriptions, and a
@@ -79,9 +104,12 @@ type Mux struct {
 }
 
 // fanGroup is one event-routing group: the plans sharing a signature,
-// their trie cursor into it, and the skip bookkeeping.
+// its identity, and — under grouped routing — the trie cursor and skip
+// bookkeeping (the automaton's Matcher carries those itself).
 type fanGroup struct {
 	members []int
+	key     string
+	sig     *engine.SigNode
 	stack   []*engine.SigNode
 	// skipUntil, when non-zero, is the depth of the element currently
 	// being skipped for this group; every event at a greater depth (and
@@ -97,8 +125,29 @@ func New() *Mux { return &Mux{} }
 // NewSelective returns an empty multiplexer with selective fan-out:
 // events are routed by each plan's projected-path signature, and
 // subtrees a plan provably cannot match are skipped for it (see the
-// package comment for the validation trade-off).
+// package comment for the validation trade-off). Routing is evaluated
+// by the batch's merged path automaton.
 func NewSelective() *Mux { return &Mux{selective: true} }
+
+// NewSelectiveGrouped returns a selective multiplexer that routes by
+// walking each event-routing group's signature trie individually — the
+// pre-automaton selective path. Delivery decisions, results, and skip
+// counts are identical to NewSelective's; the constructor exists so
+// benchmarks and differential tests can pin the merged automaton
+// against the per-group walk.
+func NewSelectiveGrouped() *Mux { return &Mux{selective: true, grouped: true} }
+
+// SetMachine installs a prebuilt merged automaton (the executor caches
+// one per batch signature set). The machine must have been built from
+// exactly the group keys of the plans registered by Run time — one
+// Machine group per distinct GroupKey, no extras — otherwise it is
+// ignored and a fresh automaton is built. Call before Run; no-op on
+// all-fanout, grouped, and streaming muxes.
+func (m *Mux) SetMachine(mach *autom.Machine) {
+	if m.selective && !m.grouped && m.stream == nil {
+		m.machine = mach
+	}
+}
 
 // Selective reports whether this multiplexer routes events by plan
 // signature rather than delivering everything to everyone.
@@ -140,7 +189,8 @@ func (m *Mux) Events() int64 { return m.events }
 type GroupStats struct {
 	// Queries is the number of plans routed as this group.
 	Queries int
-	// SkippedEvents counts the scan events withheld from the group.
+	// SkippedEvents counts the scan events withheld from the group — a
+	// lower bound under scanner pruning (see Result.SkippedEvents).
 	SkippedEvents int64
 }
 
@@ -152,7 +202,11 @@ func (m *Mux) Groups() []GroupStats {
 	}
 	out := make([]GroupStats, len(m.groups))
 	for i, g := range m.groups {
-		out[i] = GroupStats{Queries: len(g.members), SkippedEvents: g.skipped}
+		sk := g.skipped
+		if m.matcher != nil {
+			sk = m.matcher.Skipped(i)
+		}
+		out[i] = GroupStats{Queries: len(g.members), SkippedEvents: sk}
 	}
 	return out
 }
@@ -160,29 +214,89 @@ func (m *Mux) Groups() []GroupStats {
 // buildGroups partitions the registered plans into event-routing groups
 // by (schema, signature key): plans in one group make identical skip
 // decisions at every stream position, so routing is evaluated once per
-// group, not once per plan.
+// group, not once per plan. Unless the Mux routes by per-group walks
+// (NewSelectiveGrouped), the groups are then compiled into one merged
+// path automaton — reusing an installed SetMachine machine when its
+// group-key set matches the batch exactly — and a per-scan matcher is
+// created.
 func (m *Mux) buildGroups() {
+	if m.machine != nil && m.buildGroupsFromMachine() {
+		m.matcher = m.machine.NewMatcher()
+		return
+	}
+	m.machine = nil
 	byKey := make(map[string]int)
 	m.slotGroup = make([]int, len(m.plans))
 	for i, p := range m.plans {
-		key := groupKey(p)
+		key := GroupKey(p)
 		gi, ok := byKey[key]
 		if !ok {
 			gi = len(m.groups)
 			byKey[key] = gi
-			m.groups = append(m.groups, &fanGroup{stack: []*engine.SigNode{p.Signature()}})
+			m.groups = append(m.groups, &fanGroup{
+				key:   key,
+				sig:   p.Signature(),
+				stack: []*engine.SigNode{p.Signature()},
+			})
 		}
 		m.groups[gi].members = append(m.groups[gi].members, i)
 		m.slotGroup[i] = gi
+	}
+	if !m.grouped {
+		m.machine = autom.Build(m.machineGroups())
+		m.matcher = m.machine.NewMatcher()
 	}
 	if m.stream != nil {
 		m.stream.groupKeys = byKey // kept for mid-stream joins
 	}
 }
 
-// groupKey identifies a plan's event-routing group: plans compiled
+// buildGroupsFromMachine maps the registered plans onto an installed
+// machine's group indices. It reports false — leaving the Mux to build
+// a fresh automaton — when any plan's group key is unknown to the
+// machine or the machine has groups no plan belongs to (either would
+// change routing or pruning relative to a fresh build).
+func (m *Mux) buildGroupsFromMachine() bool {
+	mach := m.machine
+	seen := make(map[string]bool, mach.NumGroups())
+	slotGroup := make([]int, len(m.plans))
+	groups := make([]*fanGroup, mach.NumGroups())
+	for i, p := range m.plans {
+		key := GroupKey(p)
+		gi, ok := mach.GroupIndex(key)
+		if !ok {
+			return false
+		}
+		if groups[gi] == nil {
+			groups[gi] = &fanGroup{key: key, sig: p.Signature()}
+			seen[key] = true
+		}
+		groups[gi].members = append(groups[gi].members, i)
+		slotGroup[i] = gi
+	}
+	if len(seen) != mach.NumGroups() {
+		return false
+	}
+	m.groups = groups
+	m.slotGroup = slotGroup
+	return true
+}
+
+// machineGroups renders the Mux's routing groups, in index order, as
+// the merged automaton's Build input.
+func (m *Mux) machineGroups() []autom.Group {
+	gs := make([]autom.Group, len(m.groups))
+	for i, g := range m.groups {
+		gs[i] = autom.Group{Key: g.key, Sig: g.sig}
+	}
+	return gs
+}
+
+// GroupKey identifies a plan's event-routing group: plans compiled
 // against the same schema with equal signature keys route identically.
-func groupKey(p *engine.Plan) string {
+// The executor uses it to key its merged-automaton cache with the same
+// identity the Mux groups by.
+func GroupKey(p *engine.Plan) string {
 	return fmt.Sprintf("%p|%s", p.Schema(), p.SigKey())
 }
 
@@ -319,13 +433,50 @@ func (m *Mux) StartElement(name string) error {
 }
 
 // routeStart is StartElement under selective fan-out: each group either
-// descends its signature trie and receives the event, or — when no
+// descends the signature trie and receives the event, or — when no
 // signature path can match the subtree — collapses it into one
 // SkipSubtree step and withholds everything until the matching end tag.
+// Automaton routing makes the same decision for all groups in one
+// matcher step; grouped routing walks each group's own trie cursor.
 func (m *Mux) routeStart(name string) error {
 	m.depth++
 	if m.stream != nil && m.depth == 1 {
 		m.stream.rootName = name
+	}
+	if m.matcher != nil {
+		deliver, skip := m.matcher.Start(name)
+		for w, word := range skip {
+			for word != 0 {
+				g := m.groups[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+				for _, i := range g.members {
+					if !m.live[i] {
+						continue
+					}
+					if err := m.sessions[i].SkipSubtree(name); err != nil {
+						m.fail(i, err)
+					}
+				}
+			}
+		}
+		for w, word := range deliver {
+			for word != 0 {
+				g := m.groups[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+				for _, i := range g.members {
+					if !m.live[i] {
+						continue
+					}
+					if err := m.sessions[i].StartElement(name); err != nil {
+						m.fail(i, err)
+					}
+				}
+			}
+		}
+		if m.nlive == 0 && m.stream == nil {
+			return errAllFailed
+		}
+		return nil
 	}
 	for _, g := range m.groups {
 		if g.skipUntil != 0 {
@@ -395,6 +546,27 @@ func (m *Mux) Text(data string) error {
 // invalid one it is stray character data that must fail validation
 // exactly as it does under all-fanout.
 func (m *Mux) routeText(data string) error {
+	if m.matcher != nil {
+		deliver := m.matcher.Text()
+		for w, word := range deliver {
+			for word != 0 {
+				g := m.groups[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+				for _, i := range g.members {
+					if !m.live[i] {
+						continue
+					}
+					if err := m.sessions[i].Text(data); err != nil {
+						m.fail(i, err)
+					}
+				}
+			}
+		}
+		if m.nlive == 0 && m.stream == nil {
+			return errAllFailed
+		}
+		return nil
+	}
 	for _, g := range m.groups {
 		if g.skipUntil != 0 {
 			g.skipped++
@@ -422,6 +594,27 @@ func (m *Mux) routeText(data string) error {
 // routeTextBytes is routeText for arena-backed batch payloads, fanning
 // the bytes to each group member without a string conversion.
 func (m *Mux) routeTextBytes(data []byte) error {
+	if m.matcher != nil {
+		deliver := m.matcher.Text()
+		for w, word := range deliver {
+			for word != 0 {
+				g := m.groups[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+				for _, i := range g.members {
+					if !m.live[i] {
+						continue
+					}
+					if err := m.sessions[i].TextBytes(data); err != nil {
+						m.fail(i, err)
+					}
+				}
+			}
+		}
+		if m.nlive == 0 && m.stream == nil {
+			return errAllFailed
+		}
+		return nil
+	}
 	for _, g := range m.groups {
 		if g.skipUntil != 0 {
 			g.skipped++
@@ -471,6 +664,31 @@ func (m *Mux) EndElement(name string) error {
 // resumes routing when the skipped element's own end tag goes by (the
 // SkipSubtree step already accounted for the whole element).
 func (m *Mux) routeEnd(name string) error {
+	if m.matcher != nil {
+		deliver := m.matcher.End()
+		for w, word := range deliver {
+			for word != 0 {
+				g := m.groups[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+				for _, i := range g.members {
+					if !m.live[i] {
+						continue
+					}
+					if err := m.sessions[i].EndElement(name); err != nil {
+						m.fail(i, err)
+					}
+				}
+			}
+		}
+		m.depth--
+		if m.stream != nil && m.depth == 0 {
+			m.stream.rootClosed = true
+		}
+		if m.nlive == 0 && m.stream == nil {
+			return errAllFailed
+		}
+		return nil
+	}
 	for _, g := range m.groups {
 		if g.skipUntil != 0 {
 			g.skipped++
@@ -526,7 +744,11 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 		// bytes are consumed raw and arrive as single SkipElement tokens
 		// instead of being tokenized and routed token by token. Subtrees
 		// only some groups skip are still routed here.
-		opt.Prune = m.unionPrune()
+		if m.machine != nil {
+			opt.Prune = m.machine.Prune()
+		} else {
+			opt.Prune = m.unionPrune()
+		}
 	}
 	for i, s := range m.sessions {
 		if !m.live[i] {
@@ -611,6 +833,27 @@ func unionSigs(nodes []*engine.SigNode) *sax.PruneNode {
 // one — the element itself — rather than by its (unknown) event count:
 // under scanner pruning the counter is a lower bound.
 func (m *Mux) routeSkip(name string) error {
+	if m.matcher != nil {
+		deliver := m.matcher.Skip()
+		for w, word := range deliver {
+			for word != 0 {
+				g := m.groups[w<<6+bits.TrailingZeros64(word)]
+				word &= word - 1
+				for _, i := range g.members {
+					if !m.live[i] {
+						continue
+					}
+					if err := m.sessions[i].SkipSubtree(name); err != nil {
+						m.fail(i, err)
+					}
+				}
+			}
+		}
+		if m.nlive == 0 && m.stream == nil {
+			return errAllFailed
+		}
+		return nil
+	}
 	for _, g := range m.groups {
 		g.skipped++
 		if g.skipUntil != 0 {
@@ -635,6 +878,13 @@ func (m *Mux) routeSkip(name string) error {
 // members' Results.
 func (m *Mux) fillSkipped() {
 	if !m.selective {
+		return
+	}
+	if m.matcher != nil {
+		m.matcher.Flush()
+		for i := range m.results {
+			m.results[i].SkippedEvents = m.matcher.Skipped(m.slotGroup[i])
+		}
 		return
 	}
 	for i := range m.results {

@@ -27,11 +27,15 @@ package mux
 // model requires the missed subtrees fail validation at EndStream;
 // subscribe-before-ingest avoids that for strict models.
 //
-// Streaming routing is always selective (token-by-token, signature
-// tries), but the scan runs without scanner-level pruning: pruning
-// commits at scan start to byte-skipping subtrees no registered plan
-// observes, which would be wrong the moment a later subscriber's
-// signature does observe them.
+// Streaming routing is always selective (token-by-token, through the
+// merged path automaton), but the scan runs without scanner-level
+// pruning: pruning commits at scan start to byte-skipping subtrees no
+// registered plan observes, which would be wrong the moment a later
+// subscriber's signature does observe them. A mid-stream joiner whose
+// signature is new to the batch extends the automaton at its sync
+// point: the machine is rebuilt with the new group appended (existing
+// groups keep their indices and skip counters) and the live matcher is
+// carried over via Matcher.Extend.
 
 import (
 	"context"
@@ -40,6 +44,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flux/internal/autom"
 	"flux/internal/engine"
 )
 
@@ -173,6 +178,15 @@ func (m *Mux) activatePending() {
 		m.slotGroup = append(m.slotGroup, gi)
 		g := m.groups[gi]
 		g.members = append(g.members, slot)
+		if fresh {
+			// A signature the batch has not seen: rebuild the merged
+			// automaton with the new group appended (existing groups keep
+			// their indices) and extend the live matcher in place — at a
+			// sync point the only context the new group needs is the root
+			// transition.
+			m.machine = autom.Build(m.machineGroups())
+			m.matcher.Extend(m.machine, st.rootName)
+		}
 		s := m.sessions[slot]
 		if err := s.Begin(); err != nil {
 			m.fail(slot, err)
@@ -181,31 +195,20 @@ func (m *Mux) activatePending() {
 		}
 		// Replay the open-element context: if the root is open, the new
 		// session sees its start tag now (or skips the whole remainder of
-		// the root, if its signature cannot match it), aligning it with
-		// the rest of its group.
+		// the root, if its group's automaton state is inactive), aligning
+		// it with the rest of its group.
 		if m.depth == 1 {
-			sig := g.stack[0]
-			next := sig
-			if !sig.All {
-				next = sig.Kids[st.rootName]
-			}
-			if next == nil {
-				if err := s.SkipSubtree(st.rootName); err != nil {
-					m.fail(slot, err)
-					p.done(slot, err)
-					continue
-				}
-				if fresh {
-					g.skipUntil = 1
-				}
-			} else {
+			if m.matcher.Active(gi) {
 				if err := s.StartElement(st.rootName); err != nil {
 					m.fail(slot, err)
 					p.done(slot, err)
 					continue
 				}
-				if fresh {
-					g.stack = append(g.stack, next)
+			} else {
+				if err := s.SkipSubtree(st.rootName); err != nil {
+					m.fail(slot, err)
+					p.done(slot, err)
+					continue
 				}
 			}
 		}
@@ -220,16 +223,20 @@ func (m *Mux) activatePending() {
 func (m *Mux) ResultAt(slot int) Result { return m.results[slot] }
 
 // streamGroup finds or creates the routing group for plan, returning
-// its index and whether it was created now (a fresh group's trie stack
-// still needs aligning to the stream position).
+// its index and whether it was created now (a fresh group still needs
+// the automaton rebuilt and the matcher aligned to the stream position).
 func (m *Mux) streamGroup(plan *engine.Plan) (int, bool) {
-	key := groupKey(plan)
+	key := GroupKey(plan)
 	if gi, ok := m.stream.groupKeys[key]; ok {
 		return gi, false
 	}
 	gi := len(m.groups)
 	m.stream.groupKeys[key] = gi
-	m.groups = append(m.groups, &fanGroup{stack: []*engine.SigNode{plan.Signature()}})
+	m.groups = append(m.groups, &fanGroup{
+		key:   key,
+		sig:   plan.Signature(),
+		stack: []*engine.SigNode{plan.Signature()},
+	})
 	return gi, true
 }
 

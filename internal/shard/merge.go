@@ -86,8 +86,8 @@ func Merge(per map[string]flux.ServerStats) MergedStats {
 	return out
 }
 
-// addDocStats sums two documents' counters; peak_batch_size, the only
-// non-additive counter, takes the max.
+// addDocStats sums two documents' counters; the non-additive gauges —
+// peak_batch_size and automaton_states — take the max.
 func addDocStats(a, b flux.DocStats) flux.DocStats {
 	a.Queries += b.Queries
 	a.Scans += b.Scans
@@ -96,8 +96,12 @@ func addDocStats(a, b flux.DocStats) flux.DocStats {
 	a.EventsSkipped += b.EventsSkipped
 	a.BatchSplits += b.BatchSplits
 	a.Deferred += b.Deferred
+	a.AutomatonHits += b.AutomatonHits
 	if b.PeakBatch > a.PeakBatch {
 		a.PeakBatch = b.PeakBatch
+	}
+	if b.AutomatonStates > a.AutomatonStates {
+		a.AutomatonStates = b.AutomatonStates
 	}
 	return a
 }

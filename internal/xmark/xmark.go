@@ -172,6 +172,53 @@ var FanoutQueries = []string{
 	`<q> { for $t in /site/closed_auctions/closed_auction return {$t/price} } </q>`,
 }
 
+// sharedPrefixTails are projected-path tails under /site/people/person,
+// the raw material for SharedPrefixQueries: every generated query walks
+// the same /site/people/person spine, so a batch of them exercises
+// shared-prefix matching in the merged path automaton.
+var sharedPrefixTails = []string{
+	"person_id",
+	"name",
+	"emailaddress",
+	"phone",
+	"address",
+	"address/street",
+	"address/city",
+	"address/country",
+	"address/zipcode",
+	"person_income",
+	"profile",
+	"profile/profile_income",
+	"profile/interest",
+	"profile/interest/interest_category",
+	"profile/education",
+	"profile/business",
+	"watches",
+	"watches/watch",
+	"watches/watch/watch_open_auction",
+}
+
+// SharedPrefixQueries returns n queries that all iterate
+// /site/people/person and project two person subpaths each — maximal
+// path-prefix overlap across the batch, the workload where a merged
+// automaton's one-traversal dispatch pays off most over per-group trie
+// walks. The queries are pairwise distinct up to the number of subpath
+// pairs (the enumeration cycles beyond that). They drive the
+// fanout-wide bench rows (internal/bench).
+func SharedPrefixQueries(n int) []string {
+	out := make([]string, 0, n)
+	for len(out) < n {
+		for i := 0; i < len(sharedPrefixTails) && len(out) < n; i++ {
+			for j := i + 1; j < len(sharedPrefixTails) && len(out) < n; j++ {
+				out = append(out, fmt.Sprintf(
+					`<q> { for $p in /site/people/person return <r> {$p/%s} {$p/%s} </r> } </q>`,
+					sharedPrefixTails[i], sharedPrefixTails[j]))
+			}
+		}
+	}
+	return out
+}
+
 // GenOptions configures document generation.
 type GenOptions struct {
 	// Scale follows xmlgen's knob: Figure 4's document sizes are obtained

@@ -8,26 +8,32 @@ package flux
 
 import (
 	"context"
+	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"flux/internal/mux"
+	"flux/internal/sax"
 )
 
-func TestCatalogSwapVsInflightBatches(t *testing.T) {
-	buildDoc := func(title string, n int) string {
-		var sb strings.Builder
-		sb.WriteString("<bib>")
-		for i := 0; i < n; i++ {
-			sb.WriteString("<book><title>")
-			sb.WriteString(title)
-			sb.WriteString("</title><year>2004</year></book>")
-		}
-		sb.WriteString("</bib>")
-		return sb.String()
+func buildBibDoc(title string, n int) string {
+	var sb strings.Builder
+	sb.WriteString("<bib>")
+	for i := 0; i < n; i++ {
+		sb.WriteString("<book><title>")
+		sb.WriteString(title)
+		sb.WriteString("</title><year>2004</year></book>")
 	}
-	docA := buildDoc("aaaaaaaaaa", 800)
-	docB := buildDoc("bbbbbbbbbb", 800)
+	sb.WriteString("</bib>")
+	return sb.String()
+}
+
+func TestCatalogSwapVsInflightBatches(t *testing.T) {
+	docA := buildBibDoc("aaaaaaaaaa", 800)
+	docB := buildBibDoc("bbbbbbbbbb", 800)
 	pathA := writeTemp(t, "a.xml", docA)
 	pathB := writeTemp(t, "b.xml", docB)
 
@@ -101,5 +107,188 @@ func TestCatalogSwapVsInflightBatches(t *testing.T) {
 	}
 	if info, _ := cat.Info("bib"); info.Swaps == 0 {
 		t.Fatal("swapper never ran")
+	}
+}
+
+// TestCatalogSwapVsAutomatonBatches: the swap torture test against the
+// automaton-dispatched serving path. A multi-signature batch (three
+// distinct projections, so the merged machine has three groups) keeps
+// executing while the catalog repoints the document; swaps invalidate
+// the executor's automaton cache mid-flight. Every result must still be
+// exactly one file's answer for its query.
+func TestCatalogSwapVsAutomatonBatches(t *testing.T) {
+	docA := buildBibDoc("aaaaaaaaaa", 400)
+	docB := buildBibDoc("bbbbbbbbbb", 400)
+	pathA := writeTemp(t, "a.xml", docA)
+	pathB := writeTemp(t, "b.xml", docB)
+
+	cat := NewCatalog(CatalogOptions{})
+	if err := cat.Add("bib", pathA, catDTD); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(cat, ExecutorOptions{Window: 200 * time.Microsecond, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`<out> { for $b in /bib/book return {$b/title} } </out>`,
+		`<out> { for $b in /bib/book return {$b/year} } </out>`,
+		`<out> { for $b in /bib/book return {$b} } </out>`,
+	}
+	wantA := make([]string, len(queries))
+	wantB := make([]string, len(queries))
+	for i, q := range queries {
+		if wantA[i], _, err = mustPrepare(t, q).RunString(docA, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if wantB[i], _, err = mustPrepare(t, q).RunString(docB, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		paths := [2]string{pathB, pathA}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := cat.Swap("bib", paths[i%2]); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	const workers = 9
+	const perWorker = 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qi := w % len(queries)
+			for i := 0; i < perWorker; i++ {
+				var sb strings.Builder
+				if _, err := ex.ExecuteContext(context.Background(), "bib", queries[qi], &sb); err != nil {
+					t.Errorf("execute q%d: %v", qi, err)
+					return
+				}
+				if got := sb.String(); got != wantA[qi] && got != wantB[qi] {
+					t.Errorf("q%d torn read: %d bytes, matches neither document (A=%d B=%d bytes)",
+						qi, len(got), len(wantA[qi]), len(wantB[qi]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+
+	st := ex.Stats()["bib"]
+	if st.Queries != workers*perWorker {
+		t.Fatalf("queries = %d, want %d", st.Queries, workers*perWorker)
+	}
+	if st.AutomatonStates == 0 {
+		t.Fatal("no scan recorded a merged-automaton size; automaton dispatch never ran")
+	}
+	if info, _ := cat.Info("bib"); info.Swaps == 0 {
+		t.Fatal("swapper never ran")
+	}
+}
+
+// TestStreamingDetachVsAutomatonDispatch: standing subscriptions attach
+// and detach while a chunked stream is in flight through the automaton
+// router. A subscription with a fresh signature joining mid-stream
+// rebuilds the machine and extends the live matcher at a sync point; a
+// canceled subscription detaches mid-batch. The subscription standing
+// from the start must still produce the full document's answer.
+func TestStreamingDetachVsAutomatonDispatch(t *testing.T) {
+	const nBooks = 400
+	doc := buildBibDoc("tttttttttt", nBooks)
+
+	qTitle := `<out> { for $b in /bib/book return {$b/title} } </out>`
+	qYear := `<out> { for $b in /bib/book return {$b/year} } </out>`
+	qBook := `<out> { for $b in /bib/book return {$b} } </out>`
+	want, _, err := mustPrepare(t, qTitle).RunString(doc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := mux.NewStreaming()
+	var keepOut strings.Builder
+	keep := m.Add(mustPrepare(t, qTitle).plan, &keepOut)
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	doomed := m.AddContext(cancelCtx, mustPrepare(t, qYear).plan, io.Discard)
+	if err := m.BeginStream(); err != nil {
+		t.Fatal(err)
+	}
+	cs := sax.StartChunked(context.Background(), m, sax.Options{SkipWhitespaceText: true})
+
+	// Joiners racing the feed: year shares a standing signature, book is
+	// fresh to the batch and forces a machine rebuild + matcher extend at
+	// a sync point. Late joiners may legitimately be refused.
+	const joiners = 6
+	var joinWG sync.WaitGroup
+	for j := 0; j < joiners; j++ {
+		joinWG.Add(1)
+		go func(j int) {
+			defer joinWG.Done()
+			q := qYear
+			if j%2 == 0 {
+				q = qBook
+			}
+			activated := make(chan error, 1)
+			err := m.AttachStream(context.Background(), mustPrepare(t, q).plan, io.Discard,
+				func(slot int, err error) { activated <- err })
+			if err != nil {
+				t.Errorf("attach: %v", err)
+				return
+			}
+			if err := <-activated; err != nil &&
+				!errors.Is(err, mux.ErrRootClosed) && !errors.Is(err, mux.ErrStreamEnded) {
+				t.Errorf("activate: %v", err)
+			}
+		}(j)
+	}
+
+	// Feed the document in small chunks; cancel the doomed subscription
+	// midway so it detaches from an in-flight batch.
+	const chunk = 64
+	for off := 0; off < len(doc); off += chunk {
+		end := off + chunk
+		if end > len(doc) {
+			end = len(doc)
+		}
+		if off > len(doc)/2 && cancelCtx.Err() == nil {
+			cancel()
+		}
+		if _, err := cs.Write([]byte(doc[off:end])); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+	cancel()
+	if err := cs.Close(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	joinWG.Wait()
+	results := m.EndStream(nil)
+
+	if results[keep].Err != nil {
+		t.Fatalf("standing subscription failed: %v", results[keep].Err)
+	}
+	if got := keepOut.String(); got != want {
+		t.Fatalf("standing subscription output: %d bytes, want %d", len(got), len(want))
+	}
+	if results[doomed].Err == nil {
+		t.Fatal("canceled subscription finished without error")
 	}
 }
