@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check lint-docs fuzz bench clean
+.PHONY: build test race vet fmt-check lint-docs fuzz bench race-fault clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection gate: the replica and rebalancer suites — worker
+# kills mid-burst and mid-copy, hysteresis under oscillating load, the
+# replicated fan-out differential — under the race detector, three
+# times, because the failures they hunt are interleaving-dependent.
+race-fault:
+	$(GO) test ./internal/shard -race -count=3 -run 'Replica|Rebalancer'
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -5,7 +5,7 @@
 // Each regression is reported with the exact row (query/size/mode), its
 // baseline and observed values, and the allowed maximum.
 //
-// It also enforces six invariants on the fresh snapshot: on every
+// It also enforces seven invariants on the fresh snapshot: on every
 // (query, size) cell measured in both a flux row and a baseline row,
 // flux must be the fastest mode — the paper's headline claim; wherever
 // both fanout-all and fanout-selective rows exist, the selective row
@@ -24,7 +24,11 @@
 // wherever both stream-static and stream-replay rows exist, the
 // standing subscriptions fed by the chunked replay must have produced
 // exactly the static scan's output bytes — live ingestion must not
-// change results either.
+// change results either; and wherever both skewed-single and
+// skewed-converge rows exist, the 2-shard tier whose hot-document
+// replica the autonomous rebalancer placed must have served the burst
+// in strictly less wall clock than the single capacity-capped node —
+// convergence must actually pay for itself.
 //
 // Usage:
 //
@@ -89,6 +93,10 @@ func main() {
 	}
 	if err := bench.CheckStreamEquivalence(newSnap); err != nil {
 		fmt.Println("benchdiff: STREAM INVARIANT VIOLATED:", err)
+		failed = true
+	}
+	if err := bench.CheckSkewedConverge(newSnap); err != nil {
+		fmt.Println("benchdiff: SKEWED-CONVERGE INVARIANT VIOLATED:", err)
 		failed = true
 	}
 	for _, r := range res.Regressions {

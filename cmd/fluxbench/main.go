@@ -39,6 +39,7 @@ func main() {
 		migrate     = flag.Bool("migrate", true, "add migration-under-load rows per size (fixed query stream with and without a live document migration racing it)")
 		percentiles = flag.Bool("percentiles", true, "add an open-loop serving-latency row per size (p50/p99 request latency and queries/sec)")
 		streaming   = flag.Bool("stream", true, "add streaming-ingestion rows per size (static shared scan vs standing subscriptions over a chunked replay)")
+		skewed      = flag.Bool("skewed", true, "add skewed-workload rows per size (hot-document burst on one capacity-capped worker vs a 2-shard tier after the rebalancer replicated it)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 	cfg.Migrate = *migrate
 	cfg.Percentiles = *percentiles
 	cfg.Stream = *streaming
+	cfg.Skewed = *skewed
 
 	// An interrupt abandons the sweep mid-document via the context path.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -22,10 +22,21 @@
 //	logs: 1,3        # replicated: router load-balances and fails over
 //
 // Flags: [-addr :8710] [-spawn N -docroot dir | -shards list]
-// [-shard-map file] [-health-interval 2s] [-admin] [-window 2ms]
+// [-shard-map file] [-health-interval 2s] [-admin]
+// [-rebalance-interval 0] [-rebalance-threshold 8] [-window 2ms]
 // [-max-batch 16] [-batch-buffer-budget 0] [-max-scans-per-doc 0]
 // [-max-resident-buffer 0] (the serving knobs apply to embedded shards
 // only).
+//
+// -rebalance-interval starts the autonomous control plane: every
+// interval the router folds the per-(document, shard) query counts it
+// observed into a decaying load signal and, when the hottest shard
+// leads the coldest by more than -rebalance-threshold (with a cooldown
+// between actions so placements cannot ping-pong), migrates the
+// hottest document — or adds a replica of it when that document alone
+// dominates its shard, so the burst fans out across copies. It needs
+// -admin (the control plane rides the same worker install/retire/fetch
+// machinery as /admin/migrate).
 //
 // Endpoints:
 //
@@ -55,6 +66,12 @@
 //	POST /admin/rebalance  one automatic rebalancing step: migrate the
 //	                       busiest (document, shard) pair's document to
 //	                       the least-loaded shard without a replica
+//	GET  /admin/rebalancer the autonomous control plane's status:
+//	                       configuration, tick/action/failure counters,
+//	                       the last action and decision, cooldown state,
+//	                       and the hottest entries of the decayed load
+//	                       signal ({"enabled": false} without
+//	                       -rebalance-interval)
 //
 // Shard failure is absorbed where possible: a worker that cannot be
 // reached before its response starts is marked dead and the query
@@ -87,6 +104,8 @@ func main() {
 		mapFile   = flag.String("shard-map", "", "optional placement override file (doc: shard[,shard...] per line)")
 		healthInt = flag.Duration("health-interval", shard.DefaultHealthInterval, "background shard health-probe period")
 		admin     = flag.Bool("admin", false, "expose the mutating /admin/* endpoints (migrate, rebalance, topology); they move documents between shards, so enable only on trusted networks")
+		rebalInt  = flag.Duration("rebalance-interval", 0, "run the autonomous rebalancer with this tick period (0 = off; needs -admin)")
+		rebalThr  = flag.Float64("rebalance-threshold", 8, "minimum per-window load imbalance between hottest and coldest shard before the rebalancer acts")
 
 		window      = flag.Duration("window", 2*time.Millisecond, "embedded shards: batch window")
 		maxBatch    = flag.Int("max-batch", 16, "embedded shards: maximum queries per shared scan")
@@ -186,6 +205,22 @@ func main() {
 	adminNote := "admin disabled"
 	if *admin {
 		adminNote = "admin enabled (migrate/rebalance live)"
+	}
+	if *rebalInt > 0 {
+		if !*admin {
+			fatal(fmt.Errorf("-rebalance-interval needs -admin: the control plane rides the worker install/retire/fetch endpoints"))
+		}
+		rb, err := shard.NewRebalancer(rt, shard.RebalancerOptions{
+			Interval:  *rebalInt,
+			Threshold: *rebalThr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer rb.Close()
+		adminNote += fmt.Sprintf(", rebalancer every %v (threshold %v)", *rebalInt, *rebalThr)
+	} else if *rebalInt < 0 {
+		fatal(fmt.Errorf("-rebalance-interval must be non-negative, got %v", *rebalInt))
 	}
 	log.Printf("fluxrouter: routing %d document(s) across %d shard(s) on %s, epoch %d, %s",
 		len(rt.Topology().View().Docs()), rt.Topology().View().Shards(), *addr, rt.Topology().Epoch(), adminNote)

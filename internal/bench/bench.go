@@ -105,6 +105,20 @@ const (
 	// CheckStreamEquivalence re-verifies output equality on the snapshot.
 	ModeStreamStatic Mode = "stream-static"
 	ModeStreamReplay Mode = "stream-replay"
+	// ModeSkewedSingle and ModeSkewedConverge measure the autonomous
+	// rebalancer's payoff under a skewed workload: a hot document takes
+	// every request while a cold one sits idle, workers serving one
+	// request at a time with a fixed service-time floor (the emulated
+	// per-node capacity — ServerOptions.ServiceSlots).
+	// The single row serves the burst from one worker owning both
+	// documents; the converge row starts the hot document on one shard
+	// of a 2-shard tier, lets the rebalancer observe the burst and add a
+	// replica on its own, then times the same burst fanning out across
+	// both copies. Their rows use the synthetic query name "skewed";
+	// CheckSkewedConverge gates that the converged tier beats the single
+	// node on wall clock — the whole point of replica fan-out.
+	ModeSkewedSingle   Mode = "skewed-single"
+	ModeSkewedConverge Mode = "skewed-converge"
 )
 
 // SharedQueryName is the Row.Query value of ModeShared rows.
@@ -134,6 +148,10 @@ const MigrateQueryName = "migrate"
 // StreamQueryName is the Row.Query value of the streaming-ingestion
 // rows (ModeStreamStatic / ModeStreamReplay).
 const StreamQueryName = "stream"
+
+// SkewedQueryName is the Row.Query value of the skewed-workload
+// rebalancing rows (ModeSkewedSingle / ModeSkewedConverge).
+const SkewedQueryName = "skewed"
 
 // AllModes lists the standard Figure 4 columns (FluX, Galax stand-in,
 // AnonX stand-in).
@@ -185,6 +203,11 @@ type Config struct {
 	// subscriptions over the document replayed in chunks through a
 	// streaming hub.
 	Stream bool
+	// Skewed adds one ModeSkewedSingle and one ModeSkewedConverge row
+	// per size: a hot-document burst against one capacity-capped worker,
+	// versus the same burst against a 2-shard tier after the autonomous
+	// rebalancer replicated the hot document on its own.
+	Skewed bool
 }
 
 // Row is one table cell: a (query, size, mode) measurement.
@@ -342,6 +365,19 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 				row, err := runMigrate(ctx, workDir, path, sizeMB, docBytes, cfg.Queries, live)
 				if err != nil {
 					return nil, fmt.Errorf("bench: migrate %dMB: %w", sizeMB, err)
+				}
+				rows = append(rows, row)
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%-4s %4dMB %-16s %10.2fs %12s output\n",
+						row.Query, sizeMB, row.Mode, row.Elapsed.Seconds(), FormatBytes(row.Output))
+				}
+			}
+		}
+		if cfg.Skewed {
+			for _, converge := range []bool{false, true} {
+				row, err := runSkewed(ctx, workDir, path, sizeMB, docBytes, cfg.Queries, converge)
+				if err != nil {
+					return nil, fmt.Errorf("bench: skewed %dMB: %w", sizeMB, err)
 				}
 				rows = append(rows, row)
 				if cfg.Progress != nil {
@@ -590,6 +626,181 @@ func runMigrate(ctx context.Context, workDir, docPath string, sizeMB int, docByt
 	return row, nil
 }
 
+// skewedWave is how many concurrent hot-document requests one skewed
+// burst fires: enough to saturate a single capacity-capped worker so
+// the replica's extra capacity shows up in wall clock.
+const skewedWave = 8
+
+// skewedConvergeTimeout bounds how long the converge row waits for the
+// rebalancer to replicate the hot document before the run fails.
+const skewedConvergeTimeout = 30 * time.Second
+
+// skewedHealthInterval is the skewed tier's health-probe period: short
+// enough that worker-reported admission load stays fresh across bursts
+// (the probe feeds replica scoring) without probe traffic mattering.
+const skewedHealthInterval = 20 * time.Millisecond
+
+// skewedServiceFloor is the emulated per-request service time of a
+// skewed-tier worker: long enough to dominate the scan's CPU time at
+// every benchmark size, so the rows measure queueing on node capacity
+// (which replication halves) rather than single-host CPU contention.
+const skewedServiceFloor = 25 * time.Millisecond
+
+// runSkewed measures what the autonomous rebalancer buys under a
+// skewed workload. Documents "hot" and "cold" (both the benchmark
+// document) are served by workers gated to one request at a time with
+// a skewedServiceFloor wall-clock floor each, so a hot burst
+// serializes on a single owner — the in-process emulation of a
+// saturated node, whose queueing (unlike raw scan CPU on a small host)
+// a second replica genuinely halves. The single row
+// times skewedWave concurrent hot requests against one worker owning
+// both documents. The converge row starts hot on shard 0 of a 2-shard
+// router tier, runs a rebalancer (tight interval, threshold 1), bursts
+// hot traffic until the rebalancer has replicated the document onto
+// shard 1 on its own authority, stops the rebalancer, and then times
+// the same burst fanning out across both replicas. Elapsed is the best
+// of sharedRepeats bursts; Output/Buffer/Tokens are summed from the
+// first burst. CheckSkewedConverge gates converge < single per size.
+func runSkewed(ctx context.Context, workDir, docPath string, sizeMB int, docBytes int64, qnames []string, converge bool) (Row, error) {
+	mode := ModeSkewedSingle
+	if converge {
+		mode = ModeSkewedConverge
+	}
+	row := Row{Query: SkewedQueryName, SizeMB: sizeMB, Bytes: docBytes, Mode: mode}
+
+	dtdPath := filepath.Join(workDir, "xmark.dtd")
+	if err := os.WriteFile(dtdPath, []byte(xmark.DTD), 0o644); err != nil {
+		return row, err
+	}
+	specs := []shard.DocSpec{
+		{Name: "hot", DocPath: docPath, DTDPath: dtdPath},
+		{Name: "cold", DocPath: docPath, DTDPath: dtdPath},
+	}
+	placement := map[string][]int{"hot": {0}, "cold": {0}}
+	shardCount := 1
+	if converge {
+		placement["cold"] = []int{1}
+		shardCount = 2
+	}
+	m, err := shard.NewMapFromPlacement(placement, shardCount)
+	if err != nil {
+		return row, err
+	}
+	workers, err := shard.SpawnEmbedded(m, specs, shard.EmbeddedOptions{
+		Executor: flux.ExecutorOptions{Window: time.Millisecond, MaxBatch: 1},
+		// Each worker serves one request at a time with a wall-clock
+		// service floor — the emulated per-node capacity. Requests queue
+		// on a saturated worker exactly as on a saturated node, which is
+		// the contention replication exists to relieve, and the floors of
+		// two workers overlap in wall clock even on a single-CPU host.
+		ServiceSlots:   1,
+		MinServiceTime: skewedServiceFloor,
+		Admin:          converge, // the rebalancer rides install/retire/fetch
+	})
+	if err != nil {
+		return row, err
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	rt, err := shard.NewRouter(shard.RouterOptions{
+		Map: m, Shards: shard.Addrs(workers),
+		HealthInterval: skewedHealthInterval, // rebalance targets must probe live
+		Admin:          converge,
+	})
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	hs := &http.Server{Handler: rt}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Every request runs the sweep's first query: the rows measure
+	// placement and queueing, not query semantics, and a cheap query
+	// keeps scan CPU inside the service floor at every document size —
+	// otherwise single-host CPU contention, which no placement can
+	// relieve, would drown the signal the gate checks.
+	queryText := xmark.Queries[qnames[0]]
+
+	burst := func() (time.Duration, []servedResult, error) {
+		results := make([]servedResult, skewedWave)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < skewedWave; i++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				results[slot] = servedRequest(ctx, base, "hot", queryText)
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, r := range results {
+			if r.err != nil {
+				return 0, nil, r.err
+			}
+		}
+		return elapsed, results, nil
+	}
+
+	if converge {
+		// The tier converges on its own: bursts build the router's load
+		// signal, the rebalancer sees the hot document dominating its
+		// shard and installs the replica. The run does not place it.
+		rb, err := shard.NewRebalancer(rt, shard.RebalancerOptions{
+			Interval:  5 * time.Millisecond,
+			Threshold: 1,
+		})
+		if err != nil {
+			return row, err
+		}
+		deadline := time.Now().Add(skewedConvergeTimeout)
+		for len(rt.Topology().View().Owners("hot")) < 2 {
+			if time.Now().After(deadline) {
+				rb.Close()
+				return row, fmt.Errorf("rebalancer did not replicate the hot document within %v", skewedConvergeTimeout)
+			}
+			if _, _, err := burst(); err != nil {
+				rb.Close()
+				return row, err
+			}
+		}
+		// Freeze the converged topology so the timed bursts measure the
+		// fan-out, not further control-plane motion.
+		rb.Close()
+	}
+
+	for rep := 0; rep < sharedRepeats; rep++ {
+		// Let the health probes observe the tier idle first: a stale
+		// busy reading from the previous burst would steer the whole
+		// wave to one replica, and the wave is what's being measured.
+		time.Sleep(3 * skewedHealthInterval)
+		elapsed, results, err := burst()
+		if err != nil {
+			return row, err
+		}
+		if rep == 0 || elapsed < row.Elapsed {
+			row.Elapsed = elapsed
+		}
+		if rep == 0 {
+			for _, r := range results {
+				row.Output += r.output
+				row.Buffer += r.buffer
+				row.Tokens += r.tokens
+			}
+		}
+	}
+	return row, nil
+}
+
 // runServed measures the serving tier end to end: the benchmark
 // document registered as two catalog documents ("x0", "x1") and every
 // query of the sweep executed against both over HTTP — through one
@@ -691,6 +902,7 @@ func runServed(ctx context.Context, workDir, docPath string, sizeMB int, docByte
 // servedResult is one HTTP request's measurement.
 type servedResult struct {
 	output, buffer, tokens int64
+	shard                  string // X-Flux-Shard: which worker served it
 	err                    error
 }
 
@@ -719,6 +931,7 @@ func servedRequest(ctx context.Context, base, doc, queryText string) (r servedRe
 		return r
 	}
 	r.output = n
+	r.shard = resp.Header.Get("X-Flux-Shard")
 	r.buffer, _ = strconv.ParseInt(resp.Trailer.Get("X-Flux-Peak-Buffer-Bytes"), 10, 64)
 	r.tokens, _ = strconv.ParseInt(resp.Trailer.Get("X-Flux-Tokens"), 10, 64)
 	return r

@@ -397,6 +397,41 @@ func CheckStreamEquivalence(snap *Snapshot) error {
 	return nil
 }
 
+// CheckSkewedConverge verifies the rebalancer's payoff within one
+// snapshot: wherever both skewed rows exist for a size, the converged
+// 2-shard tier — whose hot-document replica the autonomous rebalancer
+// placed on its own — must have served the burst in strictly less wall
+// clock than the single capacity-capped node. Both rows are min-of-N
+// bursts of identical requests, so a loss means fan-out failed to use
+// the second copy, not jitter. It returns an error naming the
+// offending size and both times, or nil when the invariant holds
+// (vacuously for snapshots without skewed rows).
+func CheckSkewedConverge(snap *Snapshot) error {
+	single := make(map[int]SnapshotRow)
+	converged := make(map[int]SnapshotRow)
+	for _, r := range snap.Rows {
+		if r.Query != SkewedQueryName || r.Skipped {
+			continue
+		}
+		switch r.Mode {
+		case ModeSkewedSingle:
+			single[r.SizeMB] = r
+		case ModeSkewedConverge:
+			converged[r.SizeMB] = r
+		}
+	}
+	for size, s := range single {
+		c, ok := converged[size]
+		if !ok {
+			continue
+		}
+		if c.ElapsedNS >= s.ElapsedNS {
+			return fmt.Errorf("skewed %dMB: converged tier took %dns, single node %dns; the rebalanced tier must beat the single node after convergence", size, c.ElapsedNS, s.ElapsedNS)
+		}
+	}
+	return nil
+}
+
 // bufferSlackBytes ignores absolute buffer growth below this size, so a
 // query that buffered 0 bytes and now buffers a handful (or a generator
 // tweak shifting a small document) does not trip the percentage gate.

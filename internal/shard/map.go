@@ -178,6 +178,20 @@ func (m *Map) Owners(doc string) []int {
 	return out
 }
 
+// Placement returns the full document→owners table as a deep copy, in
+// the shape NewMapFromPlacement accepts — replicated documents keep
+// their whole owner list, so a map (or a live topology view) can be
+// serialized to a shard-map file and rebuilt without losing replicas.
+func (m *Map) Placement() map[string][]int {
+	out := make(map[string][]int, len(m.owners))
+	for doc, ids := range m.owners {
+		cp := make([]int, len(ids))
+		copy(cp, ids)
+		out[doc] = cp
+	}
+	return out
+}
+
 // clone returns a deep copy of the map — the copy-on-write step behind
 // every Topology epoch, so published snapshots stay immutable while the
 // next epoch is edited.

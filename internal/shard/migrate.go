@@ -230,6 +230,130 @@ func (rt *Router) MigrateDoc(ctx context.Context, doc string, from, to int) (Mig
 	return rep, nil
 }
 
+// ReplicaReport is what a completed replica add or drop did.
+type ReplicaReport struct {
+	// Doc is the replicated document.
+	Doc string `json:"doc"`
+	// From is the shard the copy was fetched from (add) or that keeps
+	// serving the document (drop). Not omitempty: shard 0 is legitimate.
+	From int `json:"from"`
+	// On is the shard that gained (add) or lost (drop) the replica.
+	On int `json:"on"`
+	// Epoch is the topology epoch published when the replica set
+	// changed — the first epoch under which the new set routes.
+	Epoch int64 `json:"epoch"`
+	// Resumed reports that the target already held an unrouted copy
+	// (a previously failed replica add); the stale copy was retired and
+	// replaced with a fresh one rather than trusted.
+	Resumed bool `json:"resumed,omitempty"`
+	// Warning reports non-fatal trouble, e.g. a retire of the dropped
+	// copy that failed after routing already moved on.
+	Warning string `json:"warning,omitempty"`
+}
+
+// AddReplica gives doc an additional replica on shard `to`, live: the
+// copy is fetched from the least-loaded live owner and installed over
+// the same /admin/fetch → /admin/install machinery migration rides on,
+// and only once the install succeeded does the topology publish the
+// grown replica set. A copy failure — source dead, target dead,
+// anything — aborts with the topology unchanged; the rebalancer (or an
+// operator) simply retries later. Like MigrateDoc, a stale unrouted
+// copy on the target is retired and re-fetched rather than trusted.
+func (rt *Router) AddReplica(ctx context.Context, doc string, to int) (ReplicaReport, error) {
+	rep := ReplicaReport{Doc: doc, On: to}
+	view := rt.topo.View()
+	from := rt.replicaSource(view, doc, to)
+	if from < 0 {
+		return rep, fmt.Errorf("shard: replicate %q: no owner to copy from (owners %v)", doc, view.Owners(doc))
+	}
+	rep.From = from
+	mig, err := rt.topo.AddReplica(doc, from, to)
+	if err != nil {
+		return rep, err
+	}
+	src, dst := rt.backends[from], rt.backends[to]
+	copyFail := func(err error) (ReplicaReport, error) {
+		rt.topo.Abort(mig)
+		return rep, fmt.Errorf("%w: replicating %q from shard %d to %d: %v", errMigrateCopy, doc, from, to, err)
+	}
+	if err := copyDoc(ctx, doc, src.client, dst.client); err != nil {
+		if !errors.Is(err, ErrAlreadyInstalled) {
+			return copyFail(err)
+		}
+		// Same reasoning as MigrateDoc's resume path: the unrouted copy a
+		// failed earlier attempt left behind cannot be trusted (the source
+		// may have been hot-swapped since), and queries admitted under old
+		// epochs may still be queued on the target, so drain before
+		// retiring it.
+		rep.Resumed = true
+		if err := rt.inflight.wait(ctx, rt.topo.Epoch()-1); err != nil {
+			return copyFail(fmt.Errorf("draining before replacing stale target copy: %v", err))
+		}
+		if err := dst.client.Retire(ctx, doc); err != nil {
+			return copyFail(fmt.Errorf("replacing stale target copy: %v", err))
+		}
+		if err := copyDoc(ctx, doc, src.client, dst.client); err != nil {
+			return copyFail(err)
+		}
+	}
+	epoch, err := rt.topo.CommitReplica(mig)
+	if err != nil {
+		rt.topo.Abort(mig)
+		return rep, err
+	}
+	rep.Epoch = epoch
+	return rep, nil
+}
+
+// replicaSource picks the owner to fetch a replica copy from: live
+// owners before dead ones (a dead source still gets tried — the fetch
+// fails fast and the add aborts cleanly), less loaded before more.
+// Returns -1 when the document has no owners other than the target.
+func (rt *Router) replicaSource(view *View, doc string, to int) int {
+	best := -1
+	var bestDead bool
+	var bestScore int64
+	for _, id := range view.Owners(doc) {
+		if id == to {
+			continue
+		}
+		b := rt.backends[id]
+		dead, score := !b.alive.Load(), b.load.Load()+b.inflight.Load()
+		if best < 0 || (bestDead && !dead) || (bestDead == dead && score < bestScore) {
+			best, bestDead, bestScore = id, dead, score
+		}
+	}
+	return best
+}
+
+// DropReplica removes doc's replica from shard `on`, live: the shrunk
+// replica set is published first, then every query admitted under a
+// pre-drop epoch is drained (it may still be scanning the dropped
+// copy), and only then is the copy retired. A retire failure after a
+// clean drain is a warning, not an error — nothing routes to the copy
+// anymore.
+func (rt *Router) DropReplica(ctx context.Context, doc string, on int) (ReplicaReport, error) {
+	rep := ReplicaReport{Doc: doc, On: on}
+	drainUpTo, err := rt.topo.DropReplica(doc, on)
+	if err != nil {
+		return rep, err
+	}
+	rep.Epoch = drainUpTo + 1
+	if rest := rt.topo.View().Owners(doc); len(rest) > 0 {
+		rep.From = rest[0]
+	}
+	if err := rt.inflight.wait(ctx, drainUpTo); err != nil {
+		// Routing already moved on; the copy stays installed (harmless,
+		// unrouted) rather than being retired under in-flight queries.
+		rep.Warning = fmt.Sprintf("drain interrupted: %v (unrouted copy left on shard %d)", err, on)
+		return rep, nil
+	}
+	if err := rt.backends[on].client.Retire(ctx, doc); err != nil {
+		rep.Warning = fmt.Sprintf("retire failed: %v (unrouted copy may remain on shard %d)", err, on)
+	}
+	return rep, nil
+}
+
 // copyDoc streams a document and its DTD from the source worker into
 // the target worker's catalog, never materializing the document in
 // router memory.

@@ -1,0 +1,399 @@
+package shard
+
+// Tests for the replica half of the control plane: the Topology's
+// AddReplica/CommitReplica/DropReplica transitions, the Router's live
+// replica protocol over the fetch/install/retire machinery, the
+// dead-target fault injection (a failed copy must leave the topology
+// untouched), and the placement round-trip — a replica added at
+// runtime must be indistinguishable from one declared in a shard-map
+// file.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// replicaTopology builds the placement the transition tests share:
+// three shards, "a" on 0, "b" on 1.
+func replicaTopology(t *testing.T) *Topology {
+	t.Helper()
+	m, err := NewMapFromPlacement(map[string][]int{"a": {0}, "b": {1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTopology(m)
+}
+
+// TestTopologyAddReplicaProtocol walks the replica-add state machine:
+// register (routing untouched, pending visible), commit (epoch
+// published, owner set grown, sorted), and the validation fences.
+func TestTopologyAddReplicaProtocol(t *testing.T) {
+	topo := replicaTopology(t)
+
+	mig, err := topo.AddReplica("a", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() != 1 {
+		t.Fatalf("registering a replica changed the epoch to %d", topo.Epoch())
+	}
+	if got := topo.View().Owners("a"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("registering a replica changed routing: owners %v", got)
+	}
+	pend := topo.Pending()
+	if len(pend) != 1 || pend[0].State != "replicating" || pend[0].Doc != "a" || pend[0].From != 0 || pend[0].To != 2 {
+		t.Fatalf("pending = %+v, want one replicating entry for a 0->2", pend)
+	}
+
+	// The pending copy conflicts with any other placement change of the
+	// same document, in both directions.
+	if _, err := topo.Migrate("a", 0, 1); !errors.Is(err, ErrMigrationPending) {
+		t.Fatalf("Migrate during replica copy: %v, want ErrMigrationPending", err)
+	}
+	if _, err := topo.AddReplica("a", 0, 1); !errors.Is(err, ErrMigrationPending) {
+		t.Fatalf("second AddReplica during copy: %v, want ErrMigrationPending", err)
+	}
+
+	epoch, err := topo.CommitReplica(mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || topo.Epoch() != 2 {
+		t.Fatalf("commit published epoch %d (topology %d), want 2", epoch, topo.Epoch())
+	}
+	if got := topo.View().Owners("a"); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("owners after commit = %v, want [0 2]", got)
+	}
+	if len(topo.Pending()) != 0 {
+		t.Fatalf("commit left pending state: %+v", topo.Pending())
+	}
+	if _, err := topo.CommitReplica(mig); err == nil {
+		t.Fatal("double commit succeeded")
+	}
+
+	// With "a" on two shards, a fresh pending copy blocks a drop too.
+	mig2, err := topo.AddReplica("a", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.DropReplica("a", 0); !errors.Is(err, ErrMigrationPending) {
+		t.Fatalf("DropReplica during copy: %v, want ErrMigrationPending", err)
+	}
+	if err := topo.Abort(mig2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validation fences.
+	for _, tc := range []struct {
+		name     string
+		doc      string
+		from, to int
+	}{
+		{"unknown document", "nope", 0, 1},
+		{"source not an owner", "b", 0, 2},
+		{"target already an owner", "a", 0, 2},
+		{"source equals target", "b", 1, 1},
+		{"source out of range", "a", -1, 1},
+		{"target out of range", "a", 0, 9},
+	} {
+		if _, err := topo.AddReplica(tc.doc, tc.from, tc.to); err == nil {
+			t.Errorf("%s: AddReplica(%q, %d, %d) succeeded", tc.name, tc.doc, tc.from, tc.to)
+		}
+	}
+}
+
+// TestTopologyAddReplicaAbort: aborting a replica copy forgets it
+// without any routing change — there is nothing to roll back.
+func TestTopologyAddReplicaAbort(t *testing.T) {
+	topo := replicaTopology(t)
+	mig, err := topo.AddReplica("b", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Abort(mig); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() != 1 {
+		t.Fatalf("abort changed the epoch to %d", topo.Epoch())
+	}
+	if got := topo.View().Owners("b"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("abort changed routing: owners %v", got)
+	}
+	if len(topo.Pending()) != 0 {
+		t.Fatalf("abort left pending state: %+v", topo.Pending())
+	}
+	// The document is free again.
+	if _, err := topo.AddReplica("b", 1, 2); err != nil {
+		t.Fatalf("AddReplica after abort: %v", err)
+	}
+}
+
+// TestTopologyDropReplica: dropping publishes the shrunk set in one
+// step and hands back the old epoch as the drain barrier; the last
+// owner can never be dropped.
+func TestTopologyDropReplica(t *testing.T) {
+	topo := replicaTopology(t)
+	mig, err := topo.AddReplica("a", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.CommitReplica(mig); err != nil {
+		t.Fatal(err)
+	}
+
+	before := topo.Epoch() // 2
+	drainBelow, err := topo.DropReplica("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drainBelow != before {
+		t.Fatalf("drain barrier = %d, want the pre-drop epoch %d", drainBelow, before)
+	}
+	if topo.Epoch() != before+1 {
+		t.Fatalf("epoch after drop = %d, want %d", topo.Epoch(), before+1)
+	}
+	if got := topo.View().Owners("a"); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("owners after drop = %v, want [2]", got)
+	}
+
+	if _, err := topo.DropReplica("a", 2); err == nil {
+		t.Fatal("dropped the last owner")
+	}
+	if _, err := topo.DropReplica("a", 1); err == nil {
+		t.Fatal("dropped a non-owner")
+	}
+	if _, err := topo.DropReplica("nope", 0); err == nil {
+		t.Fatal("dropped a replica of an unknown document")
+	}
+}
+
+// TestRouterReplicaLifecycle drives the live protocol end to end over
+// an embedded tier: AddReplica installs a real copy and publishes the
+// grown set, queries stay byte-identical and fan out, and DropReplica
+// drains before retiring the copy.
+func TestRouterReplicaLifecycle(t *testing.T) {
+	shards, rt, ts := spawnTier(t, testDocs, 2, "alpha: 0\nbeta: 1\ngamma: 1\n")
+	ctx := context.Background()
+	_, wantBody := post(t, ts.URL+"/query?doc=alpha", testQueries[0])
+	before := getTopology(t, ts.URL)
+
+	rep, err := rt.AddReplica(ctx, "alpha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Doc != "alpha" || rep.From != 0 || rep.On != 1 || rep.Epoch != before.Epoch+1 || rep.Resumed {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := rt.Topology().View().Owners("alpha"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("owners after add = %v, want [0 1]", got)
+	}
+	if docs := shards[1].Worker().Catalog().Docs(); !containsString(docs, "alpha") {
+		t.Fatalf("target worker does not hold the replica: %v", docs)
+	}
+	// /admin/shards lists the document on both shards now.
+	topo := getTopology(t, ts.URL)
+	if !containsString(topo.Shards[0].Docs, "alpha") || !containsString(topo.Shards[1].Docs, "alpha") {
+		t.Fatalf("/admin/shards does not show alpha on both shards: %+v", topo.Shards)
+	}
+	if resp, body := post(t, ts.URL+"/query?doc=alpha", testQueries[0]); resp.StatusCode != http.StatusOK || body != wantBody {
+		t.Fatalf("post-add query: status %d, identical %v", resp.StatusCode, body == wantBody)
+	}
+
+	// Adding the replica again is a validation error, not a copy.
+	if _, err := rt.AddReplica(ctx, "alpha", 1); err == nil {
+		t.Fatal("adding an existing replica succeeded")
+	}
+
+	drop, err := rt.DropReplica(ctx, "alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop.On != 0 || drop.From != 1 || drop.Warning != "" {
+		t.Fatalf("drop report = %+v", drop)
+	}
+	if got := rt.Topology().View().Owners("alpha"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("owners after drop = %v, want [1]", got)
+	}
+	if docs := shards[0].Worker().Catalog().Docs(); containsString(docs, "alpha") {
+		t.Fatalf("dropped copy still registered on shard 0: %v", docs)
+	}
+	resp, body := post(t, ts.URL+"/query?doc=alpha", testQueries[0])
+	if resp.StatusCode != http.StatusOK || body != wantBody || resp.Header.Get("X-Flux-Shard") != "1" {
+		t.Fatalf("post-drop query: status %d shard %q identical %v", resp.StatusCode, resp.Header.Get("X-Flux-Shard"), body == wantBody)
+	}
+}
+
+// TestAddReplicaDeadTargetLeavesTopology is the fault injection the
+// ISSUE pins: replicating into a dead shard fails in the copy step and
+// the topology is exactly as before — no epoch change, no pending
+// state, no owner change — so the rebalancer can simply retry.
+func TestAddReplicaDeadTargetLeavesTopology(t *testing.T) {
+	shards, rt, ts := spawnTier(t, testDocs, 2, "alpha: 0\nbeta: 1\ngamma: 1\n")
+	before := getTopology(t, ts.URL)
+	shards[1].Close() // the target
+
+	_, err := rt.AddReplica(context.Background(), "alpha", 1)
+	if err == nil {
+		t.Fatal("AddReplica into a dead shard succeeded")
+	}
+	after := getTopology(t, ts.URL)
+	if after.Epoch != before.Epoch || len(after.Pending) != 0 {
+		t.Fatalf("failed replica copy mutated the topology: %+v", after)
+	}
+	if got := rt.Topology().View().Owners("alpha"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("owners after failed add = %v, want [0]", got)
+	}
+	if resp, _ := post(t, ts.URL+"/query?doc=alpha", testQueries[0]); resp.StatusCode != http.StatusOK {
+		t.Fatalf("source stopped serving after failed replica add: %d", resp.StatusCode)
+	}
+}
+
+// TestReplicaKillMidBurst is the failover fault injection: with a
+// replica added at runtime through the new transition, a sustained
+// read burst survives one replica being killed cold — zero errors,
+// byte-identical output on every single request — because the router
+// marks the dead worker on the failed attempt and retries the read on
+// the survivor before any response bytes commit.
+func TestReplicaKillMidBurst(t *testing.T) {
+	shards, rt, ts := spawnTier(t, testDocs, 2, "alpha: 0\nbeta: 1\ngamma: 1\n")
+	if _, err := rt.AddReplica(context.Background(), "alpha", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, wantBody := post(t, ts.URL+"/query?doc=alpha", testQueries[0])
+
+	const conc = 16
+	seen := make(map[string]bool)
+	var seenMu sync.Mutex
+	wave := func(label string) {
+		t.Helper()
+		var wg sync.WaitGroup
+		errs := make(chan string, conc)
+		for i := 0; i < conc; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, body := post(t, ts.URL+"/query?doc=alpha", testQueries[0])
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("%s request %d: status %d: %.120s", label, i, resp.StatusCode, body)
+					return
+				}
+				if body != wantBody {
+					errs <- fmt.Sprintf("%s request %d: body diverged", label, i)
+					return
+				}
+				seenMu.Lock()
+				seen[resp.Header.Get("X-Flux-Shard")] = true
+				seenMu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+
+	wave("pre-kill")
+	shards[1].Close() // kill the replica mid-burst
+	wave("post-kill")
+	wave("post-kill steady")
+
+	// The burst before the kill spread across both replicas; everything
+	// after it came from the survivor.
+	seenMu.Lock()
+	defer seenMu.Unlock()
+	if !seen["0"] {
+		t.Fatalf("the surviving replica never served: shards seen %v", seen)
+	}
+}
+
+// TestReplicaPlacementRoundTrip is the ApplyOverrides-vs-Topology fix:
+// a replica added at runtime (AddReplica) must round-trip through
+// View.Placement → NewMapFromPlacement and through a generated
+// shard-map file → ApplyOverrides into exactly the placement a
+// file-declared replica produces, and /admin/shards must report the
+// two tiers identically.
+func TestReplicaPlacementRoundTrip(t *testing.T) {
+	// Tier A declares the replica in the shard-map file; tier B grows it
+	// at runtime through the new transition.
+	_, rtA, tsA := spawnTier(t, testDocs, 2, "alpha: 0,1\nbeta: 1\ngamma: 1\n")
+	_, rtB, tsB := spawnTier(t, testDocs, 2, "alpha: 0\nbeta: 1\ngamma: 1\n")
+	if _, err := rtB.AddReplica(context.Background(), "alpha", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	viewA, viewB := rtA.Topology().View(), rtB.Topology().View()
+	placeA, placeB := viewA.Placement(), viewB.Placement()
+	if !samePlacement(placeA, placeB) {
+		t.Fatalf("placements diverge:\nfile-declared: %v\nruntime-added: %v", placeA, placeB)
+	}
+
+	// Placement → NewMapFromPlacement round-trip.
+	m2, err := NewMapFromPlacement(placeB, viewB.Shards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePlacement(m2.Placement(), placeB) {
+		t.Fatalf("NewMapFromPlacement round-trip diverges: %v != %v", m2.Placement(), placeB)
+	}
+
+	// Placement → shard-map file → ApplyOverrides round-trip.
+	var lines []string
+	for _, doc := range viewB.Docs() {
+		ids := make([]string, 0, 2)
+		for _, id := range viewB.Owners(doc) {
+			ids = append(ids, fmt.Sprint(id))
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s", doc, strings.Join(ids, ",")))
+	}
+	sort.Strings(lines)
+	m3, err := NewMap(viewB.Docs(), viewB.Shards())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.ApplyOverrides(strings.Join(lines, "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !samePlacement(m3.Placement(), placeB) {
+		t.Fatalf("shard-map file round-trip diverges: %v != %v", m3.Placement(), placeB)
+	}
+
+	// /admin/shards reports the per-shard document lists identically.
+	topoA, topoB := getTopology(t, tsA.URL), getTopology(t, tsB.URL)
+	for id := range topoA.Shards {
+		a, b := topoA.Shards[id].Docs, topoB.Shards[id].Docs
+		if len(a) != len(b) {
+			t.Fatalf("shard %d docs diverge: file-declared %v, runtime-added %v", id, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("shard %d docs diverge: file-declared %v, runtime-added %v", id, a, b)
+			}
+		}
+	}
+}
+
+// samePlacement compares two placement tables exactly.
+func samePlacement(a, b map[string][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for doc, ids := range a {
+		other, ok := b[doc]
+		if !ok || len(other) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if ids[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -25,7 +25,11 @@
 //     a dead shard, health-checks workers in the background, and — when
 //     its admin surface is enabled — drives live migrations
 //     (/admin/migrate, /admin/rebalance) and reports topology
-//     (/admin/shards);
+//     (/admin/shards) and control-plane state (/admin/rebalancer);
+//   - Rebalancer is the autonomous control plane: a background router
+//     loop that watches a decaying per-(doc, shard) load signal and,
+//     with hysteresis, migrates the hottest document or adds a replica
+//     of it so bursts fan out (see rebalance.go);
 //   - SpawnEmbedded runs N in-process workers on loopback ports, which
 //     makes single-machine multi-shard serving (fluxrouter -spawn) and
 //     integration tests trivial.
@@ -78,6 +82,13 @@ type Router struct {
 	// inflight counts the proxied queries per topology epoch — the
 	// migration drain barrier.
 	inflight epochTracker
+
+	// loads accumulates per-(doc, shard) query counts between
+	// rebalancer ticks — the control plane's raw load signal.
+	loads loadSignal
+
+	// rebal is the attached control plane, nil until NewRebalancer.
+	rebal atomic.Pointer[Rebalancer]
 
 	// defaultDoc mirrors the fluxd rule: /query without ?doc= works
 	// when exactly one document is mapped.
@@ -176,6 +187,7 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 		rt.routes.HandleFunc("/admin/shards", rt.handleShards)
 		rt.routes.HandleFunc("/admin/migrate", rt.handleMigrate)
 		rt.routes.HandleFunc("/admin/rebalance", rt.handleRebalance)
+		rt.routes.HandleFunc("/admin/rebalancer", rt.handleRebalancer)
 	} else {
 		rt.routes.HandleFunc("/admin/", rt.handleAdminDisabled)
 	}
@@ -192,9 +204,13 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 	return rt, nil
 }
 
-// Close stops the background health loop. It does not touch the
-// workers; embedded shards are closed by their own Close.
+// Close stops the attached rebalancer (if any) and the background
+// health loop. It does not touch the workers; embedded shards are
+// closed by their own Close.
 func (rt *Router) Close() {
+	if rb := rt.rebal.Load(); rb != nil {
+		rb.Close()
+	}
 	rt.stopOnce.Do(func() { close(rt.stop) })
 	rt.probes.Wait()
 }
@@ -360,6 +376,10 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 				lastErr = err
 				return false
 			}
+			// The worker accepted the scan: count it into the control
+			// plane's load signal before streaming (a mid-stream abort
+			// still cost the worker the scan).
+			rt.loads.observe(doc, b.id)
 			rt.stream(w, resp, b)
 			return true
 		}()
@@ -629,6 +649,15 @@ type EmbeddedOptions struct {
 	Executor flux.ExecutorOptions
 	// Admin exposes the mutating /admin/* endpoints on each worker.
 	Admin bool
+	// ServiceSlots and MinServiceTime configure each worker's emulated
+	// service capacity (ServerOptions.ServiceSlots): a cap on concurrent
+	// /query requests with a wall-clock floor per request, so benchmark
+	// tiers exhibit real queueing on hosts whose CPU count cannot
+	// express node parallelism. Zero ServiceSlots disables the gate.
+	ServiceSlots int
+	// MinServiceTime is the per-request service-time floor applied while
+	// a ServiceSlots slot is held; ignored without ServiceSlots.
+	MinServiceTime time.Duration
 }
 
 // SpawnEmbedded starts one in-process worker per shard of m, each
@@ -673,7 +702,10 @@ func SpawnEmbedded(m *Map, specs []DocSpec, opt EmbeddedOptions) ([]*EmbeddedSha
 			return fail(fmt.Errorf("shard %d: %w", id, err))
 		}
 		addr := "http://" + ln.Addr().String()
-		worker := NewServer(ex, ServerOptions{Admin: opt.Admin, ShardID: id, Advertise: addr})
+		worker := NewServer(ex, ServerOptions{
+			Admin: opt.Admin, ShardID: id, Advertise: addr,
+			ServiceSlots: opt.ServiceSlots, MinServiceTime: opt.MinServiceTime,
+		})
 		hs := &http.Server{Handler: worker}
 		go hs.Serve(ln)
 		shards = append(shards, &EmbeddedShard{ID: id, Addr: addr, worker: worker, hs: hs})

@@ -30,6 +30,16 @@ import (
 //	                        further epoch restoring the source; either
 //	                        way the migration is forgotten
 //
+// Replica changes ride the same machinery. AddReplica registers a
+// pending copy ("replicating") exactly like Migrate registers a move,
+// CommitReplica publishes the epoch under which the target joins the
+// replica set, and Abort forgets a replica copy that failed — no
+// routing ever changed, so there is nothing to roll back. DropReplica
+// is the inverse cutover: it publishes the shrunk replica set in one
+// step and hands back the old epoch as a drain barrier, because
+// queries admitted under earlier epochs may still be scanning the
+// dropped copy.
+//
 // Only one migration per document may be pending at a time; migrations
 // of distinct documents may proceed concurrently.
 type Topology struct {
@@ -63,12 +73,21 @@ func (v *View) Owners(doc string) []int { return v.m.Owners(doc) }
 // DocsFor returns the documents shard id serves under this epoch.
 func (v *View) DocsFor(id int) []string { return v.m.DocsFor(id) }
 
-// Migration is one pending document move. It is created by Migrate and
-// retired by Commit or Abort; the exported fields are fixed at creation.
+// Placement returns the epoch's full document→owners table as a deep
+// copy — the inverse of NewMapFromPlacement, so a live topology (with
+// replicas added at runtime) round-trips through a placement or a
+// shard-map file losslessly.
+func (v *View) Placement() map[string][]int { return v.m.Placement() }
+
+// Migration is one pending placement change — a document move (Migrate)
+// or a replica add (AddReplica). It is created by the registering
+// transition and retired by Commit, CommitReplica or Abort; the
+// exported fields are fixed at creation.
 type Migration struct {
-	// Doc is the document being moved.
+	// Doc is the document being moved or replicated.
 	Doc string
-	// From is the shard losing its copy, To the shard gaining one.
+	// From is the shard losing its copy (for a replica add: the copy
+	// source, which keeps its copy), To the shard gaining one.
 	From, To int
 
 	state      migState
@@ -80,9 +99,10 @@ type Migration struct {
 type migState int
 
 const (
-	migCopying  migState = iota // document copying to the target; routing untouched
-	migDraining                 // routing flipped; old-epoch queries finishing on the source
-	migDone                     // committed or aborted
+	migCopying     migState = iota // document copying to the target; routing untouched
+	migDraining                    // routing flipped; old-epoch queries finishing on the source
+	migReplicating                 // replica copying to the target; routing untouched
+	migDone                        // committed or aborted
 )
 
 // String renders the state the way /admin/shards reports it.
@@ -92,6 +112,8 @@ func (s migState) String() string {
 		return "copying"
 	case migDraining:
 		return "draining"
+	case migReplicating:
+		return "replicating"
 	default:
 		return "done"
 	}
@@ -198,11 +220,12 @@ func (t *Topology) Commit(mig *Migration) error {
 	return nil
 }
 
-// Abort rolls a migration back from either live state. A migration
-// still copying needs no routing change; one already cut over gets a
-// further epoch restoring the source replica set, so queries that
-// arrived during the drain window keep completing on the target (its
-// copy is intact) while new ones return to the source.
+// Abort rolls a pending placement change back from any live state. A
+// migration still copying — and a replica add, which never publishes
+// before CommitReplica — needs no routing change; a migration already
+// cut over gets a further epoch restoring the source replica set, so
+// queries that arrived during the drain window keep completing on the
+// target (its copy is intact) while new ones return to the source.
 func (t *Topology) Abort(mig *Migration) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -220,6 +243,95 @@ func (t *Topology) Abort(mig *Migration) error {
 	mig.state = migDone
 	delete(t.pending, mig.Doc)
 	return nil
+}
+
+// AddReplica validates and registers a replica add: shard `to` will
+// gain a copy of doc fetched from owning shard `from`. Routing is not
+// changed — the copy is only being installed — so a failure before
+// CommitReplica needs no rollback beyond Abort. It fails when the
+// document is unknown, from is not an owner, to already is one, either
+// id is out of range, or another placement change of the same document
+// is pending (replica copies and migrations conflict: both assume the
+// target holds no routed copy).
+func (t *Topology) AddReplica(doc string, from, to int) (*Migration, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.view.Load()
+	if from < 0 || from >= v.Shards() {
+		return nil, fmt.Errorf("shard: replicate %q: source shard %d out of range [0, %d)", doc, from, v.Shards())
+	}
+	if to < 0 || to >= v.Shards() {
+		return nil, fmt.Errorf("shard: replicate %q: target shard %d out of range [0, %d)", doc, to, v.Shards())
+	}
+	if from == to {
+		return nil, fmt.Errorf("shard: replicate %q: source and target are both shard %d", doc, from)
+	}
+	owners := v.Owners(doc)
+	if owners == nil {
+		return nil, fmt.Errorf("shard: replicate %q: unknown document", doc)
+	}
+	if !containsInt(owners, from) {
+		return nil, fmt.Errorf("shard: replicate %q: shard %d is not an owner (owners %v)", doc, from, owners)
+	}
+	if containsInt(owners, to) {
+		return nil, fmt.Errorf("shard: replicate %q: shard %d already owns a replica", doc, to)
+	}
+	if old, dup := t.pending[doc]; dup {
+		return nil, fmt.Errorf("%w: %q is changing %d->%d (%s)", ErrMigrationPending, doc, old.From, old.To, old.state)
+	}
+	mig := &Migration{Doc: doc, From: from, To: to, state: migReplicating, startEpoch: v.epoch}
+	t.pending[doc] = mig
+	return mig, nil
+}
+
+// CommitReplica publishes the epoch under which the target shard joins
+// the document's replica set — the copy is installed and may serve
+// queries. Unlike a migration cutover there is no drain to wait for:
+// no existing owner lost its copy, so every in-flight query keeps
+// scanning a copy that still exists. The returned epoch is the first
+// under which the new replica routes.
+func (t *Topology) CommitReplica(mig *Migration) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.expectState(mig, migReplicating); err != nil {
+		return 0, err
+	}
+	next := t.view.Load().m.clone()
+	next.owners[mig.Doc] = addOwner(next.owners[mig.Doc], mig.To)
+	v := t.publish(next)
+	mig.state = migDone
+	delete(t.pending, mig.Doc)
+	return v.epoch, nil
+}
+
+// DropReplica publishes the epoch under which shard `on` leaves the
+// document's replica set, in one step — there is no copy phase, so no
+// pending registration. It returns the old epoch as the drain barrier:
+// queries admitted under epochs <= the returned value may still be
+// scanning the dropped copy, and the caller must wait them out before
+// retiring it. Dropping the last owner is refused — a document must
+// always route somewhere.
+func (t *Topology) DropReplica(doc string, on int) (drainBelow int64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.view.Load()
+	owners := v.Owners(doc)
+	if owners == nil {
+		return 0, fmt.Errorf("shard: drop replica %q: unknown document", doc)
+	}
+	if !containsInt(owners, on) {
+		return 0, fmt.Errorf("shard: drop replica %q: shard %d is not an owner (owners %v)", doc, on, owners)
+	}
+	if len(owners) == 1 {
+		return 0, fmt.Errorf("shard: drop replica %q: shard %d is the last owner", doc, on)
+	}
+	if old, dup := t.pending[doc]; dup {
+		return 0, fmt.Errorf("%w: %q is changing %d->%d (%s)", ErrMigrationPending, doc, old.From, old.To, old.state)
+	}
+	next := v.m.clone()
+	next.owners[doc] = removeOwner(next.owners[doc], on)
+	t.publish(next)
+	return v.epoch, nil
 }
 
 // expectState verifies mig is the document's pending migration in the
@@ -243,8 +355,9 @@ type MigrationStatus struct {
 	// To is the shard gaining one.
 	To int `json:"to"`
 	// State is "copying" (target copy being installed, routing
-	// untouched) or "draining" (routing flipped, old-epoch queries
-	// finishing on the source).
+	// untouched), "draining" (routing flipped, old-epoch queries
+	// finishing on the source), or "replicating" (replica copy being
+	// installed, routing untouched).
 	State string `json:"state"`
 	// StartEpoch is the epoch current when the migration began.
 	StartEpoch int64 `json:"start_epoch"`
@@ -279,6 +392,26 @@ func replaceOwner(ids []int, old, new int) []int {
 	}
 	out = append(out, new)
 	sort.Ints(out)
+	return out
+}
+
+// addOwner inserts a shard id into a replica list, keeping it sorted.
+func addOwner(ids []int, id int) []int {
+	out := make([]int, 0, len(ids)+1)
+	out = append(out, ids...)
+	out = append(out, id)
+	sort.Ints(out)
+	return out
+}
+
+// removeOwner deletes a shard id from a replica list, preserving order.
+func removeOwner(ids []int, id int) []int {
+	out := make([]int, 0, len(ids))
+	for _, v := range ids {
+		if v != id {
+			out = append(out, v)
+		}
+	}
 	return out
 }
 
