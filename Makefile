@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check lint-docs fuzz bench race-fault clean
+.PHONY: build test race vet fmt-check lint-docs fuzz bench race-fault race-cpu clean
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ vet:
 # times, because the failures they hunt are interleaving-dependent.
 race-fault:
 	$(GO) test ./internal/shard -race -count=3 -run 'Replica|Rebalancer'
+
+# Parallel-pipeline gate: the packages the multicore shared scan cuts
+# across (mux dispatch, streaming ingestion, the root-level
+# sequential-vs-parallel differential) at GOMAXPROCS 1 and 4, under
+# the race detector — 1 pins the sequential fallback, 4 actually
+# interleaves producer and workers even on a smaller CI machine.
+race-cpu:
+	$(GO) test -race -cpu 1,4 ./internal/mux ./internal/stream
+	$(GO) test -race -cpu 1,4 -run 'Parallel|Streaming' .
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -5,7 +5,13 @@
 // Each regression is reported with the exact row (query/size/mode), its
 // baseline and observed values, and the allowed maximum.
 //
-// It also enforces seven invariants on the fresh snapshot: on every
+// When the two snapshots come from visibly different machines — CPU
+// counts differ, or the calibration loop ran more than a third apart —
+// it prints a loud warning: calibration scaling corrects elapsed
+// comparisons to first order, but cross-machine diffs are inherently
+// softer evidence than same-machine ones.
+//
+// It also enforces eight invariants on the fresh snapshot: on every
 // (query, size) cell measured in both a flux row and a baseline row,
 // flux must be the fastest mode — the paper's headline claim; wherever
 // both fanout-all and fanout-selective rows exist, the selective row
@@ -15,6 +21,10 @@
 // merged-automaton routing must have delivered no more events than the
 // per-group selective walk with byte-identical output — the shared
 // dispatch structure must not change routing; wherever both
+// fanout-automaton and fanout-parallel rows exist, the worker-pool
+// pipeline must have produced identical output bytes and token counts,
+// and — on machines with at least 4 CPUs — strictly less wall clock
+// than the sequential automaton scan; wherever both
 // served-single and served-sharded rows exist, the sharded tier must
 // have produced identical output bytes and delivered identical tokens —
 // sharding must not change results; wherever both migrate-static
@@ -70,6 +80,7 @@ func main() {
 	}
 	fmt.Printf("benchdiff: %d rows compared (%s -> %s), machine scale %.2f, threshold %.0f%%\n",
 		res.Compared, *oldPath, *newPath, res.Scale, *pct)
+	warnMachineDrift(oldSnap, newSnap)
 	failed := false
 	if err := bench.CheckFluxFastest(newSnap); err != nil {
 		fmt.Println("benchdiff: FLUX-FASTEST INVARIANT VIOLATED:", err)
@@ -81,6 +92,10 @@ func main() {
 	}
 	if err := bench.CheckAutomaton(newSnap); err != nil {
 		fmt.Println("benchdiff: AUTOMATON INVARIANT VIOLATED:", err)
+		failed = true
+	}
+	if err := bench.CheckParallelEquivalence(newSnap); err != nil {
+		fmt.Println("benchdiff: PARALLEL-EQUIVALENCE INVARIANT VIOLATED:", err)
 		failed = true
 	}
 	if err := bench.CheckSharded(newSnap); err != nil {
@@ -107,6 +122,47 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no regressions")
+}
+
+// calibDriftPct is how far apart (in percent) two snapshots'
+// calibration times may sit before the comparison is flagged as
+// cross-machine: same-machine runs land within a few percent, while
+// different hosts (or a throttled runner) diverge by tens.
+const calibDriftPct = 33
+
+// warnMachineDrift prints a loud warning when the two snapshots were
+// visibly produced by different machines — a different CPU count, or
+// calibration times more than calibDriftPct apart. Elapsed comparisons
+// are calibration-scaled either way; the warning tells the reader how
+// much weight the timing rows deserve.
+func warnMachineDrift(oldSnap, newSnap *bench.Snapshot) {
+	var reasons []string
+	if oldSnap.NumCPU != newSnap.NumCPU && oldSnap.NumCPU > 0 && newSnap.NumCPU > 0 {
+		reasons = append(reasons,
+			fmt.Sprintf("num_cpu %d -> %d", oldSnap.NumCPU, newSnap.NumCPU))
+	}
+	if oldSnap.CalibNS > 0 && newSnap.CalibNS > 0 {
+		hi, lo := oldSnap.CalibNS, newSnap.CalibNS
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		if drift := 100 * float64(hi-lo) / float64(lo); drift > calibDriftPct {
+			reasons = append(reasons,
+				fmt.Sprintf("calib_ns %d -> %d (%.0f%% apart)", oldSnap.CalibNS, newSnap.CalibNS, drift))
+		}
+	}
+	if len(reasons) == 0 {
+		return
+	}
+	fmt.Println("benchdiff: ************************************************************")
+	fmt.Println("benchdiff: WARNING: snapshots come from different machines:")
+	for _, r := range reasons {
+		fmt.Println("benchdiff: WARNING:   " + r)
+	}
+	fmt.Println("benchdiff: WARNING: elapsed comparisons are calibration-scaled, but")
+	fmt.Println("benchdiff: WARNING: cross-machine timing diffs are soft evidence; regen")
+	fmt.Println("benchdiff: WARNING: the baseline on this machine before trusting them.")
+	fmt.Println("benchdiff: ************************************************************")
 }
 
 func fatal(err error) {

@@ -127,6 +127,7 @@ type config struct {
 	maxScansDoc int    // admission: concurrent scans per document (0 = unlimited)
 	maxResident int64  // admission: total resident predicted buffer bytes (0 = unlimited)
 	allFanout   bool   // disable selective fan-out
+	parGroups   bool   // parallel per-group evaluation on shared scans
 	shardID     int    // shard identity asserted at /shardz (-1 = standalone)
 	advertise   string // reachable address reported at /shardz
 }
@@ -148,7 +149,8 @@ func buildConfig(dtdFile, docFile, docroot string, window time.Duration, maxBatc
 		window: window, maxBatch: maxBatch, attrs: attrs, cacheCap: cacheCap, admin: admin,
 		batchBudget: sched.batchBudget, maxScansDoc: sched.maxScansDoc,
 		maxResident: sched.maxResident, allFanout: sched.allFanout,
-		shardID: id.shardID, advertise: id.advertise,
+		parGroups: sched.parallelGroups,
+		shardID:   id.shardID, advertise: id.advertise,
 	}
 	if sched.batchBudget < 0 {
 		return cfg, fmt.Errorf("-batch-buffer-budget must be non-negative (0 = unlimited), got %d", sched.batchBudget)
@@ -252,10 +254,11 @@ func docName(path string) string {
 
 // schedConfig bundles the scheduling and admission flag values.
 type schedConfig struct {
-	batchBudget int64
-	maxScansDoc int
-	maxResident int64
-	allFanout   bool
+	batchBudget    int64
+	maxScansDoc    int
+	maxResident    int64
+	allFanout      bool
+	parallelGroups bool
 }
 
 // shardConfig bundles the shard-identity flag values.
@@ -299,6 +302,7 @@ func main() {
 		maxScansDoc = flag.Int("max-scans-per-doc", 0, "admission control: concurrent scans per document; excess scans queue (0 = unlimited)")
 		maxResident = flag.Int64("max-resident-buffer", 0, "admission control: total predicted resident buffer bytes across all scans; excess scans queue (0 = unlimited)")
 		allFanout   = flag.Bool("all-fanout", false, "deliver every scan event to every query instead of routing by projected-path signature (restores full per-query DTD validation)")
+		parGroups   = flag.Bool("parallel-groups", false, "evaluate a shared scan's event-routing groups on a worker pool (one worker per GOMAXPROCS core) instead of inline on the scan goroutine; results are identical, wall-clock drops on multicore hosts (no effect at GOMAXPROCS=1 or with -all-fanout)")
 
 		shardID   = flag.Int("shard-id", -1, "shard index this worker asserts at /shardz, for fluxrouter supervision (-1 = standalone)")
 		advertise = flag.String("advertise", "", "reachable base URL reported at /shardz, when the listen address is not routable as written")
@@ -311,10 +315,11 @@ func main() {
 	flag.Parse()
 
 	cfg, err := buildConfig(*dtdFile, *docFile, *docroot, *window, *maxBatch, *cacheCap, *attrs, *admin, schedConfig{
-		batchBudget: *batchBudget,
-		maxScansDoc: *maxScansDoc,
-		maxResident: *maxResident,
-		allFanout:   *allFanout,
+		batchBudget:    *batchBudget,
+		maxScansDoc:    *maxScansDoc,
+		maxResident:    *maxResident,
+		allFanout:      *allFanout,
+		parallelGroups: *parGroups,
 	}, shardConfig{shardID: *shardID, advertise: *advertise}, streamFlags{streamDocs: streamDocs, tails: tails})
 	if err != nil {
 		fatal(err)

@@ -50,13 +50,18 @@ func newServer(cfg config) (*shard.Server, error) {
 		AttrsToSubelements:     cfg.attrs,
 		BatchBufferBudget:      cfg.batchBudget,
 		DisableSelectiveFanout: cfg.allFanout,
+		ParallelGroups:         cfg.parGroups,
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Built here rather than defaulted inside shard.NewServer so -attrs
-	// applies to ingested streams exactly as it does to file scans.
-	hub := stream.NewHub(cat, stream.Options{AttrsToSubelements: cfg.attrs})
+	// and -parallel-groups apply to ingested streams exactly as they do
+	// to file scans.
+	hub := stream.NewHub(cat, stream.Options{
+		AttrsToSubelements: cfg.attrs,
+		ParallelGroups:     cfg.parGroups,
+	})
 	return shard.NewServer(ex, shard.ServerOptions{
 		Admin:     cfg.admin,
 		ShardID:   cfg.shardID,

@@ -53,14 +53,24 @@ const (
 	// merged path automaton (automaton, the serving default). The
 	// disjoint-path xmark.FanoutQueries run under the synthetic query
 	// name "fanout" in all three modes; the 64-query shared-prefix set
-	// (xmark.SharedPrefixQueries) runs under "fanout-wide" in the two
-	// selective modes. Tokens is the summed events delivered across the
-	// batch — the quantity selective routing shrinks, gated by
+	// (xmark.SharedPrefixQueries) runs under "fanout-wide" in the
+	// selective and automaton modes plus the parallel pipeline
+	// (ModeFanoutParallel below). Tokens is the summed events delivered
+	// across the batch — the quantity selective routing shrinks, gated by
 	// CheckFanout, with automaton-vs-selective parity gated by
 	// CheckAutomaton.
 	ModeFanoutAll       Mode = "fanout-all"
 	ModeFanoutSelective Mode = "fanout-selective"
 	ModeFanoutAutomaton Mode = "fanout-automaton"
+	// ModeFanoutParallel is ModeFanoutAutomaton with the per-group worker
+	// pool (ExecutorOptions.ParallelGroups): the scan goroutine keeps
+	// tokenizing and running the merged automaton while group evaluation
+	// fans out across GOMAXPROCS workers. It runs on the fanout-wide set
+	// only — parallelism pays on wide batches, and equivalence is what the
+	// row exists to witness: CheckParallelEquivalence holds it to the
+	// automaton row's exact output bytes and token counts, and to strictly
+	// less wall clock when the snapshot machine has ≥ 4 CPUs.
+	ModeFanoutParallel Mode = "fanout-parallel"
 	// ModeServedLatency is the open-loop latency measurement of the
 	// serving tier: requests are fired at a fixed arrival rate derived
 	// from a warmup estimate — independent of completions, so queueing
@@ -183,9 +193,9 @@ type Config struct {
 	// Fanout adds the event-routing rows per size: the disjoint-path
 	// FanoutQueries as one Executor batch in all three routing modes
 	// (all/selective/automaton), plus the 64-query shared-prefix set in
-	// the two selective modes (query name "fanout-wide"; all-fanout of
-	// 64 near-whole-document queries would dominate the sweep's wall
-	// clock without informing any invariant).
+	// the selective, automaton, and parallel modes (query name
+	// "fanout-wide"; all-fanout of 64 near-whole-document queries would
+	// dominate the sweep's wall clock without informing any invariant).
 	Fanout bool
 	// Sharded adds one ModeServedSingle and one ModeServedSharded row
 	// per size: the sweep's queries over two document registrations,
@@ -319,7 +329,7 @@ func RunContext(ctx context.Context, cfg Config) ([]Row, error) {
 				{FanoutQueryName, xmark.FanoutQueries,
 					[]Mode{ModeFanoutAll, ModeFanoutSelective, ModeFanoutAutomaton}},
 				{FanoutWideQueryName, xmark.SharedPrefixQueries(fanoutWideQueries),
-					[]Mode{ModeFanoutSelective, ModeFanoutAutomaton}},
+					[]Mode{ModeFanoutSelective, ModeFanoutAutomaton, ModeFanoutParallel}},
 			}
 			for _, set := range fanoutSets {
 				for _, mode := range set.modes {
@@ -1135,6 +1145,7 @@ func runFanout(ctx context.Context, docPath string, sizeMB int, docBytes int64, 
 		MaxBatch:               len(queries),
 		DisableSelectiveFanout: mode == ModeFanoutAll,
 		GroupRouting:           mode == ModeFanoutSelective,
+		ParallelGroups:         mode == ModeFanoutParallel,
 	})
 	if err != nil {
 		return row, err

@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sync/atomic"
 
 	"flux/internal/autom"
 	"flux/internal/engine"
@@ -79,10 +80,14 @@ type Mux struct {
 	ctxs     []context.Context // per-slot cancellation, nil = never canceled
 	results  []Result
 	live     []bool
-	nlive    int
 	nctx     int // slots with a non-nil context
 	events   int64
 	ran      bool
+
+	// nlive is atomic because under parallel dispatch slot failures are
+	// recorded on worker goroutines; sequential muxes pay one uncontended
+	// atomic op where a plain int decrement used to be.
+	nlive atomic.Int32
 
 	// Selective fan-out state (selective Muxes only).
 	selective bool
@@ -101,6 +106,11 @@ type Mux struct {
 	// BeginStream/EndStream lifecycle, mid-stream subscriptions, and a
 	// scan that survives having no live sessions. See stream.go.
 	stream *streamState
+
+	// parallel requests the multicore evaluation pipeline (SetParallel);
+	// par is non-nil while a scan actually runs parallel. See parallel.go.
+	parallel bool
+	par      *parState
 }
 
 // fanGroup is one event-routing group: the plans sharing a signature,
@@ -173,7 +183,7 @@ func (m *Mux) AddContext(ctx context.Context, plan *engine.Plan, w io.Writer) in
 	}
 	m.results = append(m.results, Result{})
 	m.live = append(m.live, true)
-	m.nlive++
+	m.nlive.Add(1)
 	return len(m.sessions) - 1
 }
 
@@ -304,12 +314,13 @@ func GroupKey(p *engine.Plan) string {
 var errAllFailed = errors.New("mux: all queries failed")
 
 // fail detaches slot i from the event flow, recording err and the stats
-// accumulated up to the failure.
+// accumulated up to the failure. Called on the scan goroutine; parallel
+// workers use parFail, which additionally records the failure position.
 func (m *Mux) fail(i int, err error) {
 	m.results[i].Err = err
 	m.results[i].Stats = m.sessions[i].Abort()
 	m.live[i] = false
-	m.nlive--
+	m.nlive.Add(-1)
 	if m.stream != nil && m.stream.onDetach != nil {
 		m.stream.onDetach(i, err)
 	}
@@ -350,6 +361,11 @@ func (m *Mux) pollCtxsNow() {
 // once per batch.
 func (m *Mux) HandleBatch(b *sax.Batch) error {
 	m.events += int64(len(b.Tokens))
+	if m.par != nil {
+		// Parallel pipeline: the producer half runs the matcher and feeds
+		// the worker pool; workers poll per-slot cancellation themselves.
+		return m.parHandleBatch(b)
+	}
 	if m.nctx > 0 {
 		m.pollCtxsNow()
 	}
@@ -374,7 +390,7 @@ func (m *Mux) HandleBatch(b *sax.Batch) error {
 			m.fail(i, err)
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive.Load() == 0 {
 		return errAllFailed
 	}
 	return nil
@@ -426,7 +442,7 @@ func (m *Mux) StartElement(name string) error {
 			m.fail(i, err)
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive.Load() == 0 {
 		return errAllFailed
 	}
 	return nil
@@ -473,7 +489,7 @@ func (m *Mux) routeStart(name string) error {
 				}
 			}
 		}
-		if m.nlive == 0 && m.stream == nil {
+		if m.nlive.Load() == 0 && m.stream == nil {
 			return errAllFailed
 		}
 		return nil
@@ -510,7 +526,7 @@ func (m *Mux) routeStart(name string) error {
 			}
 		}
 	}
-	if m.nlive == 0 && m.stream == nil {
+	if m.nlive.Load() == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -531,7 +547,7 @@ func (m *Mux) Text(data string) error {
 			m.fail(i, err)
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive.Load() == 0 {
 		return errAllFailed
 	}
 	return nil
@@ -562,7 +578,7 @@ func (m *Mux) routeText(data string) error {
 				}
 			}
 		}
-		if m.nlive == 0 && m.stream == nil {
+		if m.nlive.Load() == 0 && m.stream == nil {
 			return errAllFailed
 		}
 		return nil
@@ -585,7 +601,7 @@ func (m *Mux) routeText(data string) error {
 			}
 		}
 	}
-	if m.nlive == 0 && m.stream == nil {
+	if m.nlive.Load() == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -610,7 +626,7 @@ func (m *Mux) routeTextBytes(data []byte) error {
 				}
 			}
 		}
-		if m.nlive == 0 && m.stream == nil {
+		if m.nlive.Load() == 0 && m.stream == nil {
 			return errAllFailed
 		}
 		return nil
@@ -633,7 +649,7 @@ func (m *Mux) routeTextBytes(data []byte) error {
 			}
 		}
 	}
-	if m.nlive == 0 && m.stream == nil {
+	if m.nlive.Load() == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -654,7 +670,7 @@ func (m *Mux) EndElement(name string) error {
 			m.fail(i, err)
 		}
 	}
-	if m.nlive == 0 {
+	if m.nlive.Load() == 0 {
 		return errAllFailed
 	}
 	return nil
@@ -684,7 +700,7 @@ func (m *Mux) routeEnd(name string) error {
 		if m.stream != nil && m.depth == 0 {
 			m.stream.rootClosed = true
 		}
-		if m.nlive == 0 && m.stream == nil {
+		if m.nlive.Load() == 0 && m.stream == nil {
 			return errAllFailed
 		}
 		return nil
@@ -711,7 +727,7 @@ func (m *Mux) routeEnd(name string) error {
 	if m.stream != nil && m.depth == 0 {
 		m.stream.rootClosed = true
 	}
-	if m.nlive == 0 && m.stream == nil {
+	if m.nlive.Load() == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -758,12 +774,21 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 			m.fail(i, err)
 		}
 	}
-	if m.nlive > 0 {
-		if err := sax.ScanBatchedContext(ctx, r, m, opt); err != nil {
+	if m.nlive.Load() > 0 {
+		m.startParallel()
+		err := sax.ScanBatchedContext(ctx, r, m, opt)
+		m.stopParallel()
+		if m.nlive.Load() == 0 {
+			// All queries failed mid-stream. Sequential routing aborts at
+			// the exact failing token; the parallel producer may only
+			// notice at the next batch boundary, but either way the
+			// sequential-equivalent outcome is errAllFailed (parFillSkipped
+			// reconstructs the counters as of the true abort token).
 			m.fillSkipped()
-			if errors.Is(err, errAllFailed) {
-				return m.results, err
-			}
+			return m.results, errAllFailed
+		}
+		if err != nil {
+			m.fillSkipped()
 			// The stream itself is bad: every remaining query inherits
 			// the failure.
 			for i := range m.sessions {
@@ -784,7 +809,7 @@ func (m *Mux) Run(ctx context.Context, r io.Reader, opt sax.Options) ([]Result, 
 		m.results[i] = Result{Stats: st, Err: err}
 		m.live[i] = false
 	}
-	m.nlive = 0
+	m.nlive.Store(0)
 	m.fillSkipped()
 	return m.results, nil
 }
@@ -849,7 +874,7 @@ func (m *Mux) routeSkip(name string) error {
 				}
 			}
 		}
-		if m.nlive == 0 && m.stream == nil {
+		if m.nlive.Load() == 0 && m.stream == nil {
 			return errAllFailed
 		}
 		return nil
@@ -868,7 +893,7 @@ func (m *Mux) routeSkip(name string) error {
 			}
 		}
 	}
-	if m.nlive == 0 && m.stream == nil {
+	if m.nlive.Load() == 0 && m.stream == nil {
 		return errAllFailed
 	}
 	return nil
@@ -878,6 +903,13 @@ func (m *Mux) routeSkip(name string) error {
 // members' Results.
 func (m *Mux) fillSkipped() {
 	if !m.selective {
+		return
+	}
+	if m.par != nil && m.par.fixup {
+		// All queries failed under the parallel pipeline: reconstruct the
+		// counters as of the true abort token, where sequential routing
+		// would have stopped (the producer's matcher ran further).
+		m.parFillSkipped()
 		return
 	}
 	if m.matcher != nil {

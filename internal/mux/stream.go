@@ -57,6 +57,7 @@ type streamState struct {
 
 	pendMu sync.Mutex
 	pend   []pendingSub
+	ended  bool         // EndStream ran; no further subscriptions accepted
 	npend  atomic.Int32 // len(pend), readable without the lock
 }
 
@@ -79,12 +80,16 @@ func NewStreaming() *Mux {
 	return &Mux{selective: true, stream: &streamState{}}
 }
 
-// OnDetach registers a callback invoked on the scan goroutine whenever
-// a streaming slot is detached before EndStream — its context was
-// canceled, its engine rejected the stream, or its writer failed. The
-// hub serving the subscriber uses it to end that subscriber's response
-// immediately instead of at end of stream. Must be set before
-// BeginStream; ignored in batch mode.
+// OnDetach registers a callback invoked whenever a streaming slot is
+// detached before EndStream — its context was canceled, its engine
+// rejected the stream, or its writer failed. The hub serving the
+// subscriber uses it to end that subscriber's response immediately
+// instead of at end of stream. The callback runs on the scan goroutine,
+// or — under SetParallel — on the worker goroutine that owns the slot's
+// routing group, so it must be safe to call off the scan goroutine. It
+// always runs immediately after the slot's Result was recorded, so
+// ResultAt(slot) is valid inside it. Must be set before BeginStream;
+// ignored in batch mode.
 func (m *Mux) OnDetach(fn func(slot int, err error)) {
 	if m.stream != nil {
 		m.stream.onDetach = fn
@@ -124,6 +129,7 @@ func (m *Mux) BeginStream() error {
 			m.fail(i, err)
 		}
 	}
+	m.startParallel()
 	return nil
 }
 
@@ -134,7 +140,10 @@ func (m *Mux) BeginStream() error {
 // index assigned, or with a negative slot and the reason when the
 // subscription can no longer be served (context already done, root
 // element closed, stream over). A subscription activated mid-stream
-// observes only the document suffix from its sync point on.
+// observes only the document suffix from its sync point on. Attaching
+// after EndStream fails immediately with ErrStreamEnded (done is not
+// called), so a subscription racing the end of the stream is always
+// either activated or rejected, never silently lost.
 func (m *Mux) AttachStream(ctx context.Context, plan *engine.Plan, w io.Writer, done func(slot int, err error)) error {
 	if m.stream == nil {
 		return errNotStreaming
@@ -144,6 +153,10 @@ func (m *Mux) AttachStream(ctx context.Context, plan *engine.Plan, w io.Writer, 
 	}
 	st := m.stream
 	st.pendMu.Lock()
+	if st.ended {
+		st.pendMu.Unlock()
+		return ErrStreamEnded
+	}
 	st.pend = append(st.pend, pendingSub{ctx: ctx, plan: plan, w: w, done: done})
 	st.npend.Add(1)
 	st.pendMu.Unlock()
@@ -153,6 +166,19 @@ func (m *Mux) AttachStream(ctx context.Context, plan *engine.Plan, w io.Writer, 
 // takePending snapshots and clears the pending-subscription queue.
 func (st *streamState) takePending() []pendingSub {
 	st.pendMu.Lock()
+	pend := st.pend
+	st.pend = nil
+	st.npend.Add(-int32(len(pend)))
+	st.pendMu.Unlock()
+	return pend
+}
+
+// endPending closes the pending queue — later AttachStream calls fail
+// with ErrStreamEnded — and returns whatever was still queued, for
+// rejection. Called once, by EndStream.
+func (st *streamState) endPending() []pendingSub {
+	st.pendMu.Lock()
+	st.ended = true
 	pend := st.pend
 	st.pend = nil
 	st.npend.Add(-int32(len(pend)))
@@ -186,6 +212,7 @@ func (m *Mux) activatePending() {
 			// transition.
 			m.machine = autom.Build(m.machineGroups())
 			m.matcher.Extend(m.machine, st.rootName)
+			m.parAddGroup(gi)
 		}
 		s := m.sessions[slot]
 		if err := s.Begin(); err != nil {
@@ -265,7 +292,10 @@ func (m *Mux) EndStream(streamErr error) []Result {
 	if m.stream == nil {
 		return nil
 	}
-	for _, p := range m.stream.takePending() {
+	// Parallel pipeline barrier: drain and stop the workers before any
+	// session is finished or failed on this goroutine.
+	m.stopParallel()
+	for _, p := range m.stream.endPending() {
 		p.done(-1, ErrStreamEnded)
 	}
 	for i, s := range m.sessions {
@@ -280,7 +310,7 @@ func (m *Mux) EndStream(streamErr error) []Result {
 		m.results[i] = Result{Stats: st, Err: err}
 		m.live[i] = false
 	}
-	m.nlive = 0
+	m.nlive.Store(0)
 	m.fillSkipped()
 	return m.results
 }

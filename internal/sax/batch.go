@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Token is one SAX event in batched delivery. Name is set for element
@@ -32,12 +33,60 @@ type Token struct {
 // Batches are recycled through a fixed ring: the tokens and arena of a
 // delivered batch remain intact while the scanner fills the other ring
 // slots and are reused when the ring wraps around. Consumers that need
-// data beyond that window must copy it during HandleBatch.
+// data beyond that window must copy it during HandleBatch — or extend
+// the window explicitly with Retain/Release, which concurrent consumers
+// (the parallel mux pipeline) use to keep a batch alive while workers on
+// other goroutines are still reading it.
 type Batch struct {
 	// Tokens are the events of this batch, in stream order.
 	Tokens []Token
 
 	arena []byte // backing store for Text token payloads
+
+	// refs counts Retain calls not yet matched by Release. The scanner
+	// waits for it to reach zero before reusing the batch's storage.
+	// All Retains happen on the scanning goroutine (inside HandleBatch),
+	// so once HandleBatch returns the count is monotonically decreasing:
+	// waitIdle needs no ABA protection.
+	refs atomic.Int32
+	// idle receives one token per zero-crossing of refs; waitIdle blocks
+	// on it when refs is still positive. Capacity 1 and a single waiter
+	// (the scanning goroutine) make lost wakeups impossible: a
+	// zero-crossing either deposits a token or finds one already there.
+	idle chan struct{}
+}
+
+// Retain extends the batch's validity past the ring-recycling window:
+// the scanner will not reuse the batch's tokens or arena until every
+// Retain has been matched by a Release. Retain may only be called during
+// HandleBatch, on the delivering goroutine; Release may be called from
+// any goroutine. Unbalanced Release panics.
+func (b *Batch) Retain() { b.refs.Add(1) }
+
+// Release undoes one Retain. When the last reference is dropped the
+// scanner — possibly blocked in waitIdle — is woken so it can recycle
+// the batch.
+func (b *Batch) Release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		select {
+		case b.idle <- struct{}{}:
+		default: // a wakeup token is already pending
+		}
+	case n < 0:
+		panic("sax: Batch.Release without matching Retain")
+	}
+}
+
+// waitIdle blocks until every Retain on the batch has been released.
+// Called by the scanner before reusing or pooling the batch's storage.
+// The loop re-checks refs after each wakeup: a stale token left over
+// from an earlier cycle (deposited after a fast-path exit) causes at
+// most a spurious wakeup, never a premature return.
+func (b *Batch) waitIdle() {
+	for b.refs.Load() != 0 {
+		<-b.idle
+	}
 }
 
 // BatchHandler consumes SAX events a batch at a time. It is the hot-path
@@ -73,7 +122,12 @@ var arenaPool = sync.Pool{
 
 // batchPool recycles Batch shells (token slices) across scans.
 var batchPool = sync.Pool{
-	New: func() any { return &Batch{Tokens: make([]Token, 0, maxBatchTokens)} },
+	New: func() any {
+		return &Batch{
+			Tokens: make([]Token, 0, maxBatchTokens),
+			idle:   make(chan struct{}, 1),
+		}
+	},
 }
 
 // ScanBatched is Scan with batched event delivery: events are
@@ -151,9 +205,13 @@ func (s *scanner) flushBatch() error {
 	s.ringPos = (s.ringPos + 1) % batchRingSize
 	if next := s.ring[s.ringPos]; next != nil {
 		// Reuse the slot: the validity window of its previous contents has
-		// elapsed. Stale token entries beyond the refilled length pin only
-		// the batch's own arena and the scanner's interning table, both
-		// alive anyway, so they are cleared at releaseRing, not per wrap.
+		// elapsed — unless a consumer retained the batch, in which case
+		// block here until it is released. This is the backpressure edge:
+		// a full parallel pipeline stalls the producer right here. Stale
+		// token entries beyond the refilled length pin only the batch's
+		// own arena and the scanner's interning table, both alive anyway,
+		// so they are cleared at releaseRing, not per wrap.
+		next.waitIdle()
 		next.Tokens = next.Tokens[:0]
 		next.arena = next.arena[:0]
 	}
@@ -182,6 +240,7 @@ func (s *scanner) releaseRing() {
 			continue
 		}
 		s.ring[i] = nil
+		b.waitIdle()
 		if cap(b.arena) == batchArenaSize {
 			arenaPool.Put(b.arena[:0])
 		}

@@ -23,11 +23,24 @@ package shard
 //               otherwise replicate when the hot document dominates
 //               its shard's load (>= ReplicateShare — moving it would
 //               only move the hot spot) and migrate when the shard is
-//               hot in aggregate;
+//               hot in aggregate. When no add/move is due, check the
+//               release rule: a replicated document whose total decayed
+//               signal has sat below ReleaseThreshold for a full
+//               cooldown window sheds one excess replica
+//               (Topology.DropReplica), reclaiming the capacity a
+//               faded burst left pinned;
 //  4. act     — run the placement change over the live protocols. A
 //               failure (dead source, dead target, copy error) leaves
 //               the topology unchanged and does NOT engage the
 //               cooldown, so the next tick retries.
+//
+// The release rule is hysteresis-symmetric with the add rule: a
+// replica is added only when the imbalance exceeds Threshold, dropped
+// only after the signal stays below the (strictly smaller)
+// ReleaseThreshold for a whole Cooldown, and every successful action —
+// add or drop — re-engages the cooldown. A fading burst therefore
+// produces at most one add and, once it is provably cold, one drop;
+// it cannot make a document's replica set flap.
 //
 // Everything the loop knows is observable at /admin/rebalancer.
 
@@ -86,6 +99,7 @@ type tierControl interface {
 	takeLoad() map[loadKey]int64
 	migrateDoc(ctx context.Context, doc string, from, to int) (int64, error)
 	replicateDoc(ctx context.Context, doc string, to int) (int64, error)
+	dropReplica(ctx context.Context, doc string, on int) (int64, error)
 }
 
 // RebalancerOptions configures a Rebalancer. The zero value of every
@@ -122,6 +136,14 @@ type RebalancerOptions struct {
 	// rebalancer migrates instead of replicating further. Zero means
 	// the shard count (fully replicated).
 	MaxReplicas int
+	// ReleaseThreshold is the release side of the hysteresis band: a
+	// document with more than one replica whose total decayed signal
+	// stays below this value for a full Cooldown window has one excess
+	// replica dropped per action (never the last copy). It must be
+	// strictly below Threshold — the gap between the two is what keeps a
+	// load level near the boundary from alternating add and drop. Zero
+	// means Threshold/4.
+	ReleaseThreshold float64
 }
 
 // Action kinds, as RebalanceAction.Kind and /admin/rebalancer report
@@ -132,6 +154,10 @@ const (
 	// ActionReplicate added a replica of the hottest document on a
 	// less-loaded shard.
 	ActionReplicate = "replicate"
+	// ActionDrop released an excess replica of a document whose signal
+	// stayed below ReleaseThreshold for a full cooldown window. From and
+	// To both name the shard that lost the copy.
+	ActionDrop = "drop-replica"
 )
 
 // signalEpsilon is the decayed load below which a signal entry is
@@ -154,16 +180,18 @@ type Rebalancer struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	mu            sync.Mutex
-	load          map[loadKey]float64
-	lastAction    time.Time
-	last          *RebalanceAction
-	reason        string
-	ticks         int64
-	actions       int64
-	migrations    int64
-	replicasAdded int64
-	failures      int64
+	mu              sync.Mutex
+	load            map[loadKey]float64
+	coldSince       map[string]time.Time // doc -> start of its below-release window
+	lastAction      time.Time
+	last            *RebalanceAction
+	reason          string
+	ticks           int64
+	actions         int64
+	migrations      int64
+	replicasAdded   int64
+	replicasDropped int64
+	failures        int64
 }
 
 // NewRebalancer attaches a rebalancer to rt and, when opt.Interval is
@@ -209,6 +237,16 @@ func newRebalancer(tier tierControl, opt RebalancerOptions) (*Rebalancer, error)
 	if opt.MaxReplicas == 0 {
 		opt.MaxReplicas = tier.view().Shards()
 	}
+	if opt.ReleaseThreshold < 0 {
+		return nil, fmt.Errorf("shard: rebalancer release threshold must be non-negative, got %v", opt.ReleaseThreshold)
+	}
+	if opt.ReleaseThreshold == 0 {
+		opt.ReleaseThreshold = opt.Threshold / 4
+	}
+	if opt.ReleaseThreshold >= opt.Threshold {
+		return nil, fmt.Errorf("shard: rebalancer release threshold (%v) must be below the add threshold (%v) — the gap is the hysteresis band",
+			opt.ReleaseThreshold, opt.Threshold)
+	}
 	if opt.Cooldown == 0 {
 		if opt.Interval > 0 {
 			opt.Cooldown = 5 * opt.Interval
@@ -217,11 +255,12 @@ func newRebalancer(tier tierControl, opt RebalancerOptions) (*Rebalancer, error)
 		}
 	}
 	return &Rebalancer{
-		tier: tier,
-		opt:  opt,
-		now:  time.Now,
-		stop: make(chan struct{}),
-		load: make(map[loadKey]float64),
+		tier:      tier,
+		opt:       opt,
+		now:       time.Now,
+		stop:      make(chan struct{}),
+		load:      make(map[loadKey]float64),
+		coldSince: make(map[string]time.Time),
 	}, nil
 }
 
@@ -268,6 +307,11 @@ func (rb *Rebalancer) Tick(ctx context.Context) bool {
 	rb.mu.Lock()
 	rb.ticks++
 	rb.fold(rb.tier.takeLoad())
+	// The release clock runs on every tick — through the cooldown gate
+	// below included — so a document's below-threshold window accumulates
+	// while the gate is closed and the drop fires as soon as both the
+	// window and the cooldown have elapsed.
+	rb.trackRelease()
 	if wait := rb.opt.Cooldown - rb.now().Sub(rb.lastAction); !rb.lastAction.IsZero() && wait > 0 {
 		rb.reason = fmt.Sprintf("cooldown: %v until the next action may run", wait.Round(time.Millisecond))
 		rb.mu.Unlock()
@@ -275,9 +319,13 @@ func (rb *Rebalancer) Tick(ctx context.Context) bool {
 	}
 	act, reason := rb.decide()
 	if act == nil {
-		rb.reason = reason
-		rb.mu.Unlock()
-		return false
+		// No hot add/move due: a provably cold replica set may shed a
+		// copy instead.
+		if act = rb.decideDrop(); act == nil {
+			rb.reason = reason
+			rb.mu.Unlock()
+			return false
+		}
 	}
 	rb.mu.Unlock()
 
@@ -286,6 +334,8 @@ func (rb *Rebalancer) Tick(ctx context.Context) bool {
 	switch act.Kind {
 	case ActionReplicate:
 		epoch, err = rb.tier.replicateDoc(ctx, act.Doc, act.To)
+	case ActionDrop:
+		epoch, err = rb.tier.dropReplica(ctx, act.Doc, act.To)
 	default:
 		epoch, err = rb.tier.migrateDoc(ctx, act.Doc, act.From, act.To)
 	}
@@ -304,14 +354,93 @@ func (rb *Rebalancer) Tick(ctx context.Context) bool {
 		return false
 	}
 	rb.actions++
-	if act.Kind == ActionReplicate {
+	switch act.Kind {
+	case ActionReplicate:
 		rb.replicasAdded++
-	} else {
+	case ActionDrop:
+		rb.replicasDropped++
+		// The dropped copy's residual signal is stale the moment routing
+		// moves on; clearing it (and the release clock) makes the next
+		// window start from scratch.
+		delete(rb.load, loadKey{act.Doc, act.To})
+		delete(rb.coldSince, act.Doc)
+	default:
 		rb.migrations++
 	}
 	rb.lastAction = act.Time
-	rb.reason = fmt.Sprintf("%s %q: shard %d -> %d (epoch %d)", act.Kind, act.Doc, act.From, act.To, epoch)
+	if act.Kind == ActionDrop {
+		rb.reason = fmt.Sprintf("%s %q: replica dropped from shard %d (epoch %d)", act.Kind, act.Doc, act.To, epoch)
+	} else {
+		rb.reason = fmt.Sprintf("%s %q: shard %d -> %d (epoch %d)", act.Kind, act.Doc, act.From, act.To, epoch)
+	}
 	return true
+}
+
+// trackRelease advances the release clock: every document with more
+// than one replica whose total decayed signal sits below
+// ReleaseThreshold keeps (or starts) its cold window; any document at
+// or above the threshold — or back to a single copy — forgets it.
+// Caller holds rb.mu.
+func (rb *Rebalancer) trackRelease() {
+	view := rb.tier.view()
+	totals := make(map[string]float64)
+	for k, v := range rb.load {
+		totals[k.doc] += v
+	}
+	now := rb.now()
+	seen := make(map[string]bool)
+	for _, doc := range view.Docs() {
+		seen[doc] = true
+		if len(view.Owners(doc)) < 2 || totals[doc] >= rb.opt.ReleaseThreshold {
+			delete(rb.coldSince, doc)
+			continue
+		}
+		if _, ok := rb.coldSince[doc]; !ok {
+			rb.coldSince[doc] = now
+		}
+	}
+	for doc := range rb.coldSince {
+		if !seen[doc] {
+			delete(rb.coldSince, doc)
+		}
+	}
+}
+
+// decideDrop picks the tick's replica release, or nil when no document
+// has been cold for a full cooldown window. The document choice is
+// deterministic (lexicographically smallest eligible name); the copy
+// dropped is the owner with the least residual signal for the
+// document, ties going to the higher-numbered shard (the later-added
+// replica, under addOwner's ordering). One drop per tick — the action
+// engages the cooldown like any other. Caller holds rb.mu.
+func (rb *Rebalancer) decideDrop() *RebalanceAction {
+	view := rb.tier.view()
+	now := rb.now()
+	var doc string
+	for d, since := range rb.coldSince {
+		if now.Sub(since) < rb.opt.Cooldown {
+			continue
+		}
+		if len(view.Owners(d)) < 2 {
+			continue
+		}
+		if doc == "" || d < doc {
+			doc = d
+		}
+	}
+	if doc == "" {
+		return nil
+	}
+	owners := view.Owners(doc)
+	drop := -1
+	var dropLoad float64
+	for _, id := range owners {
+		v := rb.load[loadKey{doc, id}]
+		if drop < 0 || v < dropLoad || (v == dropLoad && id > drop) {
+			drop, dropLoad = id, v
+		}
+	}
+	return &RebalanceAction{Kind: ActionDrop, Doc: doc, From: drop, To: drop}
 }
 
 // fold decays the signal one window and adds the fresh counts. Caller
@@ -441,6 +570,9 @@ type RebalancerStatus struct {
 	ReplicateShare float64 `json:"replicate_share,omitempty"`
 	// MaxReplicas caps a document's replica set.
 	MaxReplicas int `json:"max_replicas,omitempty"`
+	// ReleaseThreshold is the decayed total signal below which a
+	// replicated document starts its cold window.
+	ReleaseThreshold float64 `json:"release_threshold,omitempty"`
 	// Ticks counts control-loop iterations.
 	Ticks int64 `json:"ticks"`
 	// Actions counts successful placement actions.
@@ -449,6 +581,8 @@ type RebalancerStatus struct {
 	Migrations int64 `json:"migrations"`
 	// ReplicasAdded counts the actions that added a replica.
 	ReplicasAdded int64 `json:"replicas_added"`
+	// ReplicasDropped counts the actions that released a cold replica.
+	ReplicasDropped int64 `json:"replicas_dropped"`
 	// Failures counts actions that failed and were left for the next
 	// tick to retry.
 	Failures int64 `json:"failures"`
@@ -470,19 +604,21 @@ func (rb *Rebalancer) Status() RebalancerStatus {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	st := RebalancerStatus{
-		Enabled:        true,
-		Interval:       "manual",
-		Cooldown:       rb.opt.Cooldown.String(),
-		Threshold:      rb.opt.Threshold,
-		Decay:          rb.opt.Decay,
-		ReplicateShare: rb.opt.ReplicateShare,
-		MaxReplicas:    rb.opt.MaxReplicas,
-		Ticks:          rb.ticks,
-		Actions:        rb.actions,
-		Migrations:     rb.migrations,
-		ReplicasAdded:  rb.replicasAdded,
-		Failures:       rb.failures,
-		LastReason:     rb.reason,
+		Enabled:          true,
+		Interval:         "manual",
+		Cooldown:         rb.opt.Cooldown.String(),
+		Threshold:        rb.opt.Threshold,
+		Decay:            rb.opt.Decay,
+		ReplicateShare:   rb.opt.ReplicateShare,
+		MaxReplicas:      rb.opt.MaxReplicas,
+		ReleaseThreshold: rb.opt.ReleaseThreshold,
+		Ticks:            rb.ticks,
+		Actions:          rb.actions,
+		Migrations:       rb.migrations,
+		ReplicasAdded:    rb.replicasAdded,
+		ReplicasDropped:  rb.replicasDropped,
+		Failures:         rb.failures,
+		LastReason:       rb.reason,
 	}
 	if rb.opt.Interval > 0 {
 		st.Interval = rb.opt.Interval.String()
@@ -544,6 +680,12 @@ func (rt *Router) migrateDoc(ctx context.Context, doc string, from, to int) (int
 // replicateDoc adapts AddReplica to the rebalancer's narrow interface.
 func (rt *Router) replicateDoc(ctx context.Context, doc string, to int) (int64, error) {
 	rep, err := rt.AddReplica(ctx, doc, to)
+	return rep.Epoch, err
+}
+
+// dropReplica adapts DropReplica to the rebalancer's narrow interface.
+func (rt *Router) dropReplica(ctx context.Context, doc string, on int) (int64, error) {
+	rep, err := rt.DropReplica(ctx, doc, on)
 	return rep.Epoch, err
 }
 

@@ -64,6 +64,18 @@ func (f *fakeTier) migrateDoc(ctx context.Context, doc string, from, to int) (in
 	return drainBelow + 1, nil
 }
 
+func (f *fakeTier) dropReplica(ctx context.Context, doc string, on int) (int64, error) {
+	f.acts = append(f.acts, RebalanceAction{Kind: ActionDrop, Doc: doc, From: on, To: on})
+	if f.failErr != nil {
+		return 0, f.failErr
+	}
+	drainBelow, err := f.topo.DropReplica(doc, on)
+	if err != nil {
+		return 0, err
+	}
+	return drainBelow + 1, nil
+}
+
 func (f *fakeTier) replicateDoc(ctx context.Context, doc string, to int) (int64, error) {
 	owners := f.topo.View().Owners(doc)
 	from := -1
@@ -220,6 +232,62 @@ func TestRebalancerHysteresis(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRebalancerReleaseFadingBurst pins the release rule's hysteresis
+// under the classic bait: a burst hot enough to earn a replica, then
+// silence. The action sequence must be exactly one replicate followed —
+// only after the decayed signal has sat below ReleaseThreshold for a
+// full cooldown window — by exactly one drop of the replica the burst
+// added, and then nothing for as long as the tier stays quiet. A load
+// level that merely fades must never make the replica set flap.
+func TestRebalancerReleaseFadingBurst(t *testing.T) {
+	tier := newFakeTier(t)
+	const ticks = 40
+	tier.loads = make([]map[loadKey]int64, ticks)
+	for i := 0; i < 3; i++ {
+		tier.loads[i] = map[loadKey]int64{{doc: "a", shard: 0}: 100}
+	}
+	const cooldown = 5 * time.Second
+	rb, advance := manualRebalancer(t, tier, RebalancerOptions{
+		Cooldown: cooldown, Threshold: 8, Decay: 0.5, ReleaseThreshold: 2,
+	})
+	var kinds []string
+	var actionTimes []time.Time
+	for i := 0; i < ticks; i++ {
+		if rb.Tick(context.Background()) {
+			kinds = append(kinds, rb.Status().LastAction.Kind)
+			actionTimes = append(actionTimes, rb.now())
+		}
+		advance(time.Second)
+	}
+	if len(kinds) != 2 || kinds[0] != ActionReplicate || kinds[1] != ActionDrop {
+		t.Fatalf("actions = %v (attempts %+v), want exactly [replicate drop-replica]", kinds, tier.acts)
+	}
+	// The drop released the copy the burst added (shard 1 — zero
+	// residual signal), not the original.
+	if got := tier.topo.View().Owners("a"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("owners after release = %v, want [0]", got)
+	}
+	if gap := actionTimes[1].Sub(actionTimes[0]); gap < cooldown {
+		t.Fatalf("drop fired %v after the add, want >= the %v cooldown", gap, cooldown)
+	}
+	st := rb.Status()
+	if st.ReplicasAdded != 1 || st.ReplicasDropped != 1 || st.Migrations != 0 || st.Failures != 0 {
+		t.Fatalf("status after fading burst = %+v", st)
+	}
+	if st.LastAction == nil || st.LastAction.Kind != ActionDrop || st.LastAction.To != 1 || st.LastAction.Err != "" {
+		t.Fatalf("last action = %+v, want a clean drop from shard 1", st.LastAction)
+	}
+	// A fresh burst after the release behaves like the first one: the
+	// hysteresis band resets completely instead of remembering the drop.
+	tier.loads = append(tier.loads, map[loadKey]int64{{doc: "a", shard: 0}: 100})
+	if !rb.Tick(context.Background()) {
+		t.Fatalf("burst after release did not act: %s", rb.Status().LastReason)
+	}
+	if st := rb.Status(); st.ReplicasAdded != 2 || st.ReplicasDropped != 1 {
+		t.Fatalf("status after second burst = %+v", st)
 	}
 }
 
@@ -519,6 +587,9 @@ func TestRebalancerOptionValidation(t *testing.T) {
 		{Threshold: -1},
 		{ReplicateShare: 2},
 		{ReplicateShare: -0.5},
+		{ReleaseThreshold: -1},
+		{Threshold: 8, ReleaseThreshold: 8},
+		{Threshold: 8, ReleaseThreshold: 9},
 	} {
 		if _, err := newRebalancer(tier, opt); err == nil {
 			t.Errorf("options %+v accepted", opt)

@@ -31,7 +31,7 @@ type Ingest struct {
 // attach enqueues sub on the stream. Called with hub.mu held, which
 // orders it strictly before the ingest's EndStream.
 func (ing *Ingest) attach(sub *Subscription) {
-	ing.m.AttachStream(sub.ctx, sub.query.Plan(), sub.ring, func(slot int, err error) {
+	err := ing.m.AttachStream(sub.ctx, sub.query.Plan(), sub.ring, func(slot int, err error) {
 		if slot >= 0 {
 			// Record the slot first: a later detach of this slot (even
 			// the immediate one below, on this same goroutine) must
@@ -44,6 +44,12 @@ func (ing *Ingest) attach(sub *Subscription) {
 			sub.finish(statsAt(ing.m, slot), err)
 		}
 	})
+	if err != nil {
+		// The stream ended before the subscription could even enqueue
+		// (hub.mu ordering makes this unreachable today, but the mux API
+		// allows it); the done callback was not and will not be called.
+		sub.finish(engine.Stats{}, err)
+	}
 }
 
 // Doc names the document this ingest feeds.

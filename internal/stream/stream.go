@@ -57,6 +57,15 @@ type Options struct {
 	// AttrsToSubelements applies the scanner's attribute-to-subelement
 	// rewriting to ingested documents (see flux.Options).
 	AttrsToSubelements bool
+	// ParallelGroups evaluates each ingest's subscriptions on a worker
+	// pool (mux.SetParallel): the scan goroutine keeps tokenizing and
+	// routing while subscription engine work runs on other cores, and a
+	// slow subscription group stalls the producer only through the
+	// pipeline's backpressure, not by serializing with its siblings.
+	// Per-subscription output, stats, and detach behavior are identical
+	// to sequential evaluation. Ingests on a GOMAXPROCS=1 process fall
+	// back to sequential scanning.
+	ParallelGroups bool
 }
 
 // Policy says what a subscription does when its ring buffer is full
@@ -187,11 +196,16 @@ func (h *Hub) StartIngest(ctx context.Context, doc string) (*Ingest, error) {
 		ctx = context.Background()
 	}
 	m := mux.NewStreaming()
+	if h.opt.ParallelGroups {
+		m.SetParallel(true)
+	}
 	ing := &Ingest{hub: h, doc: doc, m: m, subs: make(map[int]*Subscription), dead: make(chan struct{})}
 	m.OnDetach(func(slot int, err error) {
-		// Runs on the scan goroutine right after the slot's Result was
-		// recorded: the subscription ends now, mid-stream, not at end
-		// of document.
+		// Runs on the scan goroutine — or, under ParallelGroups, on the
+		// worker that owns the slot's routing group — right after the
+		// slot's Result was recorded: the subscription ends now,
+		// mid-stream, not at end of document. Subscription.finish is
+		// Once-guarded and safe off the scan goroutine.
 		ing.mu.Lock()
 		sub := ing.subs[slot]
 		ing.mu.Unlock()
